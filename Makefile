@@ -1,0 +1,34 @@
+# Developer entry points for the BioNav reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples docs demo clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran"
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+demo:
+	$(PYTHON) -m repro.cli demo
+
+clean:
+	rm -rf .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,69 @@
+"""§III ablation — the EXPAND-action cost constant.
+
+The paper notes: "by changing the cost assigned to executing an EXPAND
+action (which we set to 1 above) we affect the number of revealed concepts
+after each EXPAND.  In particular, increasing this cost leads to more
+concepts revealed for each EXPAND."
+
+This bench sweeps the EXPAND cost over {1, 2, 4, 8} on the prothymosin
+query and reports concepts revealed per EXPAND plus the resulting
+targeted-navigation cost, asserting the paper's monotonicity claim (more
+cost per click → chunkier cuts → fewer clicks needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import CostParams
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.simulator import navigate_to_target
+
+
+def sweep(prepared, expand_cost: float):
+    params = CostParams(expand_cost=expand_cost)
+    strategy = HeuristicReducedOpt(prepared.tree, prepared.probs, params=params)
+    return navigate_to_target(
+        prepared.tree, strategy, prepared.target_node, params=params, show_results=False
+    )
+
+
+def test_ablation_expand_cost(prepared_queries, report, benchmark):
+    prepared = prepared_queries["prothymosin"]
+
+    def run_sweep():
+        return [(cost, sweep(prepared, cost)) for cost in (1.0, 2.0, 4.0, 8.0)]
+
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 78,
+        "ABLATION — EXPAND-action cost vs concepts revealed per EXPAND (prothymosin)",
+        "=" * 78,
+        "%-14s %10s %12s %18s" % ("expand_cost", "expands", "revealed", "revealed/expand"),
+        "-" * 78,
+    ]
+    per_expand = []
+    expand_counts = []
+    for cost, outcome in outcomes:
+        assert outcome.reached
+        rate = outcome.concepts_revealed / max(outcome.expand_actions, 1)
+        per_expand.append(rate)
+        expand_counts.append(outcome.expand_actions)
+        lines.append(
+            "%-14.1f %10d %12d %18.2f"
+            % (cost, outcome.expand_actions, outcome.concepts_revealed, rate)
+        )
+    lines.append("-" * 78)
+    report("\n".join(lines))
+    # Paper claim: a pricier EXPAND reveals more concepts per action.
+    assert per_expand[-1] >= per_expand[0]
+    # And correspondingly needs no more EXPAND actions.
+    assert expand_counts[-1] <= expand_counts[0]
+
+
+@pytest.mark.parametrize("expand_cost", [1.0, 8.0])
+def test_bench_navigation_under_expand_cost(benchmark, prepared_queries, expand_cost):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark(sweep, prepared, expand_cost)
+    assert outcome.reached

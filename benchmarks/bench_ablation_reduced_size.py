@@ -1,0 +1,70 @@
+"""§VI-B ablation — the reduced-tree size N.
+
+N is the largest tree Opt-EdgeCut ever sees inside Heuristic-ReducedOpt
+(the paper fixes N = 10 as "the maximum tree size on which Opt-EdgeCut can
+operate in real-time").  The trade-off: a larger N approximates the
+component more faithfully (better cuts) but the exponential optimizer
+costs more per EXPAND.
+
+This bench sweeps N over {4, 6, 8, 10, 12} on two queries and reports
+navigation cost and per-EXPAND latency, asserting that latency grows with
+N while navigation cost does not degrade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_heuristic
+
+
+def test_ablation_reduced_tree_size(prepared_queries, report, benchmark):
+    def run_sweep():
+        return {
+            keyword: [
+                (n, run_heuristic(prepared_queries[keyword], max_reduced_nodes=n))
+                for n in (4, 6, 8, 10, 12)
+            ]
+            for keyword in ("prothymosin", "follistatin")
+        }
+
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 86,
+        "ABLATION — reduced-tree size N: navigation cost vs per-EXPAND latency",
+        "=" * 86,
+        "%-20s %6s %12s %12s %14s" % ("keyword", "N", "nav cost", "expands", "avg ms/EXPAND"),
+        "-" * 86,
+    ]
+    for keyword, swept in outcomes.items():
+        latencies = []
+        costs = []
+        for n, outcome in swept:
+            assert outcome.reached
+            latencies.append(outcome.average_expand_seconds)
+            costs.append(outcome.navigation_cost)
+            lines.append(
+                "%-20s %6d %12.0f %12d %14.2f"
+                % (
+                    keyword,
+                    n,
+                    outcome.navigation_cost,
+                    outcome.expand_actions,
+                    outcome.average_expand_seconds * 1000,
+                )
+            )
+        lines.append("-" * 86)
+        # Latency grows with N (exponential optimizer on a bigger tree).
+        assert latencies[-1] > latencies[0]
+        # Bigger N never blows up the navigation cost badly (within 2.5x of
+        # the best observed).
+        assert costs[-1] <= 2.5 * min(costs)
+    report("\n".join(lines))
+
+
+@pytest.mark.parametrize("n", [4, 10])
+def test_bench_navigation_by_reduced_size(benchmark, prepared_queries, n):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark(run_heuristic, prepared, n)
+    assert outcome.reached

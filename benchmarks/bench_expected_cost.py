@@ -1,0 +1,77 @@
+"""Model-expected cost comparison — strategies under the paper's own model.
+
+The Fig. 8 experiment measures the cost a *targeted* user pays.  This
+companion evaluates strategies under the probabilistic TOPDOWN cost model
+itself (§III): Heuristic-ReducedOpt directly minimizes this objective, so
+it must dominate both static variants under it — a sanity check that the
+simulated-user wins are not an artifact of the user model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import expected_strategy_cost
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.paged_static import PagedStaticNavigation
+from repro.core.static_nav import StaticNavigation
+
+KEYWORDS = ("LbetaT2", "prothymosin", "vardenafil")
+
+
+def test_expected_cost_comparison(prepared_queries, report, benchmark):
+    def sweep():
+        results = {}
+        for keyword in KEYWORDS:
+            prepared = prepared_queries[keyword]
+            results[keyword] = {
+                "static": expected_strategy_cost(
+                    prepared.tree, prepared.probs, StaticNavigation(prepared.tree)
+                ),
+                "paged": expected_strategy_cost(
+                    prepared.tree,
+                    prepared.probs,
+                    PagedStaticNavigation(prepared.tree, page_size=5),
+                ),
+                "bionav": expected_strategy_cost(
+                    prepared.tree,
+                    prepared.probs,
+                    HeuristicReducedOpt(prepared.tree, prepared.probs),
+                ),
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 76,
+        "EXPECTED COST — strategies under the paper's probabilistic TOPDOWN model",
+        "=" * 76,
+        "%-20s %12s %12s %12s" % ("keyword", "static", "paged(5)", "bionav"),
+        "-" * 76,
+    ]
+    for keyword, costs in results.items():
+        lines.append(
+            "%-20s %12.1f %12.1f %12.1f"
+            % (keyword, costs["static"], costs["paged"], costs["bionav"])
+        )
+        # The heuristic optimizes this objective; it must win under it.
+        assert costs["bionav"] <= costs["static"] + 1e-6, keyword
+        assert costs["bionav"] <= costs["paged"] + 1e-6, keyword
+    lines.append("-" * 76)
+    report("\n".join(lines))
+
+
+@pytest.mark.parametrize("keyword", ["LbetaT2"])
+def test_bench_expected_cost_evaluation(benchmark, prepared_queries, keyword):
+    prepared = prepared_queries[keyword]
+
+    def evaluate():
+        return expected_strategy_cost(
+            prepared.tree,
+            prepared.probs,
+            HeuristicReducedOpt(prepared.tree, prepared.probs),
+        )
+
+    cost = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    assert cost > 0

@@ -1,0 +1,64 @@
+"""Figure 11 — per-EXPAND execution time for the "prothymosin" query.
+
+The paper breaks the prothymosin navigation down into its 5 EXPAND actions
+and shows, for each, the Heuristic-ReducedOpt latency together with the
+reduced-tree size (8, 7, 8, 10, 6 partitions in their run).  Two effects:
+latency grows with the partition count, and later EXPANDs run on narrower
+trees so they can be faster than earlier ones at equal partition counts
+(the MeSH hierarchy is wider near the top).
+
+Shape assertions:
+  * every per-EXPAND reduced tree stays within the N=10 cap;
+  * every step runs at interactive speed;
+  * steps with the largest reduced trees are not the fastest ones.
+
+The benchmark times the full per-step navigation (all EXPANDs).
+"""
+
+from __future__ import annotations
+
+from conftest import run_heuristic
+
+
+def test_fig11_per_expand_breakdown(prepared_queries, report, benchmark):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark.pedantic(run_heuristic, args=(prepared,), rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 74,
+        "FIGURE 11 — Heuristic-ReducedOpt per-EXPAND breakdown (prothymosin)",
+        "=" * 74,
+        "%-10s %14s %12s %10s" % ("EXPAND#", "partitions", "time (ms)", "revealed"),
+        "-" * 74,
+    ]
+    for record in outcome.expands:
+        lines.append(
+            "%-10d %14d %12.2f %10d"
+            % (record.step, record.reduced_size, record.elapsed_seconds * 1000, record.revealed)
+        )
+        assert record.reduced_size <= 10  # the paper's N = 10 cap
+        assert record.elapsed_seconds < 1.0
+    lines.append("-" * 74)
+    lines.append("(paper run: 5 EXPANDs with 8, 7, 8, 10, 6 partitions)")
+    report("\n".join(lines))
+    assert outcome.reached
+    assert len(outcome.expands) >= 2
+
+
+def test_fig11_largest_reduced_tree_not_fastest(prepared_queries, benchmark):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark.pedantic(run_heuristic, args=(prepared,), rounds=1, iterations=1)
+    records = list(outcome.expands)
+    if len(records) < 2:
+        return
+    biggest = max(records, key=lambda r: r.reduced_size)
+    fastest = min(records, key=lambda r: r.elapsed_seconds)
+    if biggest.reduced_size == min(r.reduced_size for r in records):
+        return  # all equal: nothing to compare
+    assert biggest.step != fastest.step or biggest.reduced_size <= 4
+
+
+def test_bench_prothymosin_navigation(benchmark, prepared_queries):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark(run_heuristic, prepared)
+    assert outcome.reached

@@ -1,0 +1,65 @@
+"""Figure 9 — number of EXPAND actions: BioNav vs static navigation.
+
+The paper observes that EXPAND counts are *relatively close* between the
+two methods (so the dramatic Fig. 8 differences come from BioNav revealing
+few descendants per EXPAND, not from fewer clicks), with BioNav needing
+*more* EXPANDs in the worst case — "ice nucleation", 8 vs 3 — because its
+target sits high in the hierarchy with a very low EXPLORE probability.
+
+Shape assertions:
+  * static expand counts stay small (tree-height bounded);
+  * BioNav needs at least as many EXPANDs as static on the
+    low-selectivity "ice nucleation" query;
+  * BioNav's counts stay within a small multiple of static's.
+
+The benchmark times one full static navigation for comparison with the
+heuristic timing in bench_fig8.
+"""
+
+from __future__ import annotations
+
+from conftest import run_heuristic, run_static
+
+
+def test_fig9_expand_actions(prepared_queries, report, benchmark):
+    def sweep():
+        return {
+            keyword: (run_static(p), run_heuristic(p))
+            for keyword, p in prepared_queries.items()
+        }
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 70,
+        "FIGURE 9 — # of EXPAND actions",
+        "=" * 70,
+        "%-26s %10s %10s" % ("keyword", "static", "bionav"),
+        "-" * 70,
+    ]
+    ratios = []
+    for keyword, (static, bionav) in outcomes.items():
+        lines.append(
+            "%-26s %10d %10d" % (keyword, static.expand_actions, bionav.expand_actions)
+        )
+        ratios.append(bionav.expand_actions / max(static.expand_actions, 1))
+        # Static expansion count equals the target's visible path length,
+        # bounded by the tree height.
+        assert static.expand_actions <= prepared_queries[keyword].tree.height()
+    lines.append("-" * 70)
+    lines.append(
+        "bionav/static expand ratio: min %.1f  mean %.1f  max %.1f   (paper: ~1-3x)"
+        % (min(ratios), sum(ratios) / len(ratios), max(ratios))
+    )
+    report("\n".join(lines))
+
+    # Worst case in the paper is the low-selectivity target: BioNav needs
+    # at least as many EXPANDs as static there.
+    ice_static, ice_bionav = outcomes["ice nucleation"]
+    assert ice_bionav.expand_actions >= ice_static.expand_actions
+
+
+def test_bench_full_static_navigation(benchmark, prepared_queries):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark(run_static, prepared)
+    assert outcome.reached

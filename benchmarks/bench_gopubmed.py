@@ -1,0 +1,75 @@
+"""§IX comparison — the GoPubMed-style baseline.
+
+The paper could not compare against GoPubMed directly (it indexes
+citations differently than PubMed) and states that its static baseline
+"very closely approximates the behaviour and the navigation cost of using
+GoPubMed".  Having implemented GoPubMed's actual policy — a fixed
+top-level category bar plus top-10 children per expansion — we can test
+that approximation claim: GoPubMed-style navigation should cost roughly
+what static (or paged static) costs, and BioNav should beat it by the
+same order of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_heuristic, run_static
+from repro.core.gopubmed import GoPubMedNavigation
+from repro.core.simulator import navigate_to_target
+
+
+def run_gopubmed(prepared, top_k: int = 10):
+    strategy = GoPubMedNavigation(prepared.tree, top_k=top_k)
+    return navigate_to_target(
+        prepared.tree, strategy, prepared.target_node, show_results=False
+    )
+
+
+def test_gopubmed_comparison(prepared_queries, report, benchmark):
+    def sweep():
+        return {
+            keyword: (run_static(p), run_gopubmed(p), run_heuristic(p))
+            for keyword, p in prepared_queries.items()
+        }
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 80,
+        "§IX — GoPubMed-style baseline vs static vs BioNav (navigation cost)",
+        "=" * 80,
+        "%-26s %10s %12s %10s" % ("keyword", "static", "gopubmed", "bionav"),
+        "-" * 80,
+    ]
+    improvements = []
+    for keyword, (static, gopubmed, bionav) in outcomes.items():
+        assert static.reached and gopubmed.reached and bionav.reached
+        lines.append(
+            "%-26s %10.0f %12.0f %10.0f"
+            % (
+                keyword,
+                static.navigation_cost,
+                gopubmed.navigation_cost,
+                bionav.navigation_cost,
+            )
+        )
+        improvements.append(1 - bionav.navigation_cost / gopubmed.navigation_cost)
+        # GoPubMed is a static-family policy: same order of magnitude as
+        # static, never better than BioNav by much.
+        assert gopubmed.navigation_cost <= static.navigation_cost * 1.5
+    mean_improvement = sum(improvements) / len(improvements)
+    lines.append("-" * 80)
+    lines.append(
+        "BioNav improvement over GoPubMed-style: %.0f%% on average"
+        % (100 * mean_improvement)
+    )
+    report("\n".join(lines))
+    assert mean_improvement >= 0.3
+
+
+@pytest.mark.parametrize("top_k", [5, 10])
+def test_bench_gopubmed_navigation(benchmark, prepared_queries, top_k):
+    prepared = prepared_queries["prothymosin"]
+    outcome = benchmark(run_gopubmed, prepared, top_k)
+    assert outcome.reached

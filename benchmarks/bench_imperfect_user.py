@@ -1,0 +1,101 @@
+"""Extension experiment — robustness to user error (BACKTRACK model).
+
+The paper's evaluation assumes an omniscient targeted user; its general
+navigation model nevertheless includes BACKTRACK for recovering from
+wrong turns (§III).  This bench sweeps the user's wrong-turn probability
+and measures both strategies' navigation costs with mistakes included,
+showing BioNav's advantage is robust to imperfect users — a question the
+paper leaves open.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.imperfect import navigate_with_errors
+from repro.core.static_nav import StaticNavigation
+
+ERROR_RATES = (0.0, 0.2, 0.4)
+TRIALS = 5
+
+
+def mean_cost(prepared, make_strategy, error_rate: float) -> float:
+    costs = []
+    for trial in range(TRIALS):
+        outcome = navigate_with_errors(
+            prepared.tree,
+            make_strategy(prepared),
+            prepared.target_node,
+            error_rate=error_rate,
+            rng=random.Random(1000 + trial),
+        )
+        assert outcome.reached
+        costs.append(outcome.navigation_cost)
+    return sum(costs) / len(costs)
+
+
+def test_imperfect_user_sweep(prepared_queries, report, benchmark):
+    keywords = ("LbetaT2", "prothymosin")
+
+    def sweep():
+        results = {}
+        for keyword in keywords:
+            prepared = prepared_queries[keyword]
+            rows = []
+            for rate in ERROR_RATES:
+                static = mean_cost(
+                    prepared, lambda p: StaticNavigation(p.tree), rate
+                )
+                bionav = mean_cost(
+                    prepared,
+                    lambda p: HeuristicReducedOpt(p.tree, p.probs),
+                    rate,
+                )
+                rows.append((rate, static, bionav))
+            results[keyword] = rows
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 78,
+        "EXTENSION — navigation cost under user error (mean of %d trials)" % TRIALS,
+        "=" * 78,
+        "%-20s %12s %12s %12s %10s"
+        % ("keyword", "error rate", "static", "bionav", "improv"),
+        "-" * 78,
+    ]
+    for keyword, rows in results.items():
+        for rate, static, bionav in rows:
+            improvement = 1 - bionav / static
+            lines.append(
+                "%-20s %12.1f %12.1f %12.1f %9.0f%%"
+                % (keyword, rate, static, bionav, 100 * improvement)
+            )
+            # BioNav keeps a decisive advantage at every error level.
+            assert bionav < static, (keyword, rate)
+        # Errors cost extra for both (monotone-ish; allow sampling noise
+        # by comparing the extremes only).
+        assert rows[-1][1] >= rows[0][1] * 0.8
+        lines.append("-" * 78)
+    report("\n".join(lines))
+
+
+@pytest.mark.parametrize("error_rate", [0.0, 0.4])
+def test_bench_imperfect_navigation(benchmark, prepared_queries, error_rate):
+    prepared = prepared_queries["LbetaT2"]
+
+    def run():
+        return navigate_with_errors(
+            prepared.tree,
+            HeuristicReducedOpt(prepared.tree, prepared.probs),
+            prepared.target_node,
+            error_rate=error_rate,
+            rng=random.Random(7),
+        )
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.reached

@@ -1,0 +1,89 @@
+"""Model validation — Monte-Carlo walks vs the analytic cost recursion.
+
+The §III cost model is stated as a recursion; this bench verifies, on real
+workload trees, that the recursion equals the expectation of the user
+process it describes (sampled by :mod:`repro.core.montecarlo`), and that
+the heuristic's dominance over static navigation holds under sampling —
+closing the loop between the formula, the optimizer, and the simulated
+user population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import expected_strategy_cost
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.montecarlo import estimate_expected_cost
+from repro.core.static_nav import StaticNavigation
+
+KEYWORDS = ("LbetaT2", "varenicline")
+N_WALKS = 120
+
+
+def test_monte_carlo_agreement(prepared_queries, report, benchmark):
+    def sweep():
+        results = []
+        for keyword in KEYWORDS:
+            prepared = prepared_queries[keyword]
+            for make in (
+                lambda p: StaticNavigation(p.tree),
+                lambda p: HeuristicReducedOpt(p.tree, p.probs),
+            ):
+                strategy = make(prepared)
+                analytic = expected_strategy_cost(
+                    prepared.tree, prepared.probs, make(prepared)
+                )
+                mean, stderr = estimate_expected_cost(
+                    prepared.tree,
+                    prepared.probs,
+                    strategy,
+                    n_walks=N_WALKS,
+                    seed=101,
+                )
+                results.append((keyword, strategy.name, analytic, mean, stderr))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 84,
+        "MODEL VALIDATION — analytic expected cost vs Monte-Carlo (%d walks)" % N_WALKS,
+        "=" * 84,
+        "%-16s %-24s %10s %12s %10s"
+        % ("keyword", "strategy", "analytic", "MC mean", "MC stderr"),
+        "-" * 84,
+    ]
+    for keyword, name, analytic, mean, stderr in results:
+        lines.append(
+            "%-16s %-24s %10.2f %12.2f %10.2f" % (keyword, name, analytic, mean, stderr)
+        )
+        # Agreement within sampling noise (or 10% for tiny costs).
+        assert abs(mean - analytic) <= max(6 * stderr, 0.10 * analytic), (
+            keyword,
+            name,
+        )
+    lines.append("-" * 84)
+    report("\n".join(lines))
+
+    # Dominance also holds under sampling, per keyword.
+    by_query = {}
+    for keyword, name, _, mean, _ in results:
+        by_query.setdefault(keyword, {})[name] = mean
+    for keyword, means in by_query.items():
+        assert means["heuristic-reducedopt"] < means["static"], keyword
+
+
+def test_bench_one_walk(benchmark, prepared_queries):
+    import random
+
+    from repro.core.montecarlo import sample_walk
+
+    prepared = prepared_queries["LbetaT2"]
+    strategy = HeuristicReducedOpt(prepared.tree, prepared.probs)
+    rng = random.Random(1)
+
+    outcome = benchmark(
+        sample_walk, prepared.tree, prepared.probs, strategy, rng
+    )
+    assert outcome.cost >= 0

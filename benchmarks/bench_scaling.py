@@ -1,0 +1,105 @@
+"""Scaling sweep — the improvement holds across scales (paper §VIII-A).
+
+The paper stresses that BioNav's improvement is high "regardless of the
+navigation tree characteristics ... and regardless of the number of
+citations in the query result".  This bench sweeps (a) the query result
+size at a fixed hierarchy and (b) the hierarchy size at a fixed result
+size, asserting that BioNav's relative improvement over static navigation
+persists across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.simulator import navigate_to_target
+from repro.core.static_nav import StaticNavigation
+from repro.workload.builder import build_workload
+from repro.workload.queries import WorkloadQuery
+
+
+def make_query(n_citations: int) -> WorkloadQuery:
+    return WorkloadQuery(
+        keyword="scaling probe",
+        n_citations=n_citations,
+        target_label="Scaling Target Concept",
+        target_depth=4,
+        n_topics=3,
+        target_share=0.3,
+        seed=500 + n_citations,
+    )
+
+
+def improvement_for(hierarchy_size: int, n_citations: int) -> tuple:
+    workload = build_workload(
+        hierarchy_size=hierarchy_size,
+        seed=11,
+        queries=[make_query(n_citations)],
+        background_citations=40,
+    )
+    prepared = workload.prepare("scaling probe")
+    static = navigate_to_target(
+        prepared.tree, StaticNavigation(prepared.tree), prepared.target_node,
+        show_results=False,
+    )
+    bionav = navigate_to_target(
+        prepared.tree,
+        HeuristicReducedOpt(prepared.tree, prepared.probs),
+        prepared.target_node,
+        show_results=False,
+    )
+    assert static.reached and bionav.reached
+    return (
+        prepared.tree.size(),
+        static.navigation_cost,
+        bionav.navigation_cost,
+        1 - bionav.navigation_cost / static.navigation_cost,
+    )
+
+
+def test_scaling_with_result_size(report, benchmark):
+    def sweep():
+        return [(n, improvement_for(1500, n)) for n in (50, 150, 300, 600)]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 78,
+        "SCALING — improvement vs query result size (hierarchy fixed at 1500)",
+        "=" * 78,
+        "%-12s %10s %10s %10s %10s" % ("citations", "tree", "static", "bionav", "improv"),
+        "-" * 78,
+    ]
+    for n, (tree_size, static_cost, bionav_cost, improvement) in results:
+        lines.append(
+            "%-12d %10d %10.0f %10.0f %9.0f%%"
+            % (n, tree_size, static_cost, bionav_cost, improvement * 100)
+        )
+        # The paper's claim: improvement is high at every result size.
+        assert improvement >= 0.4, n
+    lines.append("-" * 78)
+    report("\n".join(lines))
+
+
+def test_scaling_with_hierarchy_size(report, benchmark):
+    def sweep():
+        return [(h, improvement_for(h, 250)) for h in (800, 1600, 3200)]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 78,
+        "SCALING — improvement vs hierarchy size (result fixed at 250 citations)",
+        "=" * 78,
+        "%-12s %10s %10s %10s %10s" % ("hierarchy", "tree", "static", "bionav", "improv"),
+        "-" * 78,
+    ]
+    for h, (tree_size, static_cost, bionav_cost, improvement) in results:
+        lines.append(
+            "%-12d %10d %10.0f %10.0f %9.0f%%"
+            % (h, tree_size, static_cost, bionav_cost, improvement * 100)
+        )
+        assert improvement >= 0.4, h
+    lines.append("-" * 78)
+    report("\n".join(lines))

@@ -1,0 +1,81 @@
+"""Robustness — the headline comparison under stress corpus regimes.
+
+Runs BioNav vs static navigation in each of the stress scenarios of
+:mod:`repro.workload.scenarios` (deep hierarchy, heavy duplication,
+near-zero target selectivity, tiny result set), asserting the paper's
+qualitative claim — BioNav never navigates worse than static, and wins
+clearly whenever the result set is large enough to make expansion
+worthwhile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.simulator import navigate_to_target
+from repro.core.static_nav import StaticNavigation
+from repro.workload.scenarios import build_scenario, scenario_names
+
+
+def run_scenario(name: str):
+    workload = build_scenario(name)
+    built = workload.queries[0]
+    prepared = workload.prepare(built.spec.keyword)
+    static = navigate_to_target(
+        prepared.tree,
+        StaticNavigation(prepared.tree),
+        prepared.target_node,
+        show_results=False,
+    )
+    bionav = navigate_to_target(
+        prepared.tree,
+        HeuristicReducedOpt(prepared.tree, prepared.probs),
+        prepared.target_node,
+        show_results=False,
+    )
+    return prepared, static, bionav
+
+
+def test_stress_scenarios(report, benchmark):
+    def sweep():
+        return {name: run_scenario(name) for name in scenario_names()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 84,
+        "ROBUSTNESS — BioNav vs static under stress corpus regimes",
+        "=" * 84,
+        "%-20s %7s %7s %9s %9s %9s"
+        % ("scenario", "cites", "tree", "static", "bionav", "improv"),
+        "-" * 84,
+    ]
+    for name, (prepared, static, bionav) in results.items():
+        assert static.reached and bionav.reached, name
+        improvement = 1 - bionav.navigation_cost / static.navigation_cost
+        lines.append(
+            "%-20s %7d %7d %9.0f %9.0f %8.0f%%"
+            % (
+                name,
+                len(prepared.pmids),
+                prepared.tree.size(),
+                static.navigation_cost,
+                bionav.navigation_cost,
+                100 * improvement,
+            )
+        )
+        # BioNav never loses; on non-tiny regimes it wins decisively.
+        assert bionav.navigation_cost <= static.navigation_cost, name
+        if len(prepared.pmids) > 50:
+            assert improvement >= 0.4, name
+    lines.append("-" * 84)
+    report("\n".join(lines))
+
+
+@pytest.mark.parametrize("name", ["deep_hierarchy", "high_duplication"])
+def test_bench_scenario_navigation(benchmark, name):
+    prepared, _, bionav = benchmark.pedantic(
+        run_scenario, args=(name,), rounds=1, iterations=1
+    )
+    assert bionav.reached

@@ -1,0 +1,100 @@
+"""System bench — end-to-end request latency of the web interface.
+
+The paper reports per-EXPAND optimizer latency (Figs. 10/11); the user
+actually experiences the *request* latency: routing + session lookup +
+EXPAND + visualization + rendering.  This bench measures the three hot
+endpoints of the WSGI app — search (cold and tree-cached), expand, and
+results — asserting interactive-time behaviour end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.bionav import BioNav
+from repro.web.app import BioNavWebApp
+
+
+@pytest.fixture(scope="module")
+def app(workload) -> BioNavWebApp:
+    return BioNavWebApp(BioNav(workload.database, workload.entrez))
+
+
+def get(app, path, query=None):
+    environ = {
+        "REQUEST_METHOD": "GET",
+        "PATH_INFO": path,
+        "QUERY_STRING": urlencode(query or {}),
+    }
+    captured = []
+    body = b"".join(app(environ, lambda s, h: captured.append(s))).decode()
+    assert captured[0].startswith("200"), (captured[0], path)
+    return body
+
+
+def test_bench_search_request_tree_cached(benchmark, app):
+    get(app, "/api/search", {"q": "prothymosin"})  # warm the tree cache
+
+    def search():
+        return get(app, "/api/search", {"q": "prothymosin"})
+
+    body = benchmark(search)
+    assert json.loads(body)["count"] == 313
+
+
+def test_bench_expand_request(benchmark, app):
+    body = get(app, "/api/search", {"q": "prothymosin"})
+    sid = json.loads(body)["session"]
+    state = json.loads(get(app, "/api/nav/%s" % sid))
+    root = state["rows"][0]["node"]
+
+    def expand_and_backtrack():
+        get(app, "/api/nav/%s/expand" % sid, {"node": str(root)})
+        return get(app, "/api/nav/%s/backtrack" % sid)
+
+    body = benchmark(expand_and_backtrack)
+    assert json.loads(body)["cost"]["expands"] >= 1
+
+
+def test_bench_results_request(benchmark, app):
+    body = get(app, "/api/search", {"q": "varenicline"})
+    sid = json.loads(body)["session"]
+    state = json.loads(get(app, "/api/nav/%s" % sid))
+    root = state["rows"][0]["node"]
+
+    def results():
+        return get(app, "/nav/%s/results" % sid, {"node": str(root)})
+
+    page = benchmark(results)
+    assert "citations under" in page
+
+
+def test_interactive_latency_budget(app, report, benchmark):
+    """Every endpoint answers well under a second (the §VIII-B bar)."""
+    import time
+
+    def measure():
+        timings = {}
+        started = time.perf_counter()
+        body = get(app, "/api/search", {"q": "follistatin"})
+        timings["search (cold)"] = time.perf_counter() - started
+        sid = json.loads(body)["session"]
+        state = json.loads(get(app, "/api/nav/%s" % sid))
+        root = state["rows"][0]["node"]
+        started = time.perf_counter()
+        get(app, "/api/nav/%s/expand" % sid, {"node": str(root)})
+        timings["expand"] = time.perf_counter() - started
+        started = time.perf_counter()
+        get(app, "/nav/%s" % sid)
+        timings["render"] = time.perf_counter() - started
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["", "WEB LATENCY — end-to-end request times"]
+    for name, seconds in timings.items():
+        lines.append("  %-16s %8.1f ms" % (name, seconds * 1000))
+        assert seconds < 2.0, name
+    report("\n".join(lines))

@@ -1,0 +1,67 @@
+"""Shared benchmark fixtures.
+
+The workload is materialized once per session at a larger scale than the
+unit-test fixture (hierarchy of 2,500 concepts) so the navigation trees are
+big enough for the paper's effects to show, while every benchmark file
+still runs in seconds.
+
+Each bench prints a paper-vs-measured table through the ``report`` fixture
+(bypassing pytest's capture so the tables land in the terminal/tee output)
+and drives its hot loop through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.simulator import NavigationOutcome, navigate_to_target
+from repro.core.static_nav import StaticNavigation
+from repro.workload.builder import PreparedQuery, Workload, build_workload
+
+BENCH_HIERARCHY_SIZE = 2500
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def workload() -> Workload:
+    return build_workload(hierarchy_size=BENCH_HIERARCHY_SIZE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def prepared_queries(workload) -> Dict[str, PreparedQuery]:
+    """keyword → prepared query (online phase run once per query)."""
+    return {p.spec.keyword: p for p in workload.prepare_all()}
+
+
+@pytest.fixture()
+def report(capsys) -> Callable[[str], None]:
+    """Print a results table bypassing pytest's output capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _report
+
+
+def run_static(prepared: PreparedQuery) -> NavigationOutcome:
+    return navigate_to_target(
+        prepared.tree,
+        StaticNavigation(prepared.tree),
+        prepared.target_node,
+        show_results=False,
+    )
+
+
+def run_heuristic(
+    prepared: PreparedQuery, max_reduced_nodes: int = 10
+) -> NavigationOutcome:
+    strategy = HeuristicReducedOpt(
+        prepared.tree, prepared.probs, max_reduced_nodes=max_reduced_nodes
+    )
+    return navigate_to_target(
+        prepared.tree, strategy, prepared.target_node, show_results=False
+    )

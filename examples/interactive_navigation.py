@@ -1,0 +1,106 @@
+"""Interactive BioNav session in the terminal.
+
+Run with::
+
+    python examples/interactive_navigation.py [keyword]
+
+Builds the workload, runs the query (default: "prothymosin"), and drops
+into a read–eval loop mirroring the paper's web interface:
+
+    e <n>   EXPAND the n-th visible concept (its ``>>>`` hyperlink)
+    s <n>   SHOWRESULTS on the n-th visible concept
+    b       BACKTRACK (undo the last EXPAND)
+    q       quit (prints the session's cost ledger)
+
+When stdin is not a TTY (e.g. piped), a scripted demo sequence runs
+instead, so the example is usable in CI.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import BioNav, build_workload
+
+DEMO_COMMANDS = ["e 0", "e 0", "e 1", "s 1", "b", "q"]
+
+
+def print_interface(session) -> None:
+    rows = session.visualize()
+    print()
+    for i, row in enumerate(rows):
+        marker = " >>>" if row.expandable else ""
+        print("  [%2d] %s%s (%d)%s" % (i, "  " * row.depth, row.label, row.count, marker))
+    print()
+
+
+def main() -> None:
+    keyword = sys.argv[1] if len(sys.argv) > 1 else "prothymosin"
+    print("Building workload and searching for %r..." % keyword)
+    workload = build_workload(hierarchy_size=1500)
+    bionav = BioNav(workload.database, workload.entrez)
+    query = bionav.search(keyword)
+    if query.result_count == 0:
+        print("No results for %r — try a Table I keyword like 'prothymosin'." % keyword)
+        return
+    session = query.session
+    print("%d citations; navigation tree of %d concepts." % (
+        query.result_count, query.tree.size()))
+
+    interactive = sys.stdin.isatty()
+    script = iter(DEMO_COMMANDS)
+    while True:
+        print_interface(session)
+        if interactive:
+            try:
+                command = input("bionav> ").strip()
+            except EOFError:
+                break
+        else:
+            command = next(script, "q")
+            print("bionav> %s   (scripted demo)" % command)
+        if not command:
+            continue
+        parts = command.split()
+        action = parts[0].lower()
+        if action == "q":
+            break
+        if action == "b":
+            if not session.backtrack():
+                print("Nothing to undo.")
+            continue
+        if action in ("e", "s") and len(parts) == 2 and parts[1].isdigit():
+            rows = session.visualize()
+            index = int(parts[1])
+            if not 0 <= index < len(rows):
+                print("No visible concept #%d." % index)
+                continue
+            node = rows[index].node
+            if action == "e":
+                if not session.active.is_expandable(node):
+                    print("%r has nothing hidden to reveal." % rows[index].label)
+                    continue
+                outcome = session.expand(node)
+                print("Revealed %d concept(s)." % len(outcome.revealed))
+            else:
+                pmids = session.show_results(node)
+                print("%d citations under %r; first five:" % (len(pmids), rows[index].label))
+                for summary in bionav.summaries(pmids[:5]):
+                    print("   [%d] %s" % (summary.pmid, summary.title))
+            continue
+        print("Commands: e <n> (expand), s <n> (show results), b (backtrack), q (quit)")
+
+    print(
+        "\nSession cost: %.0f total — %d concepts examined, %d EXPANDs, "
+        "%d citations listed."
+        % (
+            session.total_cost,
+            session.ledger.concepts_revealed,
+            session.ledger.expand_actions,
+            session.ledger.citations_displayed,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

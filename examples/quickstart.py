@@ -1,0 +1,83 @@
+"""Quickstart: build a BioNav deployment and navigate a query result.
+
+Run with::
+
+    python examples/quickstart.py
+
+Materializes the Table I workload (synthetic MeSH-like hierarchy plus a
+simulated MEDLINE corpus), stands up the BioNav system, issues the
+paper's running-example query ("prothymosin"), and performs a few
+cost-optimal EXPAND actions, printing the interface state after each.
+"""
+
+from __future__ import annotations
+
+from repro import BioNav, build_workload
+from repro.viz.render import render_active_tree
+
+
+def main() -> None:
+    print("Building the workload (hierarchy + corpus + BioNav database)...")
+    workload = build_workload(hierarchy_size=2000)
+    bionav = BioNav(workload.database, workload.entrez)
+
+    query = bionav.search("prothymosin")
+    print(
+        "\nQuery %r returned %d citations, organized into a navigation tree "
+        "of %d concepts (%d attachments including duplicates)."
+        % (
+            query.keyword,
+            query.result_count,
+            query.tree.size(),
+            query.tree.citations_with_duplicates(),
+        )
+    )
+
+    session = query.session
+    print("\nInitial interface (only the root is shown):\n")
+    print(render_active_tree(session.active))
+
+    for step in range(1, 4):
+        outcome = session.expand(query.tree.root)
+        print(
+            "\nAfter EXPAND #%d on the root (%d concepts revealed):\n"
+            % (step, len(outcome.revealed))
+        )
+        print(render_active_tree(session.active))
+        if not session.active.is_expandable(query.tree.root):
+            break
+
+    # Drill into the biggest revealed component.
+    expandable = [
+        n for n in session.active.component_roots() if n != query.tree.root
+    ]
+    if expandable:
+        biggest = max(expandable, key=session.active.component_count)
+        outcome = session.expand(biggest)
+        print(
+            "\nAfter expanding %r (%d more concepts):\n"
+            % (query.tree.label(biggest), len(outcome.revealed))
+        )
+        print(render_active_tree(session.active))
+
+        pmids = session.show_results(biggest)
+        print("\nSHOWRESULTS on %r lists %d citations; first three:" % (
+            query.tree.label(biggest), len(pmids)))
+        for summary in bionav.summaries(pmids[:3]):
+            print("  [%d] %s (%s, %d)" % (
+                summary.pmid, summary.title, "; ".join(summary.authors[:2]), summary.year))
+
+    print(
+        "\nTotal user effort so far: %.0f "
+        "(%d concepts examined + %d EXPAND clicks + %d citations listed)"
+        % (
+            session.total_cost,
+            session.ledger.concepts_revealed,
+            session.ledger.expand_actions,
+            session.ledger.citations_displayed,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

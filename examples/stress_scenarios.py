@@ -1,0 +1,57 @@
+"""BioNav vs static navigation under stress corpus regimes.
+
+Run with::
+
+    python examples/stress_scenarios.py
+
+Materializes the four stress scenarios (deep narrow hierarchy, heavy
+duplication, near-zero target selectivity, tiny result set) and runs the
+headline comparison in each — a quick robustness read beyond the Table I
+defaults.
+"""
+
+from __future__ import annotations
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.simulator import navigate_to_target
+from repro.core.static_nav import StaticNavigation
+from repro.workload.scenarios import build_scenario, scenario_names
+
+
+def main() -> None:
+    header = "%-20s %7s %7s %9s %9s %8s" % (
+        "scenario", "cites", "tree", "static", "bionav", "improv",
+    )
+    print(header)
+    print("-" * len(header))
+    for name in scenario_names():
+        workload = build_scenario(name)
+        prepared = workload.prepare(workload.queries[0].spec.keyword)
+        static = navigate_to_target(
+            prepared.tree,
+            StaticNavigation(prepared.tree),
+            prepared.target_node,
+            show_results=False,
+        )
+        bionav = navigate_to_target(
+            prepared.tree,
+            HeuristicReducedOpt(prepared.tree, prepared.probs),
+            prepared.target_node,
+            show_results=False,
+        )
+        improvement = 1 - bionav.navigation_cost / static.navigation_cost
+        print(
+            "%-20s %7d %7d %9.0f %9.0f %7.0f%%"
+            % (
+                name,
+                len(prepared.pmids),
+                prepared.tree.size(),
+                static.navigation_cost,
+                bionav.navigation_cost,
+                100 * improvement,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

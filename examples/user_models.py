@@ -1,0 +1,83 @@
+"""User models beyond the omniscient navigator.
+
+Run with::
+
+    python examples/user_models.py
+
+Three studies on one workload query:
+
+1. **Fallible users** — wrong expansions followed by BACKTRACK, sweeping
+   the error rate, for both BioNav and static navigation;
+2. **Probabilistic users** — Monte-Carlo sampling of the paper's §III
+   TOPDOWN process, checked against the analytic expected-cost recursion;
+3. **Related citations** — the simulated ELink neighbors of a result
+   citation, via shared MeSH concepts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.evaluation import expected_strategy_cost
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.imperfect import navigate_with_errors
+from repro.core.montecarlo import estimate_expected_cost
+from repro.core.static_nav import StaticNavigation
+from repro.workload.builder import build_workload
+
+
+def main() -> None:
+    print("Materializing the workload...")
+    workload = build_workload(hierarchy_size=1500)
+    prepared = workload.prepare("prothymosin")
+    tree, probs, target = prepared.tree, prepared.probs, prepared.target_node
+
+    print("\n1. Fallible users (mean of 5 trials per error rate)")
+    print("   %-12s %10s %10s" % ("error rate", "static", "bionav"))
+    for rate in (0.0, 0.2, 0.4, 0.6):
+        costs = {"static": [], "bionav": []}
+        for trial in range(5):
+            rng = random.Random(100 * trial + int(rate * 10))
+            static = navigate_with_errors(
+                tree, StaticNavigation(tree), target, rate, rng
+            )
+            rng = random.Random(100 * trial + int(rate * 10))
+            bionav = navigate_with_errors(
+                tree, HeuristicReducedOpt(tree, probs), target, rate, rng
+            )
+            costs["static"].append(static.navigation_cost)
+            costs["bionav"].append(bionav.navigation_cost)
+        print(
+            "   %-12.1f %10.1f %10.1f"
+            % (
+                rate,
+                sum(costs["static"]) / 5,
+                sum(costs["bionav"]) / 5,
+            )
+        )
+
+    print("\n2. Probabilistic users (Monte-Carlo vs the analytic recursion)")
+    for name, strategy_factory in (
+        ("static", lambda: StaticNavigation(tree)),
+        ("bionav", lambda: HeuristicReducedOpt(tree, probs)),
+    ):
+        analytic = expected_strategy_cost(tree, probs, strategy_factory())
+        mean, stderr = estimate_expected_cost(
+            tree, probs, strategy_factory(), n_walks=150, seed=9
+        )
+        print(
+            "   %-8s analytic %8.2f   sampled %8.2f ± %.2f"
+            % (name, analytic, mean, stderr)
+        )
+
+    print("\n3. Related citations (simulated ELink)")
+    anchor = prepared.pmids[0]
+    related = workload.entrez.elink_related(anchor, retmax=5)
+    anchor_title = workload.medline.get(anchor).title
+    print("   anchor [%d] %s" % (anchor, anchor_title))
+    for pmid in related:
+        print("   ->     [%d] %s" % (pmid, workload.medline.get(pmid).title))
+
+
+if __name__ == "__main__":
+    main()

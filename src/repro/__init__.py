@@ -1,0 +1,86 @@
+"""BioNav reproduction (ICDE 2009).
+
+Cost-aware dynamic navigation of biomedical query results over a MeSH-like
+concept hierarchy: navigation trees, EdgeCut-based expansion, the TOPDOWN
+cost model, Opt-EdgeCut and Heuristic-ReducedOpt, plus every substrate the
+paper's system depends on (simulated MEDLINE, Entrez eutils, storage and
+search engines).
+
+Quickstart::
+
+    from repro import BioNav, build_workload
+
+    workload = build_workload()
+    bionav = BioNav(workload.database, workload.entrez)
+    query = bionav.search("prothymosin")
+    query.session.expand(query.tree.root)
+    for row in query.session.visualize():
+        print("  " * row.depth + row.label, row.count)
+"""
+
+from repro.bionav import BioNav, BioNavQuery
+from repro.core.active_tree import ActiveTree, VisNode
+from repro.core.cost_model import CostLedger, CostParams
+from repro.core.evaluation import expected_strategy_cost
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import BestCut, CutTree, OptEdgeCut
+from repro.core.paged_static import PagedStaticNavigation
+from repro.core.probabilities import ProbabilityModel
+from repro.core.relevance import ranked_visualization
+from repro.core.replay import SessionLog, record_session, replay_session
+from repro.core.session import NavigationSession
+from repro.core.simulator import NavigationOutcome, navigate_to_target
+from repro.core.static_nav import StaticNavigation
+from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.corpus.citation import Citation, DocSummary
+from repro.corpus.medline import MedlineDatabase
+from repro.eutils.client import EntrezClient
+from repro.hierarchy.concept import Concept, ConceptHierarchy
+from repro.hierarchy.generator import generate_hierarchy
+from repro.hierarchy.mesh import paper_fragment
+from repro.storage.database import BioNavDatabase
+from repro.workload.builder import Workload, build_workload
+from repro.workload.queries import TABLE_I_QUERIES, WorkloadQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveTree",
+    "BestCut",
+    "BioNav",
+    "BioNavDatabase",
+    "BioNavQuery",
+    "Citation",
+    "Concept",
+    "ConceptHierarchy",
+    "CostLedger",
+    "CostParams",
+    "CutDecision",
+    "CutTree",
+    "DocSummary",
+    "EntrezClient",
+    "ExpansionStrategy",
+    "HeuristicReducedOpt",
+    "MedlineDatabase",
+    "NavigationOutcome",
+    "NavigationSession",
+    "NavigationTree",
+    "OptEdgeCut",
+    "PagedStaticNavigation",
+    "ProbabilityModel",
+    "SessionLog",
+    "StaticNavigation",
+    "TABLE_I_QUERIES",
+    "VisNode",
+    "Workload",
+    "WorkloadQuery",
+    "build_workload",
+    "expected_strategy_cost",
+    "generate_hierarchy",
+    "navigate_to_target",
+    "paper_fragment",
+    "ranked_visualization",
+    "record_session",
+    "replay_session",
+]

@@ -1,0 +1,20 @@
+"""Statistical analysis of experiment results."""
+
+from repro.analysis.runtime import ExponentialFit, fit_exponential
+from repro.analysis.significance import (
+    ImprovementSummary,
+    paired_bootstrap_ci,
+    sign_test,
+    summarize_improvements,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "ExponentialFit",
+    "ImprovementSummary",
+    "fit_exponential",
+    "paired_bootstrap_ci",
+    "sign_test",
+    "summarize_improvements",
+    "wilcoxon_signed_rank",
+]

@@ -1,0 +1,148 @@
+"""Statistical treatment of the navigation-cost comparisons.
+
+The paper reports per-query costs and an average improvement; a modern
+evaluation would add uncertainty: is BioNav's win significant over the
+10-query workload, and what is the confidence interval on the average
+improvement?  This module provides the paired tests the benchmark
+summaries use:
+
+* :func:`paired_bootstrap_ci` — bootstrap confidence interval on the mean
+  per-query improvement ``1 − bionav/static``;
+* :func:`wilcoxon_signed_rank` — the standard nonparametric paired test
+  on the cost differences (via scipy);
+* :func:`sign_test` — the distribution-free fallback (exact binomial).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "ImprovementSummary",
+    "paired_bootstrap_ci",
+    "wilcoxon_signed_rank",
+    "sign_test",
+    "summarize_improvements",
+]
+
+
+@dataclass(frozen=True)
+class ImprovementSummary:
+    """Uncertainty-aware summary of a paired cost comparison.
+
+    Attributes:
+        mean_improvement: mean of ``1 − treatment/baseline`` per pair.
+        ci_low, ci_high: bootstrap confidence interval on that mean.
+        wilcoxon_p: Wilcoxon signed-rank p-value on the cost differences.
+        sign_p: exact sign-test p-value (one-sided, treatment < baseline).
+        n_pairs: number of (baseline, treatment) pairs.
+    """
+
+    mean_improvement: float
+    ci_low: float
+    ci_high: float
+    wilcoxon_p: float
+    sign_p: float
+    n_pairs: int
+
+
+def paired_bootstrap_ci(
+    baseline: Sequence[float],
+    treatment: Sequence[float],
+    n_resamples: int = 5000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Bootstrap CI on the mean per-pair improvement.
+
+    Returns (mean, low, high).
+
+    Raises:
+        ValueError: mismatched lengths, empty input, non-positive baseline
+            costs, or a confidence outside (0, 1).
+    """
+    _validate_pairs(baseline, treatment)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    improvements = [
+        1.0 - t / b for b, t in zip(baseline, treatment)
+    ]
+    n = len(improvements)
+    mean = sum(improvements) / n
+    rng = random.Random(seed)
+    resampled = []
+    for _ in range(n_resamples):
+        sample = [improvements[rng.randrange(n)] for _ in range(n)]
+        resampled.append(sum(sample) / n)
+    resampled.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low = resampled[int(alpha * n_resamples)]
+    high = resampled[min(int((1.0 - alpha) * n_resamples), n_resamples - 1)]
+    return mean, low, high
+
+
+def wilcoxon_signed_rank(
+    baseline: Sequence[float], treatment: Sequence[float]
+) -> float:
+    """Wilcoxon signed-rank p-value that treatment costs less (one-sided).
+
+    Delegates to scipy; pairs with zero difference are dropped (the
+    standard treatment).  Returns 1.0 when fewer than 2 nonzero pairs
+    remain.
+    """
+    _validate_pairs(baseline, treatment)
+    differences = [b - t for b, t in zip(baseline, treatment) if b != t]
+    if len(differences) < 2:
+        return 1.0
+    from scipy import stats
+
+    result = stats.wilcoxon(differences, alternative="greater")
+    return float(result.pvalue)
+
+
+def sign_test(baseline: Sequence[float], treatment: Sequence[float]) -> float:
+    """Exact one-sided sign test that treatment beats baseline.
+
+    P(observing ≥ k wins out of n informative pairs | p = 1/2), computed
+    from the binomial tail — no distributional assumptions at all.
+    """
+    _validate_pairs(baseline, treatment)
+    wins = sum(1 for b, t in zip(baseline, treatment) if t < b)
+    losses = sum(1 for b, t in zip(baseline, treatment) if t > b)
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    tail = sum(math.comb(n, k) for k in range(wins, n + 1))
+    return tail / (2.0 ** n)
+
+
+def summarize_improvements(
+    baseline: Sequence[float],
+    treatment: Sequence[float],
+    n_resamples: int = 5000,
+    seed: int = 0,
+) -> ImprovementSummary:
+    """Full paired summary: bootstrap CI plus both significance tests."""
+    mean, low, high = paired_bootstrap_ci(
+        baseline, treatment, n_resamples=n_resamples, seed=seed
+    )
+    return ImprovementSummary(
+        mean_improvement=mean,
+        ci_low=low,
+        ci_high=high,
+        wilcoxon_p=wilcoxon_signed_rank(baseline, treatment),
+        sign_p=sign_test(baseline, treatment),
+        n_pairs=len(baseline),
+    )
+
+
+def _validate_pairs(baseline: Sequence[float], treatment: Sequence[float]) -> None:
+    if len(baseline) != len(treatment):
+        raise ValueError("baseline and treatment must pair up")
+    if not baseline:
+        raise ValueError("need at least one pair")
+    if any(b <= 0 for b in baseline):
+        raise ValueError("baseline costs must be positive")

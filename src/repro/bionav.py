@@ -1,0 +1,128 @@
+"""The BioNav system facade (paper §VII, Fig. 7).
+
+Ties the off-line and on-line halves together:
+
+* **Off-line**: :meth:`BioNav.build` populates the BioNav database from a
+  concept hierarchy and a MEDLINE snapshot (associations, denormalized
+  table, MEDLINE-wide concept counts, keyword index).
+* **On-line**: :meth:`BioNav.search` resolves a keyword query through the
+  (simulated) Entrez ESearch to citation IDs, constructs the navigation
+  tree from the stored associations, and returns a
+  :class:`~repro.core.session.NavigationSession` driven by the requested
+  expansion strategy — ``Heuristic-ReducedOpt`` by default, exactly as the
+  deployed system's Navigation Subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.corpus.citation import DocSummary
+from repro.corpus.medline import MedlineDatabase
+from repro.core.cost_model import CostParams
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.core.session import NavigationSession
+from repro.core.static_nav import StaticNavigation
+from repro.core.strategy import ExpansionStrategy
+from repro.eutils.client import EntrezClient
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.storage.database import BioNavDatabase
+
+__all__ = ["BioNavQuery", "BioNav"]
+
+STRATEGY_NAMES = ("heuristic", "static")
+
+
+@dataclass
+class BioNavQuery:
+    """One resolved query: result IDs, navigation tree, and session."""
+
+    keyword: str
+    pmids: Tuple[int, ...]
+    tree: NavigationTree
+    probs: ProbabilityModel
+    session: NavigationSession
+
+    @property
+    def result_count(self) -> int:
+        """Number of citations in the query result."""
+        return len(self.pmids)
+
+
+class BioNav:
+    """End-to-end BioNav: database + eutils + navigation subsystem."""
+
+    def __init__(
+        self,
+        database: BioNavDatabase,
+        entrez: EntrezClient,
+        max_reduced_nodes: int = 10,
+        params: Optional[CostParams] = None,
+    ):
+        self.database = database
+        self.entrez = entrez
+        self.max_reduced_nodes = max_reduced_nodes
+        self.params = params or CostParams()
+
+    @classmethod
+    def build(
+        cls,
+        hierarchy: ConceptHierarchy,
+        medline: MedlineDatabase,
+        max_reduced_nodes: int = 10,
+        params: Optional[CostParams] = None,
+    ) -> "BioNav":
+        """Run the off-line pre-processing and stand up the on-line system."""
+        database = BioNavDatabase.build(hierarchy, medline)
+        entrez = EntrezClient(medline)
+        return cls(database, entrez, max_reduced_nodes=max_reduced_nodes, params=params)
+
+    # ------------------------------------------------------------------
+    # On-line operation
+    # ------------------------------------------------------------------
+    def search(self, keyword: str, strategy: str = "heuristic") -> BioNavQuery:
+        """Resolve a keyword query and open a navigation session.
+
+        Args:
+            keyword: the user's query.
+            strategy: ``"heuristic"`` (BioNav, the default) or ``"static"``
+                (the GoPubMed-style baseline).
+
+        Raises:
+            ValueError: unknown strategy name.
+        """
+        pmids = tuple(self.entrez.esearch_all(keyword))
+        tree = self._navigation_tree(pmids)
+        probs = ProbabilityModel(tree, self.database.medline_count)
+        chosen = self._make_strategy(strategy, tree, probs)
+        session = NavigationSession(tree, chosen, params=self.params)
+        return BioNavQuery(
+            keyword=keyword, pmids=pmids, tree=tree, probs=probs, session=session
+        )
+
+    def summaries(self, pmids: Sequence[int]) -> List[DocSummary]:
+        """SHOWRESULTS display records, via the (simulated) ESummary."""
+        if not pmids:
+            return []
+        return self.entrez.esummary(pmids)
+
+    # ------------------------------------------------------------------
+    def _navigation_tree(self, pmids: Sequence[int]) -> NavigationTree:
+        annotations = self.database.annotations_for_result(pmids)
+        return NavigationTree.build(self.database.hierarchy, annotations)
+
+    def _make_strategy(
+        self, name: str, tree: NavigationTree, probs: ProbabilityModel
+    ) -> ExpansionStrategy:
+        if name == "heuristic":
+            return HeuristicReducedOpt(
+                tree, probs, max_reduced_nodes=self.max_reduced_nodes, params=self.params
+            )
+        if name == "static":
+            return StaticNavigation(tree)
+        raise ValueError(
+            "unknown strategy %r (expected one of %s)" % (name, ", ".join(STRATEGY_NAMES))
+        )

@@ -1,0 +1,31 @@
+"""NP-completeness artifacts: MES, TED, and the Theorem 1 reduction."""
+
+from repro.complexity.mes import MESInstance, mes_best_subset, mes_decision, mes_optimum
+from repro.complexity.opt_ted import TEDSolution, ted_cost_curve, ted_optimal_cut
+from repro.complexity.reduction import cut_to_subset, mes_to_ted, subset_to_cut, ted_subtree_count_for_k
+from repro.complexity.ted import (
+    ElementTree,
+    duplicates_in_subtrees,
+    ted_best_duplicates,
+    ted_decision,
+    ted_expected_cost,
+)
+
+__all__ = [
+    "ElementTree",
+    "MESInstance",
+    "TEDSolution",
+    "cut_to_subset",
+    "duplicates_in_subtrees",
+    "mes_best_subset",
+    "mes_decision",
+    "mes_optimum",
+    "mes_to_ted",
+    "subset_to_cut",
+    "ted_best_duplicates",
+    "ted_cost_curve",
+    "ted_decision",
+    "ted_optimal_cut",
+    "ted_expected_cost",
+    "ted_subtree_count_for_k",
+]

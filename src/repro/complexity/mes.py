@@ -1,0 +1,90 @@
+"""MAXIMUM EDGE SUBGRAPH (MES) — the known NP-complete source problem.
+
+Decision form (paper §V): given a graph ``G = (V, E)``, an edge weight
+function ``w : E → N`` and a positive integer ``k``, is there a subset
+``V' ⊆ V`` with ``|V'| = k`` such that the total weight of edges with both
+endpoints in ``V'`` is at least ``W``?
+
+This module provides the instance type plus exact brute-force solvers,
+used to validate the MES → TED reduction of Theorem 1 on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+__all__ = ["MESInstance", "mes_optimum", "mes_decision", "mes_best_subset"]
+
+
+@dataclass(frozen=True)
+class MESInstance:
+    """One MES instance.
+
+    Attributes:
+        vertices: vertex identifiers.
+        weights: undirected edge → positive integer weight, keyed by a
+            frozenset of the two endpoints.
+    """
+
+    vertices: Tuple[int, ...]
+    weights: Dict[FrozenSet[int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        vertex_set = set(self.vertices)
+        if len(vertex_set) != len(self.vertices):
+            raise ValueError("duplicate vertices")
+        for edge, weight in self.weights.items():
+            if len(edge) != 2:
+                raise ValueError("edges must join two distinct vertices: %r" % (edge,))
+            if not edge <= vertex_set:
+                raise ValueError("edge %r references unknown vertices" % (edge,))
+            if weight <= 0:
+                raise ValueError("edge weights must be positive integers")
+
+    @classmethod
+    def from_edges(
+        cls, vertices: Iterable[int], edges: Iterable[Tuple[int, int, int]]
+    ) -> "MESInstance":
+        """Build from (u, v, weight) triples; parallel edges merge weights."""
+        weights: Dict[FrozenSet[int], int] = {}
+        for u, v, weight in edges:
+            key = frozenset((u, v))
+            weights[key] = weights.get(key, 0) + weight
+        return cls(vertices=tuple(vertices), weights=weights)
+
+    def subset_weight(self, subset: Iterable[int]) -> int:
+        """Total weight of edges with both endpoints in ``subset``."""
+        chosen = set(subset)
+        return sum(
+            weight for edge, weight in self.weights.items() if edge <= chosen
+        )
+
+
+def mes_best_subset(instance: MESInstance, k: int) -> Tuple[Set[int], int]:
+    """Exhaustively find a k-subset maximizing internal edge weight.
+
+    Returns (subset, weight).  Exponential in |V|; intended for the small
+    instances used to validate the reduction.
+    """
+    if not 0 <= k <= len(instance.vertices):
+        raise ValueError("k out of range")
+    best_weight = -1
+    best_subset: Set[int] = set()
+    for subset in itertools.combinations(instance.vertices, k):
+        weight = instance.subset_weight(subset)
+        if weight > best_weight:
+            best_weight = weight
+            best_subset = set(subset)
+    return best_subset, max(best_weight, 0)
+
+
+def mes_optimum(instance: MESInstance, k: int) -> int:
+    """Maximum internal edge weight over all k-subsets."""
+    return mes_best_subset(instance, k)[1]
+
+
+def mes_decision(instance: MESInstance, k: int, target_weight: int) -> bool:
+    """The MES decision problem: does a k-subset of weight ≥ W exist?"""
+    return mes_optimum(instance, k) >= target_weight

@@ -1,0 +1,94 @@
+"""The MES → TED reduction of Theorem 1 (paper §V).
+
+Mapping: for an MES instance over vertices ``V`` with edge weights ``w``,
+build a star-shaped element tree — an empty root with one child per
+vertex.  For each edge ``(u, v)`` of weight ``w``, mint ``w`` fresh
+elements and place one copy in ``u``'s node and one in ``v``'s node.  Then:
+
+* choosing a k-subset ``V'`` in MES with internal weight ≥ W corresponds to
+* the valid EdgeCut severing the leaves *outside* ``V'``, creating
+  ``|V| - k + 1`` subtrees (the upper subtree keeps the root and the
+  chosen leaves) whose intra-subtree duplicate count is exactly the
+  internal edge weight of ``V'``.
+
+The helpers below build the TED instance, translate solutions both ways,
+and verify the correspondence — exercised by unit and property tests as an
+executable proof artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.complexity.mes import MESInstance
+from repro.complexity.ted import ElementTree, ted_best_duplicates
+
+__all__ = [
+    "mes_to_ted",
+    "subset_to_cut",
+    "cut_to_subset",
+    "ted_subtree_count_for_k",
+]
+
+
+def mes_to_ted(instance: MESInstance) -> Tuple[ElementTree, Dict[int, int]]:
+    """Build the TED element tree for an MES instance.
+
+    Returns the tree plus a mapping vertex → tree node index (leaves are
+    children of the empty root, one per vertex, in ``instance.vertices``
+    order).
+    """
+    vertex_node: Dict[int, int] = {}
+    parents: List[int] = [-1]
+    elements: List[List[object]] = [[]]
+    for vertex in instance.vertices:
+        vertex_node[vertex] = len(parents)
+        parents.append(0)
+        elements.append([])
+    for edge, weight in sorted(
+        instance.weights.items(), key=lambda item: tuple(sorted(item[0]))
+    ):
+        u, v = sorted(edge)
+        for copy in range(weight):
+            element = ("e", u, v, copy)
+            elements[vertex_node[u]].append(element)
+            elements[vertex_node[v]].append(element)
+    return ElementTree(parents, elements), vertex_node
+
+
+def subset_to_cut(
+    instance: MESInstance, vertex_node: Dict[int, int], subset: Set[int]
+) -> Tuple[Tuple[int, int], ...]:
+    """MES solution → TED EdgeCut: sever every leaf outside the subset."""
+    unknown = subset - set(instance.vertices)
+    if unknown:
+        raise ValueError("subset contains unknown vertices: %r" % sorted(unknown))
+    return tuple(
+        (0, vertex_node[vertex])
+        for vertex in instance.vertices
+        if vertex not in subset
+    )
+
+
+def cut_to_subset(
+    instance: MESInstance, vertex_node: Dict[int, int], cut: Sequence[Tuple[int, int]]
+) -> Set[int]:
+    """TED EdgeCut → MES solution: vertices whose leaves stay in the upper tree."""
+    node_vertex = {node: vertex for vertex, node in vertex_node.items()}
+    severed = set()
+    for parent, child in cut:
+        if parent != 0 or child not in node_vertex:
+            raise ValueError("cut edge %r is not a root-to-leaf star edge" % ((parent, child),))
+        severed.add(node_vertex[child])
+    return set(instance.vertices) - severed
+
+
+def ted_subtree_count_for_k(instance: MESInstance, k: int) -> int:
+    """The TED subtree count corresponding to choosing k MES vertices.
+
+    Severing ``|V| - k`` leaves creates that many lower subtrees plus the
+    upper subtree.
+    """
+    if not 0 <= k <= len(instance.vertices):
+        raise ValueError("k out of range")
+    return len(instance.vertices) - k + 1

@@ -1,0 +1,168 @@
+"""TOPDOWN-EXHAUSTIVE Decision (TED) — the paper's NP-complete problem.
+
+In the TOPDOWN-EXHAUSTIVE navigation model (paper §V), BioNav performs one
+EdgeCut on the root's component and the user then picks one of the created
+component subtrees uniformly at random and runs SHOWRESULTS.  Minimizing
+the expected cost requires simultaneously keeping the number of subtrees
+small and concentrating *duplicate* elements inside subtrees.  The
+associated decision problem:
+
+    Given a navigation tree whose nodes hold (multi)sets of elements and
+    integers ``s`` and ``d`` — is there a valid EdgeCut creating exactly
+    ``s`` subtrees (upper included) whose total intra-subtree duplicate
+    count is at least ``d``?
+
+This module implements element trees, the duplicate count, a brute-force
+exact solver, and the expected TOPDOWN-EXHAUSTIVE navigation cost the
+paper derives (``s + D(T)/s`` where ``D(T)`` is total element mass minus
+duplicates gathered inside subtrees, averaged over the random pick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ElementTree",
+    "duplicates_in_subtrees",
+    "ted_best_duplicates",
+    "ted_decision",
+    "ted_expected_cost",
+]
+
+Edge = Tuple[int, int]
+
+
+class ElementTree:
+    """A rooted tree whose nodes carry element multisets.
+
+    Node 0 is the root.  Elements are arbitrary hashables; a node may hold
+    the same element several times (the proof's simplifying assumption).
+    """
+
+    def __init__(self, parents: Sequence[int], elements: Sequence[Sequence[object]]):
+        """
+        Args:
+            parents: parent index per node; ``parents[0]`` must be -1 and
+                every other parent must precede its child.
+            elements: element list per node (duplicates allowed).
+        """
+        if len(parents) != len(elements):
+            raise ValueError("parents and elements lengths disagree")
+        if not parents or parents[0] != -1:
+            raise ValueError("node 0 must be the root with parent -1")
+        for node, parent in enumerate(parents):
+            if node == 0:
+                continue
+            if not 0 <= parent < node:
+                raise ValueError("parents must precede children (node %d)" % node)
+        self.parents = list(parents)
+        self.elements = [list(e) for e in elements]
+        self.children: List[List[int]] = [[] for _ in parents]
+        for node, parent in enumerate(parents):
+            if parent >= 0:
+                self.children[parent].append(node)
+
+    def __len__(self) -> int:
+        return len(self.parents)
+
+    def subtree(self, node: int) -> List[int]:
+        """Node indices of the subtree rooted at ``node``."""
+        collected: List[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            collected.append(current)
+            stack.extend(self.children[current])
+        return collected
+
+    def edges(self) -> List[Edge]:
+        """All (parent, child) edges of the tree."""
+        return [(self.parents[n], n) for n in range(1, len(self.parents))]
+
+    def total_elements(self) -> int:
+        """Total element mass, multiplicity included."""
+        return sum(len(e) for e in self.elements)
+
+    def enumerate_valid_cuts(self) -> List[Tuple[Edge, ...]]:
+        """All valid EdgeCuts (antichains of edges), the empty cut included."""
+
+        def cuts_below(node: int) -> List[List[Edge]]:
+            options_per_child: List[List[List[Edge]]] = []
+            for child in self.children[node]:
+                child_options: List[List[Edge]] = [[(node, child)]]
+                child_options.extend(cuts_below(child))
+                options_per_child.append(child_options)
+            combos: List[List[Edge]] = [[]]
+            for child_options in options_per_child:
+                combos = [base + extra for base in combos for extra in child_options]
+            return combos
+
+        return [tuple(cut) for cut in cuts_below(0)]
+
+    def cut_subtrees(self, cut: Sequence[Edge]) -> List[List[int]]:
+        """Node lists of the components a valid cut creates (upper first)."""
+        removed: Set[int] = set()
+        lowers: List[List[int]] = []
+        for _, child in cut:
+            lower = self.subtree(child)
+            if removed & set(lower):
+                raise ValueError("invalid EdgeCut: edges share a path")
+            removed.update(lower)
+            lowers.append(lower)
+        upper = [n for n in range(len(self.parents)) if n not in removed]
+        return [upper] + lowers
+
+
+def duplicates_in_subtrees(tree: ElementTree, subtrees: Iterable[Iterable[int]]) -> int:
+    """Total duplicate count across subtrees.
+
+    Within one subtree, an element appearing m times counts as m-1
+    duplicates (the paper's convention).
+    """
+    total = 0
+    for subtree in subtrees:
+        counts: Dict[object, int] = {}
+        for node in subtree:
+            for element in tree.elements[node]:
+                counts[element] = counts.get(element, 0) + 1
+        total += sum(m - 1 for m in counts.values())
+    return total
+
+
+def ted_best_duplicates(tree: ElementTree, n_subtrees: int) -> Optional[int]:
+    """Maximum intra-subtree duplicates over valid cuts making ``n_subtrees``.
+
+    Returns None when no valid cut produces exactly that many subtrees.
+    Exponential; for validating the Theorem 1 reduction on small trees.
+    """
+    if n_subtrees < 1:
+        raise ValueError("n_subtrees must be at least 1")
+    best: Optional[int] = None
+    for cut in tree.enumerate_valid_cuts():
+        if len(cut) + 1 != n_subtrees:
+            continue
+        duplicates = duplicates_in_subtrees(tree, tree.cut_subtrees(cut))
+        if best is None or duplicates > best:
+            best = duplicates
+    return best
+
+
+def ted_decision(tree: ElementTree, n_subtrees: int, min_duplicates: int) -> bool:
+    """The TED decision problem for one (s, d) pair."""
+    best = ted_best_duplicates(tree, n_subtrees)
+    return best is not None and best >= min_duplicates
+
+
+def ted_expected_cost(tree: ElementTree, cut: Sequence[Edge]) -> float:
+    """Expected TOPDOWN-EXHAUSTIVE cost of one cut (paper §V).
+
+    The user reads the ``s`` subtree root labels, then SHOWRESULTS on one
+    subtree chosen uniformly at random; the expected listing length is the
+    average distinct-count over subtrees, i.e. ``(|elements| - duplicates)/s``.
+    """
+    subtrees = tree.cut_subtrees(cut)
+    s = len(subtrees)
+    duplicates = duplicates_in_subtrees(tree, subtrees)
+    return s + (tree.total_elements() - duplicates) / s

@@ -1,0 +1,76 @@
+"""The paper's contribution: navigation trees, EdgeCuts, cost model, algorithms."""
+
+from repro.core.active_tree import ActiveTree, VisNode
+from repro.core.cost_model import CostLedger, CostParams
+from repro.core.edgecut import component_edges, cut_components, is_valid_edgecut
+from repro.core.duplication import (
+    DuplicationStats,
+    cut_duplication,
+    group_stats,
+    least_overlapping_groups,
+    tree_duplication,
+)
+from repro.core.evaluation import expected_strategy_cost
+from repro.core.explain import CutAlternative, ExpansionExplanation, explain_expansion
+from repro.core.gopubmed import GoPubMedNavigation
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.imperfect import ImperfectOutcome, navigate_with_errors
+from repro.core.montecarlo import WalkOutcome, estimate_expected_cost, sample_walk
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import BestCut, CutTree, OptEdgeCut
+from repro.core.paged_static import PagedStaticNavigation
+from repro.core.partition import k_partition, partition_with_limit
+from repro.core.probabilities import ProbabilityModel
+from repro.core.relevance import ranked_visualization, relevance_of
+from repro.core.replay import SessionLog, record_session, replay_session
+from repro.core.session import ExpandOutcome, NavigationSession
+from repro.core.simulator import ExpandRecord, NavigationOutcome, navigate_to_target
+from repro.core.static_nav import StaticNavigation
+from repro.core.strategy import CutDecision, ExpansionStrategy
+
+__all__ = [
+    "ActiveTree",
+    "BestCut",
+    "CostLedger",
+    "CostParams",
+    "CutAlternative",
+    "CutDecision",
+    "DuplicationStats",
+    "CutTree",
+    "ExpandOutcome",
+    "ExpansionExplanation",
+    "ExpandRecord",
+    "ExpansionStrategy",
+    "GoPubMedNavigation",
+    "HeuristicReducedOpt",
+    "ImperfectOutcome",
+    "NavigationOutcome",
+    "NavigationSession",
+    "NavigationTree",
+    "PagedStaticNavigation",
+    "OptEdgeCut",
+    "ProbabilityModel",
+    "SessionLog",
+    "StaticNavigation",
+    "VisNode",
+    "WalkOutcome",
+    "component_edges",
+    "cut_components",
+    "cut_duplication",
+    "estimate_expected_cost",
+    "expected_strategy_cost",
+    "explain_expansion",
+    "group_stats",
+    "is_valid_edgecut",
+    "k_partition",
+    "least_overlapping_groups",
+    "navigate_to_target",
+    "navigate_with_errors",
+    "ranked_visualization",
+    "record_session",
+    "sample_walk",
+    "relevance_of",
+    "replay_session",
+    "partition_with_limit",
+    "tree_duplication",
+]

@@ -1,0 +1,111 @@
+"""EdgeCuts over navigation-tree components (paper §II, Definition 3).
+
+An EdgeCut of a tree is any set of its edges; removing them splits the tree
+into one *upper* component (containing the root) and one *lower* component
+per cut edge.  A cut is **valid** when no two of its edges lie on the same
+root-to-leaf path — invalid cuts would reveal a node together with one of
+its descendants as siblings, which the paper rules out as unintuitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.navigation_tree import NavigationTree
+
+__all__ = [
+    "is_valid_edgecut",
+    "cut_components",
+    "component_edges",
+    "component_children",
+]
+
+Edge = Tuple[int, int]
+
+
+def component_edges(tree: NavigationTree, component: FrozenSet[int]) -> List[Edge]:
+    """Navigation-tree edges with both endpoints inside ``component``."""
+    return [
+        (node, child)
+        for node in component
+        for child in tree.children(node)
+        if child in component
+    ]
+
+
+def component_children(
+    tree: NavigationTree, component: FrozenSet[int], node: int
+) -> List[int]:
+    """Children of ``node`` that lie within ``component``."""
+    return [child for child in tree.children(node) if child in component]
+
+
+def is_valid_edgecut(
+    tree: NavigationTree, component: FrozenSet[int], edges: Iterable[Edge]
+) -> bool:
+    """Check Definition 3 for a cut of the component subtree.
+
+    Requirements:
+      * every edge is an edge of the component subtree, and
+      * no cut edge's child endpoint is an ancestor of another cut edge's
+        child endpoint (which is equivalent to no two edges sharing a
+        root-to-leaf path).
+    """
+    edge_list = list(edges)
+    child_endpoints: List[int] = []
+    for parent, child in edge_list:
+        if parent not in component or child not in component:
+            return False
+        if tree.parent(child) != parent:
+            return False
+        child_endpoints.append(child)
+    if len(set(child_endpoints)) != len(child_endpoints):
+        return False
+    for i, a in enumerate(child_endpoints):
+        for b in child_endpoints[i + 1 :]:
+            if tree.is_tree_ancestor(a, b) or tree.is_tree_ancestor(b, a):
+                return False
+    return True
+
+
+def cut_components(
+    tree: NavigationTree,
+    component: FrozenSet[int],
+    root: int,
+    edges: Sequence[Edge],
+) -> Tuple[FrozenSet[int], Dict[int, FrozenSet[int]]]:
+    """Apply a valid EdgeCut and return (upper, {lower_root: lower_nodes}).
+
+    The lower component of a cut edge (p, c) is the component-subtree
+    rooted at c; the upper component is everything else and keeps ``root``.
+
+    Raises:
+        ValueError: if the cut is not a valid EdgeCut of the component.
+    """
+    if not is_valid_edgecut(tree, component, edges):
+        raise ValueError("not a valid EdgeCut of this component: %r" % (edges,))
+    lowers: Dict[int, FrozenSet[int]] = {}
+    removed: Set[int] = set()
+    for _, child in edges:
+        lower = _restricted_subtree(tree, component, child)
+        lowers[child] = lower
+        removed.update(lower)
+    upper = frozenset(component - removed)
+    if root not in upper:
+        raise ValueError("cut would remove the component root")
+    return upper, lowers
+
+
+def _restricted_subtree(
+    tree: NavigationTree, component: FrozenSet[int], node: int
+) -> FrozenSet[int]:
+    """Nodes of the component subtree rooted at ``node``."""
+    collected: Set[int] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        collected.add(current)
+        for child in tree.children(current):
+            if child in component:
+                stack.append(child)
+    return frozenset(collected)

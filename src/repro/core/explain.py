@@ -1,0 +1,125 @@
+"""Explanation of EXPAND decisions.
+
+Why did BioNav reveal *these* concepts?  The optimizer's choice is an
+argmin over valid EdgeCuts of the reduced tree; this module re-runs that
+comparison transparently and reports the top alternatives with their
+expansion terms, the revealed concepts each would surface, and the margin
+to the winner — the information a curious user (or a debugging developer)
+needs to audit a cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.cost_model import CostParams
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import CutTree, OptEdgeCut
+from repro.core.probabilities import ProbabilityModel
+
+__all__ = ["CutAlternative", "ExpansionExplanation", "explain_expansion"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CutAlternative:
+    """One candidate EdgeCut and its score.
+
+    Attributes:
+        cut: original-tree edges the candidate would sever.
+        revealed_labels: labels of the concepts it would reveal.
+        expansion_term: the cost term the optimizer minimizes.
+        margin: excess over the winning cut's term (0 for the winner).
+    """
+
+    cut: Tuple[Edge, ...]
+    revealed_labels: Tuple[str, ...]
+    expansion_term: float
+    margin: float
+
+
+@dataclass(frozen=True)
+class ExpansionExplanation:
+    """The audited decision for one component expansion.
+
+    Attributes:
+        chosen: the winning alternative (margin 0).
+        alternatives: the top runner-up cuts, ascending by term.
+        reduced_size: supernode count of the tree the comparison ran on.
+        explore_probability: pE of the expanded component (within the
+            whole tree's normalization).
+        expand_probability: pX of the expanded component.
+    """
+
+    chosen: CutAlternative
+    alternatives: Tuple[CutAlternative, ...]
+    reduced_size: int
+    explore_probability: float
+    expand_probability: float
+
+
+def explain_expansion(
+    tree: NavigationTree,
+    probs: ProbabilityModel,
+    component: FrozenSet[int],
+    root: int,
+    top_k: int = 5,
+    max_reduced_nodes: int = 10,
+    params: Optional[CostParams] = None,
+) -> ExpansionExplanation:
+    """Audit the Heuristic-ReducedOpt decision for one component.
+
+    Re-builds the (possibly reduced) CutTree the heuristic would use,
+    scores **every** valid EdgeCut with the optimizer's expansion term,
+    and returns the winner plus the ``top_k`` closest alternatives.
+
+    Raises:
+        ValueError: for singleton components (nothing to expand).
+    """
+    if len(component) <= 1:
+        raise ValueError("singleton components have no expansion to explain")
+    params = params or CostParams()
+    heuristic = HeuristicReducedOpt(
+        tree, probs, max_reduced_nodes=max_reduced_nodes, params=params
+    )
+    if len(component) <= max_reduced_nodes:
+        cut_tree = CutTree.from_component(tree, probs, component, root)
+        to_original = {i: (payload, payload) for i, payload in enumerate(cut_tree.payload)}
+    else:
+        cut_tree, part_roots = heuristic._reduce(component, root)
+        to_original = {
+            i: (part_roots[i], part_roots[i]) for i in range(len(cut_tree))
+        }
+    solver = OptEdgeCut(cut_tree, probs, params)
+    full = frozenset(range(len(cut_tree)))
+    scored: List[Tuple[float, Tuple[Edge, ...], Tuple[str, ...]]] = []
+    for cut in solver._enumerate_cuts(0, full):
+        if not cut:
+            continue
+        term = solver._expansion_term(full, 0, cut)
+        original_cut = tuple(
+            (tree.parent(to_original[c][0]), to_original[c][0]) for _, c in cut
+        )
+        labels = tuple(tree.label(child) for _, child in original_cut)
+        scored.append((term, original_cut, labels))
+    scored.sort(key=lambda item: item[0])
+    best_term = scored[0][0]
+    alternatives = tuple(
+        CutAlternative(
+            cut=cut,
+            revealed_labels=labels,
+            expansion_term=term,
+            margin=term - best_term,
+        )
+        for term, cut, labels in scored[: top_k + 1]
+    )
+    return ExpansionExplanation(
+        chosen=alternatives[0],
+        alternatives=alternatives[1:],
+        reduced_size=len(cut_tree),
+        explore_probability=probs.explore(component),
+        expand_probability=probs.expand(component, root),
+    )

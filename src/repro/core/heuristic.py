@@ -1,0 +1,197 @@
+"""Heuristic-ReducedOpt (paper §VI-B).
+
+Opt-EdgeCut is exponential, so BioNav never runs it on raw component
+subtrees (thousands of nodes for real queries).  Instead, for each EXPAND:
+
+1. the component subtree is partitioned into at most N contiguous
+   supernodes with the bottom-up k-partition algorithm (node weight
+   |L(n)|, threshold δ = W/N grown geometrically until ≤ N parts),
+2. the reduced supernode tree — each supernode carrying the union of its
+   members' citations and the sum of their EXPLORE mass — is solved
+   exactly with Opt-EdgeCut, and
+3. the winning reduced cut is mapped back: cutting the reduced edge into
+   supernode P cuts the original edge above P's root concept.
+
+Components already at or below N nodes skip the reduction and are solved
+exactly.  The paper uses N = 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.active_tree import ActiveTree
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import BestCut, CutTree, OptEdgeCut
+from repro.core.partition import partition_with_limit
+from repro.core.probabilities import ProbabilityModel
+from repro.core.strategy import CutDecision, ExpansionStrategy
+
+__all__ = ["HeuristicReducedOpt"]
+
+Edge = Tuple[int, int]
+
+
+class HeuristicReducedOpt(ExpansionStrategy):
+    """BioNav's production EXPAND strategy."""
+
+    name = "heuristic-reducedopt"
+
+    def __init__(
+        self,
+        tree: NavigationTree,
+        probs: ProbabilityModel,
+        max_reduced_nodes: int = 10,
+        params: Optional[CostParams] = None,
+        reuse_memo: bool = True,
+    ):
+        """
+        Args:
+            tree: the query's navigation tree.
+            probs: its probability model.
+            max_reduced_nodes: N, the largest tree Opt-EdgeCut may see.
+            params: cost-model unit costs.
+            reuse_memo: harvest Opt-EdgeCut's per-component memo so later
+                EXPANDs on sub-components are answered from cache (the
+                paper's §VI-B reuse).  Cached decisions keep the EXPLORE
+                normalization of the solve that produced them; disable to
+                re-normalize every component independently instead.
+        """
+        if max_reduced_nodes < 2:
+            raise ValueError("max_reduced_nodes must be at least 2")
+        self.tree = tree
+        self.probs = probs
+        self.max_reduced_nodes = max_reduced_nodes
+        self.params = params or CostParams()
+        self.last_reduced_size = 0
+        # Once Opt-EdgeCut runs on a component, the best cuts of every
+        # sub-component it can produce are already in its memo; the paper
+        # exploits this so subsequent EXPANDs need no re-optimization
+        # (§VI-B).  We harvest those memo entries into a decision cache.
+        self.reuse_memo = reuse_memo
+        self._decision_cache: Dict[FrozenSet[int], CutDecision] = {}
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def choose_cut(self, active: ActiveTree, node: int) -> CutDecision:
+        component = active.component(node)
+        return self.best_cut(component, node)
+
+    def best_cut(self, component: FrozenSet[int], root: int) -> CutDecision:
+        """Best EdgeCut for one component (no active tree required)."""
+        if len(component) <= 1:
+            return CutDecision(cut=(), reduced_size=len(component))
+        cached = self._decision_cache.get(component) if self.reuse_memo else None
+        if cached is not None:
+            self.cache_hits += 1
+            self.last_reduced_size = cached.reduced_size
+            return cached
+        if len(component) <= self.max_reduced_nodes:
+            cut_tree = CutTree.from_component(self.tree, self.probs, component, root)
+            solver = OptEdgeCut(cut_tree, self.probs, self.params)
+            solved = solver.solve()
+            if self.reuse_memo:
+                self._harvest_memo(cut_tree, solver)
+            cut = tuple(
+                (cut_tree.payload[p], cut_tree.payload[c]) for p, c in solved.cut
+            )
+            self.last_reduced_size = len(cut_tree)
+            return CutDecision(
+                cut=cut,
+                reduced_size=len(cut_tree),
+                expected_cost=solved.expected_cost,
+            )
+        reduced, part_roots = self._reduce(component, root)
+        solved = OptEdgeCut(reduced, self.probs, self.params).solve()
+        cut = tuple(
+            (self.tree.parent(part_roots[c]), part_roots[c]) for _, c in solved.cut
+        )
+        self.last_reduced_size = len(reduced)
+        decision = CutDecision(
+            cut=cut,
+            reduced_size=len(reduced),
+            expected_cost=solved.expected_cost,
+        )
+        if self.reuse_memo:
+            # Reduced solves are deterministic per component; remembering
+            # them makes repeated expansions of the same component (replays,
+            # Monte-Carlo walks, concurrent sessions) O(1).
+            self._decision_cache[component] = decision
+        return decision
+
+    # ------------------------------------------------------------------
+    def _harvest_memo(self, cut_tree: CutTree, solver: OptEdgeCut) -> None:
+        """Store every exactly-solved sub-component's decision for reuse.
+
+        Solver memo keys are CutTree-index sets over *plain* components
+        (each index is one navigation-tree node here), so they translate
+        directly to navigation-tree components.
+        """
+        for indices, best in solver.memo_items():
+            original = frozenset(cut_tree.payload[i] for i in indices)
+            cut = tuple(
+                (cut_tree.payload[p], cut_tree.payload[c]) for p, c in best.cut
+            )
+            self._decision_cache[original] = CutDecision(
+                cut=cut,
+                reduced_size=len(indices),
+                expected_cost=best.expected_cost,
+            )
+
+    # ------------------------------------------------------------------
+    def _reduce(
+        self, component: FrozenSet[int], root: int
+    ) -> Tuple[CutTree, List[int]]:
+        """Partition the component and build the reduced supernode tree.
+
+        Returns the CutTree plus, per supernode index, the original concept
+        node rooting that partition (used to map cuts back).
+        """
+        tree = self.tree
+        adjacency = {
+            n: [c for c in tree.children(n) if c in component] for n in component
+        }
+        weights = {n: float(len(tree.results(n))) for n in component}
+        partitions = partition_with_limit(
+            adjacency, root, weights, self.max_reduced_nodes
+        )
+        part_of: Dict[int, int] = {}
+        for index, members in enumerate(partitions):
+            for member in members:
+                part_of[member] = index
+        # Each partition list is emitted root-first by the partitioner.
+        roots = [members[0] for members in partitions]
+        root_part = part_of[root]
+
+        # Order supernodes so the overall root is CutTree node 0; keep a
+        # stable order for the rest.
+        order = [root_part] + [i for i in range(len(partitions)) if i != root_part]
+        new_index = {old: new for new, old in enumerate(order)}
+
+        children: List[List[int]] = [[] for _ in partitions]
+        for old_index, part_root in enumerate(roots):
+            if old_index == root_part:
+                continue
+            parent_part = part_of[tree.parent(part_root)]
+            children[new_index[parent_part]].append(new_index[old_index])
+
+        results = []
+        explore = []
+        member_counts = []
+        payload: List[object] = []
+        for old_index in order:
+            members = partitions[old_index]
+            results.append(tree.distinct_results(members))
+            explore.append(sum(self.probs.explore_mass(m) for m in members))
+            member_counts.append([len(tree.results(m)) for m in members])
+            payload.append(tuple(members))
+        reduced = CutTree(
+            children=children,
+            results=results,
+            explore=explore,
+            member_counts=member_counts,
+            payload=payload,
+        )
+        part_roots = [roots[old_index] for old_index in order]
+        return reduced, part_roots

@@ -1,0 +1,104 @@
+"""Imperfect-user navigation: wrong turns and BACKTRACK.
+
+The §VIII-A experiments assume an omniscient user who "always chooses the
+right node to expand".  Real users misjudge concept labels; the general
+navigation model (§III) therefore includes BACKTRACK, which the TOPDOWN
+simplification drops.  This module simulates a user who, at each step,
+expands the correct component with probability ``1 − error_rate`` and an
+incorrect-looking one otherwise; after an unproductive expansion the user
+recognizes the mistake and BACKTRACKs (both efforts already spent stay on
+the ledger — the cost model has no refunds).
+
+``benchmarks/bench_imperfect_user.py`` sweeps the error rate and shows
+BioNav's advantage over static navigation is robust to wrong turns — an
+extension experiment beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.session import NavigationSession
+from repro.core.strategy import ExpansionStrategy
+
+__all__ = ["ImperfectOutcome", "navigate_with_errors"]
+
+
+@dataclass(frozen=True)
+class ImperfectOutcome:
+    """Result of one error-prone navigation.
+
+    Attributes:
+        reached: whether the target became visible within the budget.
+        navigation_cost: reveals + EXPANDs, wrong turns included.
+        expand_actions: total EXPANDs (productive and wasted).
+        wrong_turns: expansions of components not containing the target.
+        backtracks: BACKTRACK actions taken to undo wrong turns.
+    """
+
+    reached: bool
+    navigation_cost: float
+    expand_actions: int
+    wrong_turns: int
+    backtracks: int
+
+
+def navigate_with_errors(
+    tree: NavigationTree,
+    strategy: ExpansionStrategy,
+    target: int,
+    error_rate: float,
+    rng: random.Random,
+    params: Optional[CostParams] = None,
+    max_steps: int = 400,
+) -> ImperfectOutcome:
+    """Simulate a fallible targeted user.
+
+    At each step the user must pick an expandable component.  With
+    probability ``error_rate`` (and when a wrong choice exists) she
+    expands a component *not* containing the target, examines the
+    revealed concepts, realizes none leads to the target, and BACKTRACKs.
+    Otherwise she expands the correct component, as in
+    :func:`repro.core.simulator.navigate_to_target`.
+
+    Raises:
+        KeyError: when ``target`` is not in the navigation tree.
+        ValueError: on an error rate outside [0, 1].
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must be within [0, 1]")
+    if target not in tree:
+        raise KeyError("target %r is not in the navigation tree" % (target,))
+    session = NavigationSession(tree, strategy, params=params)
+    wrong_turns = 0
+    backtracks = 0
+    steps = 0
+    while not session.active.is_visible(target) and steps < max_steps:
+        steps += 1
+        correct = session.active.containing_root(target)
+        wrong_options = [
+            node for node in session.active.component_roots() if node != correct
+        ]
+        take_wrong = wrong_options and rng.random() < error_rate
+        if take_wrong:
+            victim = rng.choice(wrong_options)
+            session.expand(victim)
+            wrong_turns += 1
+            # The user inspects the revealed labels (already charged),
+            # sees the target is not down there, and undoes the step.
+            session.backtrack()
+            backtracks += 1
+        else:
+            session.expand(correct)
+    reached = session.active.is_visible(target)
+    return ImperfectOutcome(
+        reached=reached,
+        navigation_cost=session.navigation_cost,
+        expand_actions=session.ledger.expand_actions,
+        wrong_turns=wrong_turns,
+        backtracks=backtracks,
+    )

@@ -1,0 +1,131 @@
+"""Monte-Carlo simulation of the probabilistic TOPDOWN user (Fig. 6).
+
+The cost model's expected cost (paper §III) is an analytic quantity over a
+*random* user who explores each revealed component with probability
+``pE``, then either expands (``pX``) or lists results.  This module samples
+that user: starting from the initial active tree, it walks the Fig. 6
+process with a seeded RNG, charging the paper's unit costs along the way.
+
+Averaging many sampled walks gives an unbiased estimate of the expected
+cost of a strategy — used to validate that the analytic evaluator
+(:mod:`repro.core.evaluation`) and the closed-form recursion agree with
+the process they claim to describe (``benchmarks/bench_montecarlo.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.cost_model import CostParams
+from repro.core.edgecut import cut_components
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.core.strategy import ExpansionStrategy
+
+__all__ = ["WalkOutcome", "sample_walk", "estimate_expected_cost"]
+
+
+@dataclass(frozen=True)
+class WalkOutcome:
+    """One sampled TOPDOWN walk.
+
+    Attributes:
+        cost: total cost charged along the walk.
+        expands: EXPAND actions taken.
+        show_results: SHOWRESULTS actions taken.
+        ignored: components the user declined to explore.
+    """
+
+    cost: float
+    expands: int
+    show_results: int
+    ignored: int
+
+
+def sample_walk(
+    tree: NavigationTree,
+    probs: ProbabilityModel,
+    strategy: ExpansionStrategy,
+    rng: random.Random,
+    params: Optional[CostParams] = None,
+    max_expands: int = 10_000,
+) -> WalkOutcome:
+    """Sample one user walk under the Fig. 6 TOPDOWN process.
+
+    The walk starts by exploring the root component (the paper's EXPLORE
+    is initially certain: the initial active tree has pE = 1), then
+    recursively: each explored component is expanded with probability
+    ``pX`` (revealing the strategy's cut, charging 1 per EXPAND and 1 per
+    revealed root) or listed with SHOWRESULTS (charging 1 per citation).
+    Revealed components are explored independently with their conditional
+    EXPLORE probabilities.
+    """
+    params = params or CostParams()
+    cost = 0.0
+    expands = 0
+    shows = 0
+    ignored = 0
+
+    # Work stack of (component, root) pairs the user has chosen to explore.
+    stack: List[Tuple[FrozenSet[int], int]] = [
+        (frozenset(tree.iter_dfs()), tree.root)
+    ]
+    while stack:
+        component, root = stack.pop()
+        result_count = len(tree.distinct_results(component))
+        p_expand = probs.expand(component, root)
+        decision = strategy.best_cut(component, root)
+        can_expand = bool(decision.cut) and expands < max_expands
+        if can_expand and rng.random() < p_expand:
+            expands += 1
+            cost += params.expand_cost
+            upper, lowers = cut_components(tree, component, root, decision.cut)
+            produced = [(upper, root)] + [
+                (members, lower_root) for lower_root, members in lowers.items()
+            ]
+            # Each revealed component is explored with its EXPLORE
+            # probability normalized over the whole active tree (§IV).
+            # Note this samples the paper's cost recursion *literally*:
+            # the formula nests globally-normalized pE factors, so deep
+            # components are explored with the product of their ancestors'
+            # probabilities times their own — a conservative user model.
+            for sub_component, sub_root in produced:
+                cost += params.reveal_cost
+                p_explore = probs.explore(sub_component)
+                if rng.random() < p_explore:
+                    stack.append((sub_component, sub_root))
+                else:
+                    ignored += 1
+        else:
+            shows += 1
+            cost += params.citation_cost * result_count
+    return WalkOutcome(cost=cost, expands=expands, show_results=shows, ignored=ignored)
+
+
+def estimate_expected_cost(
+    tree: NavigationTree,
+    probs: ProbabilityModel,
+    strategy: ExpansionStrategy,
+    n_walks: int = 200,
+    seed: int = 0,
+    params: Optional[CostParams] = None,
+) -> Tuple[float, float]:
+    """Monte-Carlo mean and standard error of the walk cost.
+
+    Returns (mean cost, standard error of the mean).
+    """
+    if n_walks < 1:
+        raise ValueError("n_walks must be positive")
+    rng = random.Random(seed)
+    costs = [
+        sample_walk(tree, probs, strategy, rng, params=params).cost
+        for _ in range(n_walks)
+    ]
+    mean = sum(costs) / n_walks
+    if n_walks == 1:
+        return mean, 0.0
+    variance = sum((c - mean) ** 2 for c in costs) / (n_walks - 1)
+    stderr = (variance / n_walks) ** 0.5
+    return mean, stderr

@@ -1,0 +1,258 @@
+"""Navigation trees (paper §II, Definitions 1–2).
+
+Given a concept hierarchy and the query result's concept annotations, the
+*initial navigation tree* attaches to every concept the list of result
+citations associated with it.  Since most concepts end up empty, BioNav
+reduces it to the *navigation tree*: the maximum embedding of the initial
+tree containing no empty-result nodes (except the root, kept to avoid a
+forest), computed in a single depth-first traversal — an empty internal
+node is spliced out and replaced by its children, an empty leaf is dropped.
+
+Navigation-tree nodes keep their hierarchy node ids, so labels, depths and
+ancestor tests delegate to the hierarchy; only the parent/child structure
+is re-wired by the embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.hierarchy.concept import ConceptHierarchy
+
+__all__ = ["NavigationTree"]
+
+Edge = Tuple[int, int]
+
+
+class NavigationTree:
+    """The maximum embedding of the initial navigation tree.
+
+    Attributes:
+        hierarchy: the underlying concept hierarchy.
+        root: hierarchy node id of the tree root.
+    """
+
+    def __init__(
+        self,
+        hierarchy: ConceptHierarchy,
+        parent: Dict[int, int],
+        children: Dict[int, List[int]],
+        results: Dict[int, FrozenSet[int]],
+        root: int,
+    ):
+        self.hierarchy = hierarchy
+        self.root = root
+        self._parent = parent
+        self._children = children
+        self._results = results
+        self._subtree_results: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction (maximum embedding)
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        hierarchy: ConceptHierarchy,
+        annotations: Mapping[int, Iterable[int]],
+        root: Optional[int] = None,
+    ) -> "NavigationTree":
+        """Compute the navigation tree for one query result.
+
+        Args:
+            hierarchy: the concept hierarchy.
+            annotations: concept node id → citation ids attached to it
+                (the restriction of the association table to the result).
+            root: subtree to embed within; defaults to the hierarchy root.
+
+        Empty-result concepts are spliced out per Definition 2; the root is
+        always kept.
+        """
+        if root is None:
+            root = hierarchy.root
+        results = {
+            node: frozenset(ids)
+            for node, ids in annotations.items()
+            if ids
+        }
+        parent: Dict[int, int] = {root: -1}
+        children: Dict[int, List[int]] = {root: []}
+
+        def embed_children(hier_node: int, kept_ancestor: int) -> None:
+            """Attach kept descendants of ``hier_node`` under ``kept_ancestor``."""
+            stack = list(reversed(hierarchy.children(hier_node)))
+            while stack:
+                node = stack.pop()
+                if node in results:
+                    parent[node] = kept_ancestor
+                    children[kept_ancestor].append(node)
+                    children[node] = []
+                    embed_children(node, node)
+                else:
+                    # Spliced out: its children compete for the same ancestor.
+                    # Reverse to preserve left-to-right order under the stack.
+                    stack.extend(reversed(hierarchy.children(node)))
+
+        embed_children(root, root)
+        kept_results = {
+            node: results.get(node, frozenset()) for node in parent
+        }
+        return cls(hierarchy, parent, children, kept_results, root)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._parent
+
+    def nodes(self) -> List[int]:
+        """All node ids kept by the embedding."""
+        return list(self._parent)
+
+    def parent(self, node: int) -> int:
+        """Embedded parent of ``node`` (-1 for the root)."""
+        return self._parent[node]
+
+    def children(self, node: int) -> Sequence[int]:
+        """Embedded-tree children of ``node``, left to right."""
+        return tuple(self._children[node])
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` has no embedded children."""
+        return not self._children[node]
+
+    def label(self, node: int) -> str:
+        """Concept label of ``node`` (delegates to the hierarchy)."""
+        self._require(node)
+        return self.hierarchy.label(node)
+
+    def edges(self) -> Iterator[Edge]:
+        """All (parent, child) edges of the embedded tree."""
+        for node, kids in self._children.items():
+            for child in kids:
+                yield (node, child)
+
+    def iter_dfs(self, start: Optional[int] = None) -> Iterator[int]:
+        """Pre-order traversal of the embedded tree."""
+        if start is None:
+            start = self.root
+        self._require(start)
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children[node]))
+
+    def subtree_nodes(self, node: int) -> FrozenSet[int]:
+        """All embedded-tree nodes in the subtree rooted at ``node``."""
+        return frozenset(self.iter_dfs(node))
+
+    def is_tree_ancestor(self, ancestor: int, node: int) -> bool:
+        """Ancestor test within the embedded tree (a node is its own ancestor)."""
+        self._require(ancestor)
+        self._require(node)
+        while node != -1:
+            if node == ancestor:
+                return True
+            node = self._parent[node]
+        return False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self, node: int) -> FrozenSet[int]:
+        """Citations attached directly to ``node`` (L(n))."""
+        self._require(node)
+        return self._results[node]
+
+    def subtree_results(self, node: int) -> FrozenSet[int]:
+        """Distinct citations attached anywhere in the subtree of ``node``.
+
+        This is the count shown next to each node in the static interface
+        (Fig. 1).  Computed once per node, bottom-up, then cached.
+        """
+        self._require(node)
+        cached = self._subtree_results.get(node)
+        if cached is not None:
+            return cached
+        # Iterative post-order accumulation to avoid recursion limits.
+        order: List[int] = []
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            order.append(n)
+            stack.extend(self._children[n])
+        for n in reversed(order):
+            if n in self._subtree_results:
+                continue
+            accumulated: Set[int] = set(self._results[n])
+            for child in self._children[n]:
+                accumulated.update(self._subtree_results[child])
+            self._subtree_results[n] = frozenset(accumulated)
+        return self._subtree_results[node]
+
+    def distinct_results(self, nodes: Iterable[int]) -> FrozenSet[int]:
+        """Distinct citations attached to any node in ``nodes``."""
+        combined: Set[int] = set()
+        for node in nodes:
+            combined.update(self._results[node])
+        return frozenset(combined)
+
+    def all_results(self) -> FrozenSet[int]:
+        """All distinct citations in the tree."""
+        return self.subtree_results(self.root)
+
+    # ------------------------------------------------------------------
+    # Statistics (Table I columns)
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Navigation tree size (node count, Table I)."""
+        return len(self._parent)
+
+    def max_width(self) -> int:
+        """Maximum number of nodes at one embedded-tree depth (Table I)."""
+        counts: Dict[int, int] = {}
+        for node, depth in self._iter_depths():
+            counts[depth] = counts.get(depth, 0) + 1
+        return max(counts.values())
+
+    def height(self) -> int:
+        """Longest root-to-leaf edge count in the embedded tree (Table I)."""
+        return max(depth for _, depth in self._iter_depths())
+
+    def citations_with_duplicates(self) -> int:
+        """Total attachment count, duplicates included (Table I).
+
+        Each citation counts once per concept it is attached to.
+        """
+        return sum(len(ids) for ids in self._results.values())
+
+    def tree_depth(self, node: int) -> int:
+        """Depth of ``node`` in the embedded tree (root = 0)."""
+        self._require(node)
+        depth = 0
+        while self._parent[node] != -1:
+            node = self._parent[node]
+            depth += 1
+        return depth
+
+    # ------------------------------------------------------------------
+    def _iter_depths(self) -> Iterator[Tuple[int, int]]:
+        stack: List[Tuple[int, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            yield node, depth
+            stack.extend((child, depth + 1) for child in self._children[node])
+
+    def _require(self, node: int) -> None:
+        if node not in self._parent:
+            raise KeyError("node %r is not in the navigation tree" % (node,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "NavigationTree(%d nodes, %d distinct citations)" % (
+            len(self),
+            len(self.all_results()),
+        )

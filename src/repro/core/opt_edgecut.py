@@ -1,0 +1,267 @@
+"""Opt-EdgeCut: the optimal (exponential) best-EdgeCut algorithm (paper §VI-A).
+
+``Opt-EdgeCut`` computes, for a (small) component subtree, the valid
+EdgeCut minimizing the expected TOPDOWN navigation cost.  It enumerates all
+valid EdgeCuts of the subtree and recursively costs every component each
+cut creates, memoizing costs per component (the paper's dynamic-programming
+reuse).  The complexity is exponential — O(2^|T|) components in the worst
+case — which is exactly why the paper only runs it on reduced trees of at
+most ~10 supernodes (see :mod:`repro.core.heuristic`).
+
+The algorithm operates on a :class:`CutTree`, a tiny standalone tree
+carrying per-node result sets and EXPLORE mass.  Both raw navigation-tree
+components and the heuristic's reduced supernode trees are converted into
+this form, so the optimal machinery is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+
+__all__ = ["CutTree", "BestCut", "OptEdgeCut", "MAX_OPT_NODES"]
+
+# Above this size the exhaustive enumeration is intractable in real time;
+# the paper caps reduced trees at N = 10.
+MAX_OPT_NODES = 16
+
+CutTreeEdge = Tuple[int, int]
+
+
+@dataclass
+class CutTree:
+    """A small rooted tree ready for exhaustive EdgeCut optimization.
+
+    Nodes are dense indices 0..k-1 with node 0 as the root.
+
+    Attributes:
+        children: adjacency lists.
+        results: distinct citation set attached to each node (for a
+            supernode: the union over its members).
+        explore: *unnormalized* EXPLORE mass ``|L(n)| / log LT(n)`` per node
+            (for a supernode: the sum over its members).  Opt-EdgeCut
+            normalizes over the whole CutTree, so the tree it is invoked on
+            plays the role of "the initial active tree" with pE = 1
+            (paper §IV) — each expansion conditions on the user having
+            chosen to explore this component.
+        member_counts: per node, the |L(m)| histogram used by the entropy
+            term of the EXPAND probability.  For plain nodes this is
+            ``[len(results)]``; for supernodes, one entry per member.
+        payload: opaque caller identity per node (navigation-tree node id,
+            or partition descriptor), used to map cuts back.
+    """
+
+    children: List[List[int]]
+    results: List[FrozenSet[int]]
+    explore: List[float]
+    member_counts: List[List[int]]
+    payload: List[object]
+
+    def __post_init__(self) -> None:
+        k = len(self.children)
+        if not (len(self.results) == len(self.explore) == len(self.payload) == k):
+            raise ValueError("CutTree field lengths disagree")
+        if len(self.member_counts) != k:
+            raise ValueError("CutTree field lengths disagree")
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    @property
+    def root(self) -> int:
+        """The root index (always 0)."""
+        return 0
+
+    @classmethod
+    def from_component(
+        cls,
+        tree: NavigationTree,
+        probs: ProbabilityModel,
+        component: FrozenSet[int],
+        root: int,
+    ) -> "CutTree":
+        """Lift a navigation-tree component into a CutTree (payload = node id)."""
+        order: List[int] = []
+        index: Dict[int, int] = {}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in index:
+                continue
+            index[node] = len(order)
+            order.append(node)
+            for child in tree.children(node):
+                if child in component:
+                    stack.append(child)
+        if set(order) != set(component):
+            raise ValueError("component is not a connected subtree at its root")
+        children: List[List[int]] = [[] for _ in order]
+        for node in order:
+            for child in tree.children(node):
+                if child in component:
+                    children[index[node]].append(index[child])
+        return cls(
+            children=children,
+            results=[tree.results(n) for n in order],
+            explore=[probs.explore_mass(n) for n in order],
+            member_counts=[[len(tree.results(n))] for n in order],
+            payload=list(order),
+        )
+
+    def subtree_indices(self, node: int) -> FrozenSet[int]:
+        """Indices of the subtree rooted at ``node``."""
+        collected: Set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            collected.add(current)
+            stack.extend(self.children[current])
+        return frozenset(collected)
+
+
+@dataclass(frozen=True)
+class BestCut:
+    """Outcome of an Opt-EdgeCut run on one component.
+
+    Attributes:
+        cut: chosen CutTree edges ((parent_index, child_index) pairs);
+            empty for singletons/leaf components where no cut exists.
+        expected_cost: the minimized expected navigation cost of the
+            component under the full cost model.
+        expansion_term: the minimized bracketed EXPAND term (the quantity
+            the cut choice actually controls).
+    """
+
+    cut: Tuple[CutTreeEdge, ...]
+    expected_cost: float
+    expansion_term: float
+
+
+class OptEdgeCut:
+    """Exhaustive optimal EdgeCut selection with component memoization."""
+
+    def __init__(
+        self,
+        cut_tree: CutTree,
+        probs: ProbabilityModel,
+        params: Optional[CostParams] = None,
+        max_nodes: int = MAX_OPT_NODES,
+    ):
+        if len(cut_tree) > max_nodes:
+            raise ValueError(
+                "Opt-EdgeCut is exponential; refusing a %d-node tree (max %d). "
+                "Use Heuristic-ReducedOpt for larger components."
+                % (len(cut_tree), max_nodes)
+            )
+        self.tree = cut_tree
+        self.probs = probs
+        self.params = params or CostParams()
+        total_mass = sum(cut_tree.explore)
+        # The input tree is "the initial active tree" of this expansion:
+        # its total EXPLORE probability is 1 (paper §IV).
+        self._explore_norm = total_mass if total_mass > 0 else 1.0
+        self._memo: Dict[FrozenSet[int], BestCut] = {}
+
+    # ------------------------------------------------------------------
+    def solve(self) -> BestCut:
+        """Best cut (and expected cost) for the whole CutTree."""
+        return self.solve_component(self.tree.subtree_indices(self.tree.root), self.tree.root)
+
+    def solve_component(self, component: FrozenSet[int], root: int) -> BestCut:
+        """Best cut for a connected sub-component rooted at ``root``.
+
+        Because costs are memoized per component, solving the full tree
+        also yields the optimal cut of every component later expansions can
+        produce — the reuse the paper exploits to call the optimizer once
+        per user query rather than once per EXPAND.
+        """
+        cached = self._memo.get(component)
+        if cached is not None:
+            return cached
+        result = self._solve(component, root)
+        self._memo[component] = result
+        return result
+
+    def memo_items(self):
+        """All (component index set, BestCut) pairs solved so far.
+
+        After :meth:`solve`, this covers every sub-component reachable by
+        future expansions — the reuse Heuristic-ReducedOpt harvests.
+        """
+        return list(self._memo.items())
+
+    # ------------------------------------------------------------------
+    def _solve(self, component: FrozenSet[int], root: int) -> BestCut:
+        tree = self.tree
+        explore = sum(tree.explore[i] for i in component) / self._explore_norm
+        distinct: Set[int] = set()
+        member_counts: List[int] = []
+        for i in component:
+            distinct.update(tree.results[i])
+            member_counts.extend(tree.member_counts[i])
+        result_count = len(distinct)
+
+        cuts = [cut for cut in self._enumerate_cuts(root, component) if cut]
+        if not cuts:
+            # Singleton (or childless) component: only SHOWRESULTS remains.
+            cost = explore * result_count
+            return BestCut(cut=(), expected_cost=cost, expansion_term=0.0)
+
+        p_expand = self.probs.expand_from_distribution(member_counts, result_count)
+        best_term = float("inf")
+        best_cut: Tuple[CutTreeEdge, ...] = ()
+        for cut in cuts:
+            term = self._expansion_term(component, root, cut)
+            if term < best_term:
+                best_term = term
+                best_cut = tuple(cut)
+        show_cost = (1.0 - p_expand) * result_count
+        expected = explore * (show_cost + p_expand * best_term)
+        return BestCut(cut=best_cut, expected_cost=expected, expansion_term=best_term)
+
+    def _expansion_term(
+        self, component: FrozenSet[int], root: int, cut: Sequence[CutTreeEdge]
+    ) -> float:
+        """Cost of executing this EXPAND: click + per-revealed-root terms."""
+        params = self.params
+        removed: Set[int] = set()
+        lower_roots: List[int] = []
+        for _, child in cut:
+            lower = self.tree.subtree_indices(child) & component
+            removed.update(lower)
+            lower_roots.append(child)
+        upper = frozenset(component - removed)
+        term = params.expand_cost
+        # The EdgeCut operation returns the upper root plus every lower
+        # root; each contributes an examination cost and its own expected
+        # exploration cost.
+        term += params.reveal_cost + self.solve_component(upper, root).expected_cost
+        for child in lower_roots:
+            lower = self.tree.subtree_indices(child) & component
+            term += params.reveal_cost + self.solve_component(lower, child).expected_cost
+        return term
+
+    def _enumerate_cuts(
+        self, node: int, component: FrozenSet[int]
+    ) -> List[List[CutTreeEdge]]:
+        """All valid EdgeCuts of the component subtree at ``node``.
+
+        Returns cut-sets (including the empty cut).  Validity — at most
+        one cut edge per root-to-leaf path — is guaranteed structurally:
+        once an edge is cut, no edge below it is considered.
+        """
+        options_per_child: List[List[List[CutTreeEdge]]] = []
+        for child in self.tree.children[node]:
+            if child not in component:
+                continue
+            child_options = [[(node, child)]]
+            child_options.extend(self._enumerate_cuts(child, component))
+            options_per_child.append(child_options)
+        combos: List[List[CutTreeEdge]] = [[]]
+        for child_options in options_per_child:
+            combos = [base + extra for base in combos for extra in child_options]
+        return combos

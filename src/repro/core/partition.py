@@ -1,0 +1,139 @@
+"""Bottom-up tree partitioning (paper §VI-A, after Kundu–Misra [11]).
+
+``Heuristic-ReducedOpt`` shrinks a component subtree to at most N
+supernodes before running Opt-EdgeCut.  The partitioner processes the tree
+bottom-up: at each node it accumulates the residual weight of its
+un-partitioned children and, while the accumulated weight exceeds the
+threshold δ, splits off the heaviest remaining child subtree as a
+partition.  This yields a minimum-cardinality partition in which every part
+is a contiguous subtree and (single overweight nodes aside) weighs at most δ.
+
+The paper sets node weight to |L(n)| and δ to W/N, then re-runs with a
+gradually larger δ until at most N partitions result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+__all__ = ["k_partition", "partition_with_limit"]
+
+Adjacency = Mapping[int, Sequence[int]]
+
+
+def k_partition(
+    adjacency: Adjacency,
+    root: int,
+    weights: Mapping[int, float],
+    delta: float,
+) -> List[List[int]]:
+    """Partition the tree into contiguous subtrees of residual weight ≤ δ.
+
+    Args:
+        adjacency: node → children (the component subtree).
+        root: tree root.
+        weights: node → non-negative weight (|L(n)| in the paper).
+        delta: weight threshold.
+
+    Returns:
+        Partitions as node lists; each partition's first element is its
+        subtree root.  Partitions are emitted bottom-up, with the
+        root-containing partition last.  A single node heavier than δ
+        forms (part of) its own partition — the threshold cannot split
+        atoms.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    residual_weight: Dict[int, float] = {}
+    residual_members: Dict[int, List[int]] = {}
+    partitions: List[List[int]] = []
+
+    for node in _postorder(adjacency, root):
+        weight = float(weights[node])
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        live_children = [(residual_weight[c], c) for c in adjacency.get(node, ())]
+        total = weight + sum(w for w, _ in live_children)
+        # Split off heaviest children until the node's residual fits.
+        live_children.sort()
+        while total > delta and live_children:
+            child_weight, child = live_children.pop()
+            partitions.append(residual_members[child])
+            total -= child_weight
+        members = [node]
+        for _, child in live_children:
+            members.extend(residual_members[child])
+        residual_weight[node] = total
+        residual_members[node] = members
+
+    partitions.append(residual_members[root])
+    return partitions
+
+
+def partition_with_limit(
+    adjacency: Adjacency,
+    root: int,
+    weights: Mapping[int, float],
+    max_partitions: int,
+    growth: float = 1.3,
+) -> List[List[int]]:
+    """Partition into at most ``max_partitions`` parts (paper §VI-A).
+
+    Starts from δ = W / max_partitions and grows δ geometrically until the
+    partition count fits.  When the result collapses to a single partition
+    while the tree has several nodes, the heaviest child subtree of the
+    root is forced out so the reduced tree always has at least one edge to
+    cut (the paper implicitly assumes this never happens because its
+    component trees are large).
+    """
+    if max_partitions < 1:
+        raise ValueError("max_partitions must be at least 1")
+    if growth <= 1.0:
+        raise ValueError("growth must exceed 1")
+    node_count = sum(1 for _ in _postorder(adjacency, root))
+    total = float(sum(weights[n] for n in _postorder(adjacency, root)))
+    delta = total / max_partitions if total > 0 else 1.0
+    partitions = k_partition(adjacency, root, weights, delta)
+    while len(partitions) > max_partitions:
+        delta *= growth
+        partitions = k_partition(adjacency, root, weights, delta)
+    if len(partitions) == 1 and node_count > 1 and max_partitions > 1:
+        partitions = _force_split(adjacency, root, weights)
+    return partitions
+
+
+def _force_split(
+    adjacency: Adjacency, root: int, weights: Mapping[int, float]
+) -> List[List[int]]:
+    """Split the heaviest root-child subtree into its own partition."""
+    children = list(adjacency.get(root, ()))
+    if not children:
+        return [[root]]
+    subtree_weights = []
+    for child in children:
+        nodes = list(_postorder(adjacency, child))
+        subtree_weights.append((sum(weights[n] for n in nodes), child, nodes))
+    subtree_weights.sort()
+    _, heavy_child, heavy_nodes = subtree_weights[-1]
+    # Keep partition-root-first ordering for the split-off part.
+    split = [heavy_child] + [n for n in heavy_nodes if n != heavy_child]
+    rest = [root] + [
+        n
+        for _, child, nodes in subtree_weights[:-1]
+        for n in ([child] + [m for m in nodes if m != child])
+    ]
+    return [split, rest]
+
+
+def _postorder(adjacency: Adjacency, root: int) -> List[int]:
+    order: List[int] = []
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        stack.append((node, True))
+        for child in adjacency.get(node, ()):
+            stack.append((child, False))
+    return order

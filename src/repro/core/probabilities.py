@@ -1,0 +1,146 @@
+"""Estimation of navigation probabilities (paper §IV).
+
+Two probabilities drive the cost model:
+
+* **EXPLORE** — the probability that the user is interested in a component
+  subtree.  Assuming all result citations are equally interesting, a
+  concept ``n`` matters more when many result citations attach to it
+  (``|L(n)|`` large) and less when it is globally common in MEDLINE
+  (``LT(n)`` large) — an inverse-document-frequency intuition.  Per node:
+  ``pE(n) = (|L(n)| / log LT(n)) / Z`` with ``Z`` normalizing over all
+  navigation-tree nodes, so the initial tree has total EXPLORE probability
+  1; a component's probability is the sum over its members.
+
+* **EXPAND** — the probability that an interested user expands the
+  component rather than listing its citations.  Zero for leaves and
+  singletons; one above an upper result-count threshold (default 50);
+  zero below a lower threshold (default 10); otherwise the entropy of the
+  citation distribution over the component's concepts, normalized by the
+  uniform/no-duplicate maximum — widely scattered citations make
+  narrowing down worthwhile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence
+
+from repro.core.navigation_tree import NavigationTree
+
+__all__ = ["ProbabilityModel"]
+
+
+class ProbabilityModel:
+    """EXPLORE / EXPAND probability estimator for one navigation tree."""
+
+    def __init__(
+        self,
+        tree: NavigationTree,
+        medline_count: Callable[[int], int],
+        upper_threshold: int = 50,
+        lower_threshold: int = 10,
+        use_idf: bool = True,
+    ):
+        """
+        Args:
+            tree: the navigation tree of the current query result.
+            medline_count: concept node id → MEDLINE-wide citation count
+                (``LT(n)``); counts below 2 are clamped so the logarithm
+                stays positive.
+            upper_threshold: result count above which EXPAND is certain.
+            lower_threshold: result count below which EXPAND never happens.
+            use_idf: divide by ``log LT(n)`` (the paper's inverse-document-
+                frequency discount of globally common concepts).  Disable
+                for the ablation that measures what the IDF term buys
+                (``benchmarks/bench_ablation_probability.py``).
+        """
+        if lower_threshold < 0 or upper_threshold < lower_threshold:
+            raise ValueError("thresholds must satisfy 0 <= lower <= upper")
+        self.tree = tree
+        self.upper_threshold = upper_threshold
+        self.lower_threshold = lower_threshold
+        self.use_idf = use_idf
+        self._mass: Dict[int, float] = {}
+        total = 0.0
+        for node in tree.iter_dfs():
+            ln = len(tree.results(node))
+            if ln == 0:
+                self._mass[node] = 0.0
+                continue
+            if use_idf:
+                lt = max(2, medline_count(node))
+                mass = ln / math.log(lt)
+            else:
+                mass = float(ln)
+            self._mass[node] = mass
+            total += mass
+        self._normalizer = total if total > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    # EXPLORE
+    # ------------------------------------------------------------------
+    def explore_node(self, node: int) -> float:
+        """``pE(n)`` for a single concept node."""
+        return self._mass[node] / self._normalizer
+
+    def explore_mass(self, node: int) -> float:
+        """Unnormalized EXPLORE weight ``|L(n)| / log LT(n)``."""
+        return self._mass[node]
+
+    def explore(self, component: Iterable[int]) -> float:
+        """``pE(I(n))``: sum of member node probabilities."""
+        return sum(self._mass[m] for m in component) / self._normalizer
+
+    # ------------------------------------------------------------------
+    # EXPAND
+    # ------------------------------------------------------------------
+    def expand(self, component: FrozenSet[int], root: int) -> float:
+        """``pX(I(n))`` for a component rooted at ``root``."""
+        if len(component) <= 1:
+            return 0.0
+        result_count = len(self.tree.distinct_results(component))
+        return self.expand_from_distribution(
+            [len(self.tree.results(m)) for m in component], result_count
+        )
+
+    def expand_from_distribution(
+        self, member_counts: Sequence[int], distinct_count: int
+    ) -> float:
+        """EXPAND probability from raw component statistics.
+
+        Args:
+            member_counts: ``|L(m)|`` per member concept (zeros allowed).
+            distinct_count: distinct citations in the component.
+
+        Exposed separately so the reduced supernode trees of the heuristic
+        can reuse the exact same estimate.
+        """
+        if len(member_counts) <= 1:
+            return 0.0
+        if distinct_count > self.upper_threshold:
+            return 1.0
+        if distinct_count < self.lower_threshold:
+            return 0.0
+        return self._normalized_entropy(member_counts)
+
+    def _normalized_entropy(self, member_counts: Sequence[int]) -> float:
+        """Entropy of the citation distribution, normalized to [0, 1].
+
+        The maximum entropy corresponds to citations spread uniformly over
+        all member concepts with no duplicates: ``log(len(members))``.
+        Duplicates can push the raw entropy above the maximum, so the ratio
+        is clamped to 1.
+        """
+        total = sum(member_counts)
+        if total == 0:
+            return 0.0
+        entropy = 0.0
+        for count in member_counts:
+            if count == 0:
+                continue
+            p = count / total
+            entropy -= p * math.log(p)
+        max_entropy = math.log(len(member_counts))
+        if max_entropy <= 0:
+            return 0.0
+        return min(1.0, entropy / max_entropy)

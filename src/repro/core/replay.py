@@ -1,0 +1,143 @@
+"""Navigation-session recording and replay.
+
+The deployed BioNav is a stateful web application; session logs are the
+natural artifact for debugging user reports and for the kind of
+navigation-cost analysis the evaluation performs.  This module serializes
+a session's action stream to JSON and replays it onto a fresh session,
+reconstructing the exact active-tree state and cost ledger.
+
+Replay stores the *chosen cuts*, not just the expanded nodes, so a log
+re-applies byte-for-byte even if the strategy implementation (or its
+tie-breaking) changes between record and replay time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.session import NavigationSession
+from repro.core.strategy import CutDecision, ExpansionStrategy
+
+__all__ = ["SessionLog", "record_session", "replay_session"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class SessionLog:
+    """An ordered action stream: ('expand', node, cut) / ('show', node) /
+    ('ignore', node) / ('backtrack',)."""
+
+    actions: List[Tuple] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_expand(self, node: int, cut: Sequence[Edge]) -> None:
+        """Append an EXPAND action with its chosen cut."""
+        self.actions.append(("expand", node, [tuple(edge) for edge in cut]))
+
+    def record_show(self, node: int) -> None:
+        """Append a SHOWRESULTS action."""
+        self.actions.append(("show", node))
+
+    def record_ignore(self, node: int) -> None:
+        """Append an IGNORE action."""
+        self.actions.append(("ignore", node))
+
+    def record_backtrack(self) -> None:
+        """Append a BACKTRACK action."""
+        self.actions.append(("backtrack",))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the log to a JSON string."""
+        return json.dumps({"version": 1, "actions": self.actions})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SessionLog":
+        """Parse a log serialized by :meth:`to_json`."""
+        data = json.loads(payload)
+        if data.get("version") != 1:
+            raise ValueError("unsupported session log version %r" % data.get("version"))
+        actions = []
+        for action in data["actions"]:
+            kind = action[0]
+            if kind == "expand":
+                actions.append(("expand", action[1], [tuple(e) for e in action[2]]))
+            elif kind in ("show", "ignore"):
+                actions.append((kind, action[1]))
+            elif kind == "backtrack":
+                actions.append(("backtrack",))
+            else:
+                raise ValueError("unknown action kind %r" % kind)
+        return cls(actions=actions)
+
+
+class _ScriptedStrategy(ExpansionStrategy):
+    """Feeds recorded cuts back to the session, one expand at a time."""
+
+    name = "scripted-replay"
+
+    def __init__(self) -> None:
+        self._next_cut: Optional[Tuple[Edge, ...]] = None
+
+    def stage(self, cut: Sequence[Edge]) -> None:
+        self._next_cut = tuple(tuple(edge) for edge in cut)
+
+    def choose_cut(self, active, node) -> CutDecision:
+        if self._next_cut is None:
+            raise RuntimeError("no staged cut for replayed expand")
+        cut, self._next_cut = self._next_cut, None
+        return CutDecision(cut=cut)
+
+
+def record_session(session: NavigationSession) -> SessionLog:
+    """Extract a replayable log from a session's expand history.
+
+    Only EXPAND actions are recoverable from a live session object (the
+    session does not retain SHOWRESULTS/IGNORE ordering); for full logs,
+    record actions as they happen via :class:`SessionLog`.
+    """
+    log = SessionLog()
+    for outcome in session.expand_log:
+        log.record_expand(outcome.node, outcome.decision.cut)
+    return log
+
+
+def replay_session(
+    tree: NavigationTree,
+    log: SessionLog,
+    params: Optional[CostParams] = None,
+) -> NavigationSession:
+    """Apply a recorded log to a fresh session over ``tree``.
+
+    Returns the reconstructed session (active tree + cost ledger).
+
+    Raises:
+        ValueError/KeyError: when the log references nodes or cuts that do
+            not fit ``tree`` (e.g. a log replayed against the wrong query).
+    """
+    strategy = _ScriptedStrategy()
+    session = NavigationSession(tree, strategy, params=params)
+    for action in log.actions:
+        kind = action[0]
+        if kind == "expand":
+            _, node, cut = action
+            strategy.stage(cut)
+            session.expand(node)
+        elif kind == "show":
+            session.show_results(action[1])
+        elif kind == "ignore":
+            session.ignore(action[1])
+        elif kind == "backtrack":
+            session.backtrack()
+        else:  # pragma: no cover - from_json already validates
+            raise ValueError("unknown action kind %r" % kind)
+    return session

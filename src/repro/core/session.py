@@ -1,0 +1,129 @@
+"""Navigation sessions: the user-facing action loop (paper §III).
+
+A :class:`NavigationSession` wraps an active tree with an expansion
+strategy and exposes the four user actions of the general navigation model
+— EXPAND, SHOWRESULTS, IGNORE, BACKTRACK — while a :class:`CostLedger`
+records the actual cost incurred, using the paper's unit charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.active_tree import ActiveTree, VisNode
+from repro.core.cost_model import CostLedger, CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.strategy import CutDecision, ExpansionStrategy
+
+__all__ = ["ExpandOutcome", "NavigationSession"]
+
+
+@dataclass(frozen=True)
+class ExpandOutcome:
+    """What one EXPAND action did.
+
+    Attributes:
+        node: the expanded concept.
+        revealed: newly visible concept node ids (the lower-component
+            roots; the upper root was already visible).
+        decision: the strategy's cut decision (with instrumentation).
+    """
+
+    node: int
+    revealed: Tuple[int, ...]
+    decision: CutDecision
+
+
+class NavigationSession:
+    """One user's navigation over one query result."""
+
+    def __init__(
+        self,
+        tree: NavigationTree,
+        strategy: ExpansionStrategy,
+        params: Optional[CostParams] = None,
+    ):
+        self.tree = tree
+        self.strategy = strategy
+        self.active = ActiveTree(tree)
+        self.ledger = CostLedger(params=params or CostParams())
+        self._ignored: Set[int] = set()
+        self._expand_log: List[ExpandOutcome] = []
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def expand(self, node: int) -> ExpandOutcome:
+        """EXPAND: apply the strategy's EdgeCut to ``node``'s component.
+
+        Charges one EXPAND action plus one reveal per newly shown concept.
+
+        Raises:
+            ValueError: when ``node`` has no expandable component or the
+                strategy returns an empty cut.
+        """
+        decision = self.strategy.choose_cut(self.active, node)
+        if not decision.cut:
+            raise ValueError("strategy produced no cut for node %r" % (node,))
+        self.active.expand(node, decision.cut)
+        revealed = tuple(child for _, child in decision.cut)
+        self.ledger.charge_expand(len(revealed))
+        outcome = ExpandOutcome(node=node, revealed=revealed, decision=decision)
+        self._expand_log.append(outcome)
+        return outcome
+
+    def show_results(self, node: int) -> List[int]:
+        """SHOWRESULTS: list the citations of ``node``'s component.
+
+        Charges one unit per citation displayed; returns the PMIDs sorted
+        for deterministic display.
+        """
+        pmids = sorted(self.tree.distinct_results(self.active.component(node)))
+        self.ledger.charge_show_results(len(pmids))
+        return pmids
+
+    def ignore(self, node: int) -> None:
+        """IGNORE: mark a revealed concept as uninteresting (free)."""
+        if not self.active.is_visible(node):
+            raise ValueError("cannot ignore a hidden node")
+        self._ignored.add(node)
+
+    def backtrack(self) -> bool:
+        """BACKTRACK: undo the most recent EXPAND (free in the cost model).
+
+        The paper's cost model covers TOPDOWN only, so backtracking does
+        not refund or charge anything; it only restores the tree state.
+        """
+        if not self.active.backtrack():
+            return False
+        if self._expand_log:
+            self._expand_log.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def visualize(self) -> List[VisNode]:
+        """The current interface rows (Definition 5 visualization)."""
+        return self.active.visualize()
+
+    @property
+    def ignored(self) -> Set[int]:
+        """Concepts the user marked as uninteresting."""
+        return set(self._ignored)
+
+    @property
+    def expand_log(self) -> List[ExpandOutcome]:
+        """Chronological record of EXPAND actions (for replay)."""
+        return list(self._expand_log)
+
+    @property
+    def navigation_cost(self) -> float:
+        """Concepts revealed + EXPAND actions so far (Fig. 8 metric)."""
+        return self.ledger.navigation_cost
+
+    @property
+    def total_cost(self) -> float:
+        """Navigation cost plus SHOWRESULTS citation cost."""
+        return self.ledger.total_cost

@@ -1,0 +1,51 @@
+"""Expansion-strategy interface.
+
+A strategy decides which EdgeCut an EXPAND action performs on a component.
+The paper compares two: BioNav's ``Heuristic-ReducedOpt`` and the static
+show-all-children baseline (GoPubMed-style).  The optimal ``Opt-EdgeCut``
+can also be wrapped as a strategy for small trees.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.active_tree import ActiveTree
+
+__all__ = ["CutDecision", "ExpansionStrategy"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CutDecision:
+    """An EdgeCut chosen by a strategy, plus instrumentation.
+
+    Attributes:
+        cut: navigation-tree edges to cut (empty only for singletons).
+        reduced_size: supernode count of the reduced tree the decision was
+            computed on (equals the component size when no reduction
+            happened; reported in the Fig. 11 experiment).
+        expected_cost: the strategy's own estimate of the resulting
+            expected navigation cost, when it computes one.
+    """
+
+    cut: Tuple[Edge, ...]
+    reduced_size: int = 0
+    expected_cost: Optional[float] = None
+
+
+class ExpansionStrategy(abc.ABC):
+    """Chooses the EdgeCut for an EXPAND on a given component."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def choose_cut(self, active: ActiveTree, node: int) -> CutDecision:
+        """Return the EdgeCut to apply to the component rooted at ``node``.
+
+        Implementations must return a valid EdgeCut of that component;
+        they must not mutate the active tree.
+        """

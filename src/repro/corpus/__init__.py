@@ -1,0 +1,30 @@
+"""Simulated MEDLINE corpus: citations, database, generators, file formats."""
+
+from repro.corpus.citation import Citation, DocSummary
+from repro.corpus.generator import CorpusGenerator, TopicSpec
+from repro.corpus.loader import (
+    citations_from_records,
+    dump_medline_text,
+    load_medline_text,
+    parse_medline_text,
+)
+from repro.corpus.medline import MedlineDatabase
+from repro.corpus.persistence import load_medline_jsonl, save_medline_jsonl
+from repro.corpus.validation import CorpusStats, concept_frequency_gini, corpus_stats
+
+__all__ = [
+    "Citation",
+    "CorpusGenerator",
+    "CorpusStats",
+    "DocSummary",
+    "MedlineDatabase",
+    "TopicSpec",
+    "citations_from_records",
+    "concept_frequency_gini",
+    "corpus_stats",
+    "load_medline_jsonl",
+    "dump_medline_text",
+    "load_medline_text",
+    "parse_medline_text",
+    "save_medline_jsonl",
+]

@@ -1,0 +1,90 @@
+"""MEDLINE-like citation records.
+
+A :class:`Citation` mirrors the fields BioNav's online phase consumes from
+PubMed: the PMID, the title/abstract text the keyword index runs over, the
+author list shown by ESummary, and the list of associated MeSH concepts
+(node ids into the active :class:`~repro.hierarchy.concept.ConceptHierarchy`).
+
+Per the paper (§VII), PubMed's own indexing associates each citation with
+~90 concepts on average, of which ~20 are the explicit MEDLINE annotations.
+We keep the two sets separate so either association mode can drive the
+navigation tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Citation", "DocSummary"]
+
+
+@dataclass(frozen=True)
+class Citation:
+    """One biomedical citation.
+
+    Attributes:
+        pmid: PubMed identifier (positive integer).
+        title: citation title.
+        abstract: abstract text.
+        authors: author display names.
+        year: publication year.
+        mesh_annotations: concepts explicitly annotated in MEDLINE
+            (paper: ~20 per citation).
+        index_concepts: the wider PubMed-index association set
+            (paper: ~90 per citation, a superset of the annotations).
+    """
+
+    pmid: int
+    title: str
+    abstract: str = ""
+    authors: Tuple[str, ...] = ()
+    year: int = 2008
+    mesh_annotations: Tuple[int, ...] = ()
+    index_concepts: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.pmid <= 0:
+            raise ValueError("pmid must be positive, got %r" % (self.pmid,))
+        missing = set(self.mesh_annotations) - set(self.index_concepts)
+        if missing:
+            # The PubMed index includes the MEDLINE annotations; repair by
+            # requiring callers to pass a superset rather than silently
+            # merging, so corpus bugs surface early.
+            raise ValueError(
+                "index_concepts must include all mesh_annotations; missing %r"
+                % sorted(missing)
+            )
+
+    @property
+    def concepts(self) -> Tuple[int, ...]:
+        """The association set used to build navigation trees.
+
+        The paper uses the wide PubMed-index associations because the
+        MEDLINE-only annotations yield uninformative trees (§VII).
+        """
+        return self.index_concepts
+
+    def searchable_text(self) -> str:
+        """Text surface the keyword index runs over."""
+        return "%s %s" % (self.title, self.abstract)
+
+
+@dataclass(frozen=True)
+class DocSummary:
+    """The lightweight record ESummary returns for SHOWRESULTS (paper §VII)."""
+
+    pmid: int
+    title: str
+    authors: Tuple[str, ...] = ()
+    year: int = 2008
+
+    @classmethod
+    def from_citation(cls, citation: Citation) -> "DocSummary":
+        """Project a full citation down to its display summary."""
+        return cls(
+            pmid=citation.pmid,
+            title=citation.title,
+            authors=citation.authors,
+            year=citation.year,
+        )

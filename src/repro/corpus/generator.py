@@ -1,0 +1,294 @@
+"""Synthetic MEDLINE corpus generation.
+
+The paper evaluates against live MEDLINE (18M citations, PubMed indexing
+associating ~90 MeSH concepts per citation).  Offline, we generate a corpus
+with the same structural properties the algorithms depend on:
+
+* query results cluster around a handful of *topic anchor* concepts (a
+  prothymosin-style query touches cancer, apoptosis, chromatin, ...),
+* each citation carries ~20 direct MeSH annotations and a wider ~90-concept
+  PubMed-index association set (a superset),
+* concept/citation associations are heavily skewed (Zipf), producing the
+  duplicate-rich navigation trees that make optimal EdgeCut selection
+  NP-hard, and
+* every concept also has a MEDLINE-wide *background count* (``LT(n)``)
+  skewed by its height in the hierarchy, so the IDF-style EXPLORE
+  probability behaves as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.citation import Citation
+from repro.hierarchy.concept import ConceptHierarchy
+
+__all__ = ["TopicSpec", "CorpusGenerator"]
+
+_ABSTRACT_VOCAB = [
+    "expression", "regulation", "signaling", "binding", "activation",
+    "inhibition", "mutation", "transcription", "translation", "phosphorylation",
+    "pathway", "receptor", "ligand", "kinase", "substrate", "membrane",
+    "nucleus", "cytoplasm", "apoptosis", "proliferation", "differentiation",
+    "metabolism", "transport", "secretion", "localization", "interaction",
+    "complex", "domain", "residue", "isoform", "homolog", "ortholog",
+    "in vivo", "in vitro", "knockout", "overexpression", "assay", "cohort",
+]
+
+_AUTHOR_SURNAMES = [
+    "Smith", "Chen", "Garcia", "Kim", "Patel", "Mueller", "Tanaka", "Rossi",
+    "Novak", "Silva", "Kowalski", "Okafor", "Haddad", "Larsen", "Dubois",
+]
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """Declarative description of one query topic.
+
+    Attributes:
+        keyword: the query keyword; embedded in every topic citation's title
+            so the simulated ESearch retrieves exactly this result set.
+        n_citations: number of citations in the query result.
+        anchors: (concept node id, weight) pairs; citations draw their
+            associations from the subtrees of these anchors, proportionally
+            to the weights.  Higher weight on an anchor concentrates the
+            result set under it (controls L(target)).
+        annotations_per_citation: mean direct MEDLINE annotations (~20).
+        index_per_citation: mean PubMed-index associations (~90 in the
+            paper; scaled down by default to keep trees laptop-sized while
+            preserving heavy duplication).
+        background_fraction: fraction of associations drawn from the global
+            background distribution rather than the anchor pools, creating
+            the uninteresting high-LT concepts the EXPLORE probability must
+            discount.
+    """
+
+    keyword: str
+    n_citations: int
+    anchors: Tuple[Tuple[int, float], ...]
+    annotations_per_citation: int = 12
+    index_per_citation: int = 30
+    background_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_citations <= 0:
+            raise ValueError("n_citations must be positive")
+        if not self.anchors:
+            raise ValueError("a topic needs at least one anchor concept")
+        if self.index_per_citation < self.annotations_per_citation:
+            raise ValueError("index set must be at least as large as annotations")
+        if not 0.0 <= self.background_fraction < 1.0:
+            raise ValueError("background_fraction must be in [0, 1)")
+
+
+class CorpusGenerator:
+    """Reproducible generator of topic-clustered MEDLINE-like corpora."""
+
+    def __init__(self, hierarchy: ConceptHierarchy, seed: int = 0):
+        self.hierarchy = hierarchy
+        self._rng = random.Random(seed)
+        self._next_pmid = 10_000_001
+        # Background sampling pool: all non-root concepts, Zipf-weighted by
+        # a shuffled rank so the skew is not correlated with node id order.
+        nodes = [n for n in range(1, len(hierarchy))]
+        self._rng.shuffle(nodes)
+        self._background_pool = nodes
+        self._background_weights = [1.0 / (rank + 1) for rank in range(len(nodes))]
+
+    # ------------------------------------------------------------------
+    # Background MEDLINE-wide counts (LT)
+    # ------------------------------------------------------------------
+    def background_counts(self, scale: int = 200_000) -> Dict[int, int]:
+        """Simulated MEDLINE-wide citation counts per concept.
+
+        Broad (shallow, big-subtree) concepts receive large counts, specific
+        leaves small ones, mirroring real MeSH statistics.  ``scale`` is the
+        count assigned to the largest top-level category.
+        """
+        hierarchy = self.hierarchy
+        sizes = {n: hierarchy.subtree_size(n) for n in range(len(hierarchy))}
+        max_size = max(sizes[c] for c in hierarchy.children(hierarchy.root)) if len(
+            hierarchy
+        ) > 1 else 1
+        counts: Dict[int, int] = {}
+        for node in range(1, len(hierarchy)):
+            base = scale * sizes[node] / max_size
+            jitter = self._rng.uniform(0.5, 1.5)
+            counts[node] = max(1, int(base * jitter))
+        return counts
+
+    # ------------------------------------------------------------------
+    # Topic and background citations
+    # ------------------------------------------------------------------
+    def generate_topic(self, spec: TopicSpec) -> List[Citation]:
+        """Materialize the query-result citations for one topic."""
+        pool, weights = self._anchor_pool(spec.anchors)
+        citations = []
+        for _ in range(spec.n_citations):
+            citations.append(self._make_citation(spec, pool, weights))
+        return citations
+
+    def generate_background(self, n_citations: int) -> List[Citation]:
+        """Citations unrelated to any topic keyword (search-noise filler)."""
+        citations = []
+        for _ in range(n_citations):
+            n_concepts = max(3, int(self._rng.gauss(12, 3)))
+            concepts = self._sample_background(n_concepts)
+            annotations = tuple(sorted(concepts[: max(2, n_concepts // 3)]))
+            title = "Background study of %s in %s" % (
+                self._rng.choice(_ABSTRACT_VOCAB),
+                self._rng.choice(_ABSTRACT_VOCAB),
+            )
+            citations.append(
+                Citation(
+                    pmid=self._take_pmid(),
+                    title=title,
+                    abstract=self._make_abstract(None),
+                    authors=self._make_authors(),
+                    year=self._rng.randrange(1990, 2009),
+                    mesh_annotations=annotations,
+                    index_concepts=tuple(sorted(set(concepts) | set(annotations))),
+                )
+            )
+        return citations
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _anchor_pool(
+        self, anchors: Sequence[Tuple[int, float]]
+    ) -> Tuple[List[int], List[float]]:
+        """Focus-concept pool and sampling weights induced by topic anchors.
+
+        Each anchor contributes its whole subtree, mildly favoring
+        shallower members, plus its root-path ancestors with small weight
+        (creating the cross-branch duplicates of real MeSH indexing).
+        Citations do not sample these concepts independently — they pick a
+        few *focus* concepts from this pool and annotate tight clusters
+        around each (see :meth:`_make_citation`), reproducing the locality
+        of real MeSH indexing.
+        """
+        hierarchy = self.hierarchy
+        weight_of: Dict[int, float] = {}
+        for anchor, anchor_weight in anchors:
+            if anchor_weight <= 0:
+                raise ValueError("anchor weights must be positive")
+            base_depth = hierarchy.depth(anchor)
+            for node in hierarchy.iter_dfs(anchor):
+                below = hierarchy.depth(node) - base_depth
+                w = anchor_weight * (0.9 ** below)
+                weight_of[node] = weight_of.get(node, 0.0) + w
+            for node in hierarchy.path_to_root(anchor)[1:]:
+                if node == hierarchy.root:
+                    continue
+                weight_of[node] = weight_of.get(node, 0.0) + anchor_weight * 0.05
+        pool = sorted(weight_of)
+        weights = [weight_of[n] for n in pool]
+        return pool, weights
+
+    def _make_citation(
+        self, spec: TopicSpec, pool: List[int], weights: List[float]
+    ) -> Citation:
+        rng = self._rng
+        n_index = max(4, int(rng.gauss(spec.index_per_citation, 4)))
+        n_background = int(n_index * spec.background_fraction)
+        n_topic = n_index - n_background
+        # Real MeSH indexing is *local*: a citation's concepts cluster
+        # around the specific topics it discusses.  Pick a handful of focus
+        # concepts from the anchor pools and annotate a tight neighborhood
+        # around each, rather than sampling the pool independently.
+        n_foci = rng.randrange(2, 5)
+        foci = self._sample_weighted(pool, weights, min(n_foci, len(pool)))
+        concepts: set = set()
+        per_focus = max(2, n_topic // max(len(foci), 1))
+        for focus in foci:
+            concepts.update(self._focus_cluster(focus, per_focus))
+        concepts.update(self._sample_background(n_background))
+        index_concepts = tuple(sorted(concepts))
+        n_annotations = min(
+            len(index_concepts), max(3, int(rng.gauss(spec.annotations_per_citation, 2)))
+        )
+        annotations = tuple(sorted(rng.sample(index_concepts, n_annotations)))
+        title = "%s: %s and %s in %s" % (
+            spec.keyword,
+            rng.choice(_ABSTRACT_VOCAB),
+            rng.choice(_ABSTRACT_VOCAB),
+            rng.choice(_ABSTRACT_VOCAB),
+        )
+        return Citation(
+            pmid=self._take_pmid(),
+            title=title,
+            abstract=self._make_abstract(spec.keyword),
+            authors=self._make_authors(),
+            year=rng.randrange(1990, 2009),
+            mesh_annotations=annotations,
+            index_concepts=index_concepts,
+        )
+
+    def _focus_cluster(self, focus: int, size: int) -> List[int]:
+        """A tight annotation cluster around one focus concept.
+
+        The cluster is the focus itself, a biased random expansion into its
+        descendants, and (with some probability) its parent — the shape of
+        a real citation's MeSH terms around its main subject heading.
+        """
+        hierarchy = self.hierarchy
+        members = [focus]
+        frontier = list(hierarchy.children(focus))
+        self._rng.shuffle(frontier)
+        while len(members) < size and frontier:
+            node = frontier.pop()
+            members.append(node)
+            if self._rng.random() < 0.5:
+                frontier.extend(hierarchy.children(node))
+        parent = hierarchy.parent(focus)
+        if len(members) < size and parent > 0 and self._rng.random() < 0.6:
+            members.append(parent)
+        return members[:size]
+
+    def _sample_weighted(
+        self, pool: List[int], weights: List[float], count: int
+    ) -> List[int]:
+        """Sample ``count`` distinct concepts proportionally to ``weights``."""
+        if count >= len(pool):
+            return list(pool)
+        chosen: set = set()
+        # random.choices with rejection keeps this O(count) in expectation
+        # while honoring the weights; the pool is much larger than count.
+        attempts = 0
+        while len(chosen) < count and attempts < count * 20:
+            picks = self._rng.choices(pool, weights=weights, k=count - len(chosen))
+            chosen.update(picks)
+            attempts += 1
+        if len(chosen) < count:
+            remaining = [n for n in pool if n not in chosen]
+            chosen.update(self._rng.sample(remaining, count - len(chosen)))
+        return list(chosen)
+
+    def _sample_background(self, count: int) -> List[int]:
+        if count <= 0:
+            return []
+        count = min(count, len(self._background_pool))
+        return self._sample_weighted(
+            self._background_pool, self._background_weights, count
+        )
+
+    def _make_abstract(self, keyword: Optional[str]) -> str:
+        words = self._rng.choices(_ABSTRACT_VOCAB, k=25)
+        if keyword is not None and self._rng.random() < 0.8:
+            words.insert(self._rng.randrange(len(words)), keyword)
+        return "We report that %s." % " ".join(words)
+
+    def _make_authors(self) -> Tuple[str, ...]:
+        n = self._rng.randrange(1, 6)
+        return tuple(
+            "%s %s." % (self._rng.choice(_AUTHOR_SURNAMES), chr(ord("A") + self._rng.randrange(26)))
+            for _ in range(n)
+        )
+
+    def _take_pmid(self) -> int:
+        pmid = self._next_pmid
+        self._next_pmid += 1
+        return pmid

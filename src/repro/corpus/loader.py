@@ -1,0 +1,174 @@
+"""Parser/writer for the MEDLINE text (``.nbib``) citation format.
+
+PubMed exports citations in a line-oriented tagged format::
+
+    PMID- 17284678
+    TI  - Prothymosin alpha and cell proliferation.
+    AB  - We report that prothymosin alpha regulates
+          chromatin remodelling in proliferating cells.
+    AU  - Smith A
+    AU  - Chen B
+    DP  - 2007 Feb
+    MH  - Apoptosis
+    MH  - *Cell Proliferation
+
+Continuation lines are indented with six spaces.  This module parses that
+format into :class:`~repro.corpus.citation.Citation` records (resolving
+``MH`` headings against a concept hierarchy) and writes it back, so the
+reproduction can ingest real PubMed exports and emit its synthetic corpora
+in a form standard MEDLINE tooling understands.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+
+from repro.corpus.citation import Citation
+from repro.hierarchy.concept import ConceptHierarchy
+
+__all__ = ["parse_medline_text", "citations_from_records", "load_medline_text", "dump_medline_text"]
+
+_TAG_RE = re.compile(r"^([A-Z][A-Z0-9]{1,3})\s*- (.*)$")
+_CONTINUATION_PREFIX = "      "
+
+
+def parse_medline_text(lines: Iterable[str]) -> List[Dict[str, List[str]]]:
+    """Parse MEDLINE text into raw records (tag → list of values).
+
+    Records are separated by blank lines; continuation lines (six leading
+    spaces) are folded into the preceding value with a single space.
+    """
+    records: List[Dict[str, List[str]]] = []
+    current: Optional[Dict[str, List[str]]] = None
+    last_tag: Optional[str] = None
+    for raw_line in lines:
+        line = raw_line.rstrip("\n")
+        if not line.strip():
+            if current:
+                records.append(current)
+            current = None
+            last_tag = None
+            continue
+        if line.startswith(_CONTINUATION_PREFIX) and current is not None and last_tag:
+            current[last_tag][-1] += " " + line.strip()
+            continue
+        match = _TAG_RE.match(line)
+        if not match:
+            raise ValueError("cannot parse MEDLINE line: %r" % line)
+        tag, value = match.groups()
+        if current is None:
+            current = {}
+        current.setdefault(tag, []).append(value)
+        last_tag = tag
+    if current:
+        records.append(current)
+    return records
+
+
+def citations_from_records(
+    records: Iterable[Dict[str, List[str]]],
+    hierarchy: Optional[ConceptHierarchy] = None,
+    strict: bool = False,
+) -> List[Citation]:
+    """Convert raw MEDLINE records to :class:`Citation` objects.
+
+    ``MH`` headings are resolved against ``hierarchy`` (major-topic ``*``
+    markers and ``/qualifier`` suffixes are stripped first); unresolvable
+    headings are skipped unless ``strict``.
+
+    Raises:
+        ValueError: records missing PMID or TI; in strict mode also on
+            unresolvable MeSH headings.
+    """
+    citations: List[Citation] = []
+    for record in records:
+        pmids = record.get("PMID")
+        titles = record.get("TI")
+        if not pmids:
+            raise ValueError("MEDLINE record missing PMID")
+        if not titles:
+            raise ValueError("MEDLINE record %s missing TI" % pmids[0])
+        concepts: List[int] = []
+        for heading in record.get("MH", ()):
+            normalized = heading.lstrip("*").split("/")[0].strip()
+            if hierarchy is None:
+                continue
+            try:
+                concepts.append(hierarchy.by_label(normalized))
+            except KeyError:
+                if strict:
+                    raise ValueError("unknown MeSH heading %r" % normalized)
+        year = _parse_year(record.get("DP", [""])[0])
+        annotations = tuple(sorted(set(concepts)))
+        citations.append(
+            Citation(
+                pmid=int(pmids[0]),
+                title=titles[0],
+                abstract=record.get("AB", [""])[0],
+                authors=tuple(record.get("AU", ())),
+                year=year,
+                mesh_annotations=annotations,
+                index_concepts=annotations,
+            )
+        )
+    return citations
+
+
+def load_medline_text(
+    handle: TextIO,
+    hierarchy: Optional[ConceptHierarchy] = None,
+    strict: bool = False,
+) -> List[Citation]:
+    """Parse an open MEDLINE text export into citations."""
+    return citations_from_records(parse_medline_text(handle), hierarchy, strict)
+
+
+def dump_medline_text(
+    citations: Iterable[Citation],
+    handle: TextIO,
+    hierarchy: Optional[ConceptHierarchy] = None,
+    wrap: int = 80,
+) -> int:
+    """Write citations in MEDLINE text format; returns records written.
+
+    MeSH annotations are written as ``MH`` headings when a hierarchy is
+    available to resolve labels.
+    """
+    written = 0
+    for citation in citations:
+        handle.write("PMID- %d\n" % citation.pmid)
+        _write_wrapped(handle, "TI", citation.title, wrap)
+        if citation.abstract:
+            _write_wrapped(handle, "AB", citation.abstract, wrap)
+        for author in citation.authors:
+            handle.write("AU  - %s\n" % author)
+        handle.write("DP  - %d\n" % citation.year)
+        if hierarchy is not None:
+            for concept in citation.mesh_annotations:
+                handle.write("MH  - %s\n" % hierarchy.label(concept))
+        handle.write("\n")
+        written += 1
+    return written
+
+
+# ---------------------------------------------------------------------------
+def _parse_year(date_text: str) -> int:
+    match = re.search(r"\b(1[89]\d\d|20\d\d)\b", date_text)
+    return int(match.group(1)) if match else 1900
+
+
+def _write_wrapped(handle: TextIO, tag: str, text: str, wrap: int) -> None:
+    prefix = "%-4s- " % tag
+    words = text.split()
+    if not words:
+        handle.write(prefix + "\n")
+        return
+    line = prefix + words[0]
+    for word in words[1:]:
+        if len(line) + 1 + len(word) > wrap:
+            handle.write(line + "\n")
+            line = _CONTINUATION_PREFIX + word
+        else:
+            line += " " + word
+    handle.write(line + "\n")

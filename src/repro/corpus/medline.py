@@ -1,0 +1,98 @@
+"""The simulated MEDLINE database.
+
+:class:`MedlineDatabase` plays the role MEDLINE/PubMed plays for BioNav: it
+stores citations and answers two questions the system needs —
+
+* which citations match a keyword query (delegated to the search engine via
+  the simulated eutils client), and
+* how many citations MEDLINE associates with each concept overall, the
+  ``LT(n)`` quantity the EXPLORE probability divides by (paper §IV).
+
+Because materializing 18M background citations is pointless for the
+algorithms, ``LT(n)`` combines the counts contributed by the materialized
+corpus with an optional *background count* per concept supplied by the
+corpus generator (simulating the mass of MEDLINE outside the query topics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.corpus.citation import Citation
+
+__all__ = ["MedlineDatabase"]
+
+
+class MedlineDatabase:
+    """In-memory store of citations plus MEDLINE-wide concept counts."""
+
+    def __init__(self, background_counts: Optional[Dict[int, int]] = None):
+        self._citations: Dict[int, Citation] = {}
+        self._concept_counts: Dict[int, int] = {}
+        self._background: Dict[int, int] = dict(background_counts or {})
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add(self, citation: Citation) -> None:
+        """Insert one citation; PMIDs must be unique."""
+        if citation.pmid in self._citations:
+            raise ValueError("duplicate pmid %d" % citation.pmid)
+        self._citations[citation.pmid] = citation
+        for concept in set(citation.concepts):
+            self._concept_counts[concept] = self._concept_counts.get(concept, 0) + 1
+
+    def add_all(self, citations: Iterable[Citation]) -> None:
+        """Insert many citations (PMIDs must be unique)."""
+        for citation in citations:
+            self.add(citation)
+
+    def set_background_count(self, concept: int, count: int) -> None:
+        """Set the simulated out-of-corpus MEDLINE count for a concept."""
+        if count < 0:
+            raise ValueError("background count must be non-negative")
+        self._background[concept] = count
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._citations)
+
+    def __contains__(self, pmid: int) -> bool:
+        return pmid in self._citations
+
+    def get(self, pmid: int) -> Citation:
+        """Fetch one citation; raises KeyError for unknown PMIDs."""
+        return self._citations[pmid]
+
+    def get_many(self, pmids: Sequence[int]) -> List[Citation]:
+        """Fetch several citations, preserving the requested order."""
+        return [self._citations[pmid] for pmid in pmids]
+
+    def iter_citations(self) -> Iterator[Citation]:
+        """Iterate over all stored citations."""
+        return iter(self._citations.values())
+
+    def pmids(self) -> List[int]:
+        """All stored PMIDs, ascending."""
+        return sorted(self._citations)
+
+    def background_counts(self) -> Dict[int, int]:
+        """Copy of the simulated out-of-corpus counts (for persistence)."""
+        return dict(self._background)
+
+    def medline_count(self, concept: int) -> int:
+        """``LT(n)``: total MEDLINE citations associated with ``concept``.
+
+        Sum of materialized-corpus occurrences and the simulated background.
+        """
+        return self._concept_counts.get(concept, 0) + self._background.get(concept, 0)
+
+    def corpus_count(self, concept: int) -> int:
+        """Citations in the materialized corpus associated with ``concept``."""
+        return self._concept_counts.get(concept, 0)
+
+    def concepts_of(self, pmid: int) -> Sequence[int]:
+        """Association set of one citation (KeyError when absent)."""
+        return self._citations[pmid].concepts

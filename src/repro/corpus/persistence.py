@@ -1,0 +1,94 @@
+"""JSONL persistence for the simulated MEDLINE database.
+
+The BioNav database has JSON persistence (``BioNavDatabase.save``); the
+corpus itself gets the same treatment here so a generated workload can be
+frozen to disk and shared — one JSON object per citation (the JSONL
+convention), plus a header object carrying the background LT counts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.corpus.citation import Citation
+from repro.corpus.medline import MedlineDatabase
+
+__all__ = ["save_medline_jsonl", "load_medline_jsonl"]
+
+_HEADER_KIND = "medline-header"
+_CITATION_KIND = "citation"
+_FORMAT_VERSION = 1
+
+
+def save_medline_jsonl(medline: MedlineDatabase, handle: TextIO) -> int:
+    """Write the database as JSON lines; returns citations written.
+
+    The first line is a header with the format version and the simulated
+    background counts; each further line is one citation.
+    """
+    background = {
+        str(concept): count for concept, count in medline.background_counts().items()
+    }
+    header = {
+        "kind": _HEADER_KIND,
+        "version": _FORMAT_VERSION,
+        "background_counts": background,
+    }
+    handle.write(json.dumps(header) + "\n")
+    written = 0
+    for pmid in medline.pmids():
+        citation = medline.get(pmid)
+        record = {
+            "kind": _CITATION_KIND,
+            "pmid": citation.pmid,
+            "title": citation.title,
+            "abstract": citation.abstract,
+            "authors": list(citation.authors),
+            "year": citation.year,
+            "mesh_annotations": list(citation.mesh_annotations),
+            "index_concepts": list(citation.index_concepts),
+        }
+        handle.write(json.dumps(record) + "\n")
+        written += 1
+    return written
+
+
+def load_medline_jsonl(handle: TextIO) -> MedlineDatabase:
+    """Rebuild a database written by :func:`save_medline_jsonl`.
+
+    Raises:
+        ValueError: missing/invalid header, unsupported version, or an
+            unknown record kind.
+    """
+    first = handle.readline()
+    if not first.strip():
+        raise ValueError("empty file: expected a medline-header line")
+    header = json.loads(first)
+    if header.get("kind") != _HEADER_KIND:
+        raise ValueError("first line is not a medline-header record")
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError("unsupported format version %r" % header.get("version"))
+    background = {
+        int(concept): count
+        for concept, count in header.get("background_counts", {}).items()
+    }
+    medline = MedlineDatabase(background_counts=background)
+    for line in handle:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("kind") != _CITATION_KIND:
+            raise ValueError("unexpected record kind %r" % record.get("kind"))
+        medline.add(
+            Citation(
+                pmid=record["pmid"],
+                title=record["title"],
+                abstract=record.get("abstract", ""),
+                authors=tuple(record.get("authors", ())),
+                year=record.get("year", 2008),
+                mesh_annotations=tuple(record.get("mesh_annotations", ())),
+                index_concepts=tuple(record.get("index_concepts", ())),
+            )
+        )
+    return medline

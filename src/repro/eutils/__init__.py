@@ -1,0 +1,17 @@
+"""Simulated Entrez Programming Utilities (ESearch/ESummary/EFetch)."""
+
+from repro.eutils.client import EntrezClient, ESearchResult
+from repro.eutils.errors import BadRequestError, EutilsError, RateLimitExceeded, UnknownIdError
+from repro.eutils.history import HistoryEntrezClient, HistoryKey, HistoryServer
+
+__all__ = [
+    "BadRequestError",
+    "ESearchResult",
+    "EntrezClient",
+    "EutilsError",
+    "HistoryEntrezClient",
+    "HistoryKey",
+    "HistoryServer",
+    "RateLimitExceeded",
+    "UnknownIdError",
+]

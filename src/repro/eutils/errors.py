@@ -1,0 +1,26 @@
+"""Error types for the simulated Entrez eutils client."""
+
+from __future__ import annotations
+
+__all__ = ["EutilsError", "RateLimitExceeded", "UnknownIdError", "BadRequestError"]
+
+
+class EutilsError(Exception):
+    """Base class for simulated eutils failures."""
+
+
+class RateLimitExceeded(EutilsError):
+    """Raised when the simulated per-window request quota is exhausted.
+
+    NCBI enforces ~3 requests/second without an API key; the paper's
+    off-line harvest took ~20 days largely because of this limit.  The
+    simulation raises instead of sleeping so tests can assert on it.
+    """
+
+
+class UnknownIdError(EutilsError):
+    """An ESummary/EFetch request referenced a PMID that does not exist."""
+
+
+class BadRequestError(EutilsError):
+    """Malformed parameters (negative paging offsets, empty id lists, ...)."""

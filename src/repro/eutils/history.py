@@ -1,0 +1,132 @@
+"""Entrez history server simulation (WebEnv / query_key).
+
+Real eutils clients harvesting large result sets — like BioNav's 20-day
+offline pass — use the history server: ``esearch?usehistory=y`` stores the
+result set server-side and returns a ``WebEnv`` session plus a
+``query_key``; subsequent ``esummary``/``efetch`` calls page through the
+stored set by reference instead of shipping ID lists back and forth.
+
+:class:`HistoryServer` provides that storage, and
+:class:`HistoryEntrezClient` layers the usehistory workflow over the plain
+simulated client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.citation import Citation, DocSummary
+from repro.corpus.medline import MedlineDatabase
+from repro.eutils.client import EntrezClient
+from repro.eutils.errors import BadRequestError
+
+__all__ = ["HistoryKey", "HistoryServer", "HistoryEntrezClient"]
+
+
+@dataclass(frozen=True)
+class HistoryKey:
+    """Handle to a stored result set: the WebEnv plus its query_key."""
+
+    webenv: str
+    query_key: int
+
+
+class HistoryServer:
+    """Server-side storage of named result sets."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, List[Tuple[str, Tuple[int, ...]]]] = {}
+        self._counter = 0
+
+    def new_session(self) -> str:
+        """Open a fresh WebEnv session and return its identifier."""
+        self._counter += 1
+        webenv = "WEBENV%06d" % self._counter
+        self._sessions[webenv] = []
+        return webenv
+
+    def store(self, webenv: Optional[str], query: str, pmids: Sequence[int]) -> HistoryKey:
+        """Store a result set; creates a session when ``webenv`` is None."""
+        if webenv is None:
+            webenv = self.new_session()
+        if webenv not in self._sessions:
+            raise BadRequestError("unknown WebEnv %r" % webenv)
+        self._sessions[webenv].append((query, tuple(pmids)))
+        return HistoryKey(webenv=webenv, query_key=len(self._sessions[webenv]))
+
+    def fetch(self, key: HistoryKey) -> Tuple[int, ...]:
+        """The stored PMIDs for a (WebEnv, query_key) pair."""
+        session = self._sessions.get(key.webenv)
+        if session is None:
+            raise BadRequestError("unknown WebEnv %r" % key.webenv)
+        if not 1 <= key.query_key <= len(session):
+            raise BadRequestError(
+                "query_key %d out of range for %s" % (key.query_key, key.webenv)
+            )
+        return session[key.query_key - 1][1]
+
+    def query_of(self, key: HistoryKey) -> str:
+        """The query string stored under a history key."""
+        self.fetch(key)  # validates
+        return self._sessions[key.webenv][key.query_key - 1][0]
+
+
+class HistoryEntrezClient:
+    """The ``usehistory=y`` eutils workflow over the simulated client."""
+
+    def __init__(self, medline: MedlineDatabase, client: Optional[EntrezClient] = None):
+        self._client = client or EntrezClient(medline)
+        self._history = HistoryServer()
+
+    @property
+    def history(self) -> HistoryServer:
+        """The underlying history server (for inspection)."""
+        return self._history
+
+    # ------------------------------------------------------------------
+    def esearch_usehistory(
+        self, term: str, webenv: Optional[str] = None
+    ) -> Tuple[HistoryKey, int]:
+        """ESearch with usehistory=y: store the full set, return its key.
+
+        Returns (history key, total result count).  Passing an existing
+        ``webenv`` appends to that session (query_key increments), as the
+        real history server does.
+        """
+        pmids = self._client.esearch_all(term)
+        key = self._history.store(webenv, term, pmids)
+        return key, len(pmids)
+
+    def esummary_page(
+        self, key: HistoryKey, retstart: int = 0, retmax: int = 20
+    ) -> List[DocSummary]:
+        """ESummary over a stored set, by reference, with paging."""
+        if retstart < 0 or retmax < 0:
+            raise BadRequestError("retstart/retmax must be non-negative")
+        pmids = self._history.fetch(key)[retstart : retstart + retmax]
+        if not pmids:
+            return []
+        return self._client.esummary(pmids)
+
+    def efetch_page(
+        self, key: HistoryKey, retstart: int = 0, retmax: int = 20
+    ) -> List[Citation]:
+        """EFetch over a stored set, by reference, with paging."""
+        if retstart < 0 or retmax < 0:
+            raise BadRequestError("retstart/retmax must be non-negative")
+        pmids = self._history.fetch(key)[retstart : retstart + retmax]
+        if not pmids:
+            return []
+        return self._client.efetch(pmids)
+
+    def iterate_summaries(self, key: HistoryKey, page_size: int = 100):
+        """Generator over all summaries of a stored set, page by page."""
+        start = 0
+        while True:
+            page = self.esummary_page(key, retstart=start, retmax=page_size)
+            if not page:
+                return
+            for summary in page:
+                yield summary
+            start += len(page)

@@ -1,0 +1,91 @@
+"""Hierarchy shape statistics.
+
+DESIGN.md claims the synthetic hierarchies reproduce the shape properties
+of real MeSH that the algorithms depend on — bushy upper levels, ~11
+levels of depth, long-tailed branching.  This module computes those
+statistics so the claim is checkable (and checked, in the generator tests
+and workload builder) rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hierarchy.concept import ConceptHierarchy
+
+__all__ = ["ShapeStats", "shape_stats", "level_widths", "branching_histogram"]
+
+
+@dataclass(frozen=True)
+class ShapeStats:
+    """Summary shape statistics of one hierarchy.
+
+    Attributes:
+        size: number of concepts (root included).
+        height: deepest level.
+        root_fanout: children of the root.
+        max_width: widest level's node count.
+        widest_level: depth of the widest level.
+        leaf_fraction: share of concepts that are leaves.
+        mean_branching: mean child count over internal (non-leaf) nodes.
+        max_branching: largest child count of any node.
+    """
+
+    size: int
+    height: int
+    root_fanout: int
+    max_width: int
+    widest_level: int
+    leaf_fraction: float
+    mean_branching: float
+    max_branching: int
+
+
+def level_widths(hierarchy: ConceptHierarchy) -> Dict[int, int]:
+    """Node count per depth level."""
+    widths: Dict[int, int] = {}
+    for node in hierarchy.iter_dfs():
+        depth = hierarchy.depth(node)
+        widths[depth] = widths.get(depth, 0) + 1
+    return widths
+
+
+def branching_histogram(hierarchy: ConceptHierarchy) -> Dict[int, int]:
+    """Histogram of child counts over all nodes (leaves included as 0)."""
+    histogram: Dict[int, int] = {}
+    for node in hierarchy.iter_dfs():
+        fanout = len(hierarchy.children(node))
+        histogram[fanout] = histogram.get(fanout, 0) + 1
+    return histogram
+
+
+def shape_stats(hierarchy: ConceptHierarchy) -> ShapeStats:
+    """Compute the full shape summary for one hierarchy."""
+    widths = level_widths(hierarchy)
+    widest_level, max_width = max(widths.items(), key=lambda item: (item[1], -item[0]))
+    leaves = 0
+    internal_children: List[int] = []
+    max_branching = 0
+    for node in hierarchy.iter_dfs():
+        fanout = len(hierarchy.children(node))
+        max_branching = max(max_branching, fanout)
+        if fanout == 0:
+            leaves += 1
+        else:
+            internal_children.append(fanout)
+    size = len(hierarchy)
+    return ShapeStats(
+        size=size,
+        height=max(widths),
+        root_fanout=len(hierarchy.children(hierarchy.root)),
+        max_width=max_width,
+        widest_level=widest_level,
+        leaf_fraction=leaves / size if size else 0.0,
+        mean_branching=(
+            sum(internal_children) / len(internal_children)
+            if internal_children
+            else 0.0
+        ),
+        max_branching=max_branching,
+    )

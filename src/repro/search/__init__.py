@@ -1,0 +1,41 @@
+"""Keyword query engine: conjunctive search, TF-IDF ranking, and the
+PubMed-style query language with field tags and phrases."""
+
+from repro.search.engine import QueryResult, SearchEngine
+from repro.search.evaluator import FieldedEngineAdapter, FieldedSearchEngine
+from repro.search.query_language import (
+    And,
+    Not,
+    Or,
+    QuerySyntaxError,
+    Term,
+    format_query,
+    parse_query,
+)
+from repro.search.ranking import rank_results, tf_idf_score
+from repro.search.suggest import (
+    ConceptSuggestion,
+    TermSuggestion,
+    suggest_concepts,
+    suggest_terms,
+)
+
+__all__ = [
+    "And",
+    "ConceptSuggestion",
+    "FieldedEngineAdapter",
+    "FieldedSearchEngine",
+    "Not",
+    "Or",
+    "QueryResult",
+    "QuerySyntaxError",
+    "SearchEngine",
+    "TermSuggestion",
+    "Term",
+    "format_query",
+    "parse_query",
+    "rank_results",
+    "suggest_concepts",
+    "suggest_terms",
+    "tf_idf_score",
+]

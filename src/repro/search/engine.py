@@ -1,0 +1,64 @@
+"""Keyword query engine over the simulated MEDLINE corpus.
+
+This is the server-side piece PubMed provides in the paper's architecture:
+given a keyword query it returns the matching citation IDs, ranked.  The
+simulated eutils client (``repro.eutils.client``) wraps this engine with the
+ESearch wire-level conventions (retstart/retmax paging, counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.corpus.medline import MedlineDatabase
+from repro.search.ranking import rank_results
+from repro.storage.index import InvertedIndex
+
+__all__ = ["QueryResult", "SearchEngine"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one keyword query.
+
+    Attributes:
+        query: the query string as submitted.
+        pmids: matching citation IDs in rank order.
+    """
+
+    query: str
+    pmids: Tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of matching citations."""
+        return len(self.pmids)
+
+
+class SearchEngine:
+    """Conjunctive keyword search with TF-IDF ranking."""
+
+    def __init__(self, medline: MedlineDatabase, index: InvertedIndex):
+        self._medline = medline
+        self._index = index
+        self._years: Dict[int, int] = {
+            citation.pmid: citation.year for citation in medline.iter_citations()
+        }
+
+    @classmethod
+    def from_medline(cls, medline: MedlineDatabase) -> "SearchEngine":
+        """Build the index from scratch over a corpus."""
+        index = InvertedIndex()
+        for citation in medline.iter_citations():
+            index.add_document(citation.pmid, citation.searchable_text())
+        return cls(medline, index)
+
+    def search(self, query: str) -> QueryResult:
+        """All citations matching every query term, ranked."""
+        matches = self._index.search(query)
+        ranked = rank_results(self._index, sorted(matches), query, self._years)
+        return QueryResult(query=query, pmids=tuple(ranked))
+
+    def __len__(self) -> int:
+        return len(self._medline)

@@ -1,0 +1,258 @@
+"""PubMed-style query language: booleans, phrases, and field tags.
+
+BioNav's front door is a PubMed keyword box, and real PubMed queries go
+beyond bare conjunctions: biologists write things like::
+
+    prothymosin AND (apoptosis[mh] OR "cell proliferation") NOT review[ti]
+
+This module parses that surface into an AST and evaluates it against the
+simulated corpus:
+
+* ``AND`` / ``OR`` / ``NOT`` (left-associative; ``AND`` binds tighter than
+  ``OR``; bare juxtaposition means ``AND``, as in PubMed),
+* parentheses,
+* quoted phrases (matched as ordered adjacent tokens), and
+* field tags — ``term[ti]`` (title), ``term[ab]`` (abstract),
+  ``term[mh]`` (MeSH concept annotation, exploded to descendants),
+  ``term[mh:noexp]`` (the annotation alone, no explosion), and
+  ``term[all]``/untagged (any text field).
+
+Grammar::
+
+    query   := or_expr
+    or_expr := and_expr (OR and_expr)*
+    and_expr:= unary ((AND)? unary)*        # juxtaposition is AND
+    unary   := NOT unary | atom
+    atom    := '(' query ')' | term
+    term    := PHRASE tag? | WORD tag?
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple, Union
+
+__all__ = [
+    "QuerySyntaxError",
+    "Term",
+    "And",
+    "Or",
+    "Not",
+    "parse_query",
+    "format_query",
+]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed query strings."""
+
+
+VALID_FIELDS = ("all", "ti", "ab", "mh", "mh:noexp")
+
+
+@dataclass(frozen=True)
+class Term:
+    """A single search term or quoted phrase, optionally field-tagged.
+
+    Attributes:
+        text: the raw term or phrase (unquoted).
+        field: one of ``all``, ``ti``, ``ab``, ``mh``.
+        phrase: True when the term was quoted (ordered-adjacency match).
+    """
+
+    text: str
+    field: str = "all"
+    phrase: bool = False
+
+    def __post_init__(self) -> None:
+        if self.field not in VALID_FIELDS:
+            raise QuerySyntaxError("unknown field tag [%s]" % self.field)
+        if not self.text.strip():
+            raise QuerySyntaxError("empty search term")
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Node"
+    right: "Node"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Node"
+    right: "Node"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Node"
+
+
+Node = Union[Term, And, Or, Not]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        \( | \)                              # parens
+      | "(?P<phrase>[^"]*)"                  # quoted phrase
+      | \[(?P<field>[A-Za-z:]+)\]            # field tag
+      | (?P<word>[^\s()\[\]"]+)              # bare word (incl. AND/OR/NOT)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(query: str) -> List[Tuple[str, str]]:
+    """Token stream: (kind, value) with kinds lparen/rparen/phrase/field/word."""
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(query):
+        match = _TOKEN_RE.match(query, position)
+        if match is None:
+            if query[position:].strip() == "":
+                break
+            raise QuerySyntaxError(
+                "cannot tokenize query at position %d: %r" % (position, query[position:])
+            )
+        position = match.end()
+        if match.group("phrase") is not None:
+            tokens.append(("phrase", match.group("phrase")))
+        elif match.group("field") is not None:
+            tokens.append(("field", match.group("field").lower()))
+        elif match.group("word") is not None:
+            tokens.append(("word", match.group("word")))
+        else:
+            text = match.group(1)
+            tokens.append(("lparen" if text == "(" else "rparen", text))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Node:
+        node = self._or_expr()
+        if not self._at_end():
+            raise QuerySyntaxError(
+                "unexpected token %r after end of query" % (self._peek()[1],)
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    def _or_expr(self) -> Node:
+        node = self._and_expr()
+        while self._is_keyword("OR"):
+            self._advance()
+            node = Or(node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> Node:
+        node = self._unary()
+        while True:
+            if self._is_keyword("AND"):
+                self._advance()
+                node = And(node, self._unary())
+                continue
+            if self._starts_atom():
+                # Juxtaposition: "prothymosin apoptosis" means AND.
+                node = And(node, self._unary())
+                continue
+            return node
+
+    def _unary(self) -> Node:
+        if self._is_keyword("NOT"):
+            self._advance()
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Node:
+        if self._at_end():
+            raise QuerySyntaxError("unexpected end of query")
+        kind, value = self._peek()
+        if kind == "lparen":
+            self._advance()
+            node = self._or_expr()
+            if self._at_end() or self._peek()[0] != "rparen":
+                raise QuerySyntaxError("missing closing parenthesis")
+            self._advance()
+            return node
+        if kind == "phrase":
+            self._advance()
+            return Term(text=value, field=self._maybe_field(), phrase=True)
+        if kind == "word":
+            if value.upper() in ("AND", "OR", "NOT"):
+                raise QuerySyntaxError("operator %r cannot start a term" % value)
+            self._advance()
+            return Term(text=value, field=self._maybe_field(), phrase=False)
+        raise QuerySyntaxError("unexpected token %r" % (value,))
+
+    def _maybe_field(self) -> str:
+        if not self._at_end() and self._peek()[0] == "field":
+            field = self._peek()[1]
+            self._advance()
+            if field not in VALID_FIELDS:
+                raise QuerySyntaxError("unknown field tag [%s]" % field)
+            return field
+        return "all"
+
+    # ------------------------------------------------------------------
+    def _starts_atom(self) -> bool:
+        if self._at_end():
+            return False
+        kind, value = self._peek()
+        if kind in ("phrase", "lparen"):
+            return True
+        if kind == "word":
+            return value.upper() != "OR" and value.upper() != "AND"
+        return False
+
+    def _is_keyword(self, keyword: str) -> bool:
+        if self._at_end():
+            return False
+        kind, value = self._peek()
+        return kind == "word" and value.upper() == keyword
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._position]
+
+    def _advance(self) -> None:
+        self._position += 1
+
+    def _at_end(self) -> bool:
+        return self._position >= len(self._tokens)
+
+
+def parse_query(query: str) -> Node:
+    """Parse a PubMed-style query string into an AST.
+
+    Raises:
+        QuerySyntaxError: on malformed input (including the empty query).
+    """
+    tokens = _tokenize(query)
+    if not tokens:
+        raise QuerySyntaxError("empty query")
+    return _Parser(tokens).parse()
+
+
+def format_query(node: Node) -> str:
+    """Render an AST back to query-string syntax.
+
+    The output is fully parenthesized below the top level and always uses
+    explicit ``AND``, so ``parse_query(format_query(x))`` reproduces ``x``
+    for every AST (round-trip property-tested).
+    """
+    if isinstance(node, Term):
+        text = '"%s"' % node.text if node.phrase else node.text
+        return text if node.field == "all" else "%s[%s]" % (text, node.field)
+    if isinstance(node, And):
+        return "(%s AND %s)" % (format_query(node.left), format_query(node.right))
+    if isinstance(node, Or):
+        return "(%s OR %s)" % (format_query(node.left), format_query(node.right))
+    if isinstance(node, Not):
+        return "(NOT %s)" % format_query(node.operand)
+    raise TypeError("unknown query node %r" % (node,))

@@ -1,0 +1,49 @@
+"""TF-IDF ranking of keyword-search results.
+
+BioNav augments categorization with "simple ranking techniques" (paper §I);
+the simulated ESearch returns result PMIDs ranked by a standard
+log-scaled TF-IDF score over titles and abstracts, with recency as the tie
+breaker (PubMed's default sort is effectively most-recent-first).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.storage.index import InvertedIndex, tokenize
+
+__all__ = ["tf_idf_score", "rank_results"]
+
+
+def tf_idf_score(index: InvertedIndex, doc_id: int, terms: Sequence[str]) -> float:
+    """Sum over query terms of log-TF × IDF for one document.
+
+    Uses ``(1 + log tf) * log((N + 1) / (df + 1))`` with natural logs; a
+    term absent from the document contributes zero.
+    """
+    n_docs = len(index)
+    score = 0.0
+    for term, tf in zip(terms, index.term_frequencies(doc_id, terms)):
+        if tf == 0:
+            continue
+        df = index.document_frequency(term)
+        idf = math.log((n_docs + 1) / (df + 1))
+        score += (1.0 + math.log(tf)) * idf
+    return score
+
+
+def rank_results(
+    index: InvertedIndex,
+    doc_ids: Sequence[int],
+    query: str,
+    years: Dict[int, int],
+) -> List[int]:
+    """Order ``doc_ids`` by descending TF-IDF, then recency, then PMID."""
+    terms = tokenize(query)
+    scored: List[Tuple[float, int, int]] = []
+    for doc_id in doc_ids:
+        score = tf_idf_score(index, doc_id, terms)
+        scored.append((score, years.get(doc_id, 0), doc_id))
+    scored.sort(key=lambda item: (-item[0], -item[1], item[2]))
+    return [doc_id for _, _, doc_id in scored]

@@ -1,0 +1,139 @@
+"""Query refinement suggestions (the §IX systems, as a feature).
+
+The paper situates BioNav against query-refinement tools: PubMed
+PubReMiner "outputs a long list of all MeSH concepts associated with each
+query along with their citation count", and XplorMed "performs statistical
+analysis of the words in the abstracts of the citations in the query
+result and proposes query refinements".  Both are straightforward over
+our substrate, and they complement navigation: a refinement shrinks the
+result set *before* the tree is built.
+
+* :func:`suggest_concepts` — PubReMiner-style: the MeSH concepts most
+  associated with the result set, with counts.
+* :func:`suggest_terms` — XplorMed-style: abstract/title terms that are
+  statistically enriched in the result set relative to the whole corpus
+  (log-odds with add-one smoothing), each usable as an ``AND`` refinement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.storage.index import tokenize
+
+__all__ = ["ConceptSuggestion", "TermSuggestion", "suggest_concepts", "suggest_terms"]
+
+
+@dataclass(frozen=True)
+class ConceptSuggestion:
+    """One PubReMiner-style row: a concept and its result-set count."""
+
+    concept: int
+    label: str
+    count: int
+    fraction: float
+
+
+@dataclass(frozen=True)
+class TermSuggestion:
+    """One XplorMed-style refinement term.
+
+    Attributes:
+        term: the token, usable directly as an AND refinement.
+        result_count: result citations containing it.
+        corpus_count: corpus citations containing it.
+        score: smoothed log-odds of the term being result-specific.
+    """
+
+    term: str
+    result_count: int
+    corpus_count: int
+    score: float
+
+
+def suggest_concepts(
+    medline: MedlineDatabase,
+    hierarchy: ConceptHierarchy,
+    pmids: Sequence[int],
+    top_k: int = 20,
+) -> List[ConceptSuggestion]:
+    """The MeSH concepts most associated with a result set, with counts.
+
+    Returns up to ``top_k`` suggestions, ordered by descending count
+    (ties by label), exactly the list PubReMiner shows for refinement.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+    counts: Dict[int, int] = {}
+    for pmid in pmids:
+        for concept in set(medline.get(pmid).concepts):
+            counts[concept] = counts.get(concept, 0) + 1
+    n = max(len(pmids), 1)
+    ranked = sorted(
+        counts.items(), key=lambda item: (-item[1], hierarchy.label(item[0]))
+    )
+    return [
+        ConceptSuggestion(
+            concept=concept,
+            label=hierarchy.label(concept),
+            count=count,
+            fraction=count / n,
+        )
+        for concept, count in ranked[:top_k]
+    ]
+
+
+def suggest_terms(
+    medline: MedlineDatabase,
+    pmids: Sequence[int],
+    top_k: int = 15,
+    min_result_count: int = 3,
+) -> List[TermSuggestion]:
+    """Result-enriched text terms, ranked by smoothed log-odds.
+
+    A term scores high when it appears in many result citations but few
+    others — the XplorMed signal for a useful refinement.  Query-ubiquitous
+    terms (present in nearly every result citation) are excluded: ANDing
+    them would not narrow anything.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+    result_set: Set[int] = set(pmids)
+    n_results = len(result_set)
+    if n_results == 0:
+        return []
+    result_df: Dict[str, int] = {}
+    corpus_df: Dict[str, int] = {}
+    n_corpus = 0
+    for citation in medline.iter_citations():
+        n_corpus += 1
+        tokens = set(tokenize(citation.searchable_text()))
+        for token in tokens:
+            corpus_df[token] = corpus_df.get(token, 0) + 1
+            if citation.pmid in result_set:
+                result_df[token] = result_df.get(token, 0) + 1
+    n_rest = max(n_corpus - n_results, 1)
+    scored: List[Tuple[float, str]] = []
+    for term, in_results in result_df.items():
+        if in_results < min_result_count:
+            continue
+        if in_results >= 0.9 * n_results:
+            continue  # ubiquitous within the result: useless refinement
+        in_rest = corpus_df[term] - in_results
+        odds_result = (in_results + 1) / (n_results - in_results + 1)
+        odds_rest = (in_rest + 1) / (n_rest - in_rest + 1)
+        scored.append((math.log(odds_result / odds_rest), term))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    return [
+        TermSuggestion(
+            term=term,
+            result_count=result_df[term],
+            corpus_count=corpus_df[term],
+            score=score,
+        )
+        for score, term in scored[:top_k]
+    ]

@@ -1,0 +1,76 @@
+"""LRU cache for per-query navigation state.
+
+The deployed BioNav constructs each query's navigation tree once and then
+serves every EXPAND/SHOWRESULTS of that user session from it (paper §VII:
+"this process is done once for each user query").  A multi-user deployment
+additionally wants to share that work across users issuing the same query;
+:class:`LRUCache` provides the bounded store the web layer uses for that,
+with hit/miss statistics for capacity planning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, Optional, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping evicting the least-recently-used entry."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """Value for ``key`` (refreshing its recency), or None."""
+        if key not in self._entries:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh an entry, evicting the LRU one when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Fetch ``key`` or build it with ``factory`` and cache the result."""
+        value = self.get(key)
+        if value is None and key not in self._entries:
+            value = factory()
+            self.put(key, value)
+        return value  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,153 @@
+"""The BioNav database (paper §VII).
+
+:class:`BioNavDatabase` is the product of BioNav's off-line pre-processing:
+it holds the MeSH hierarchy, the concept–citation association tables (both
+normalized and denormalized), the per-concept MEDLINE-wide counts, and the
+keyword index the simulated ESearch runs over.
+
+The paper harvested associations by issuing one PubMed query per MeSH
+concept over ~20 days; :meth:`BioNavDatabase.build` performs the equivalent
+extraction directly from the simulated :class:`MedlineDatabase` in one pass.
+A JSON save/load round-trip is provided so pre-processing can be cached
+between runs, mirroring the persistent Oracle store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.storage.index import InvertedIndex
+from repro.storage.tables import (
+    AssociationTable,
+    ConceptStatsTable,
+    DenormalizedCitationTable,
+)
+
+__all__ = ["BioNavDatabase"]
+
+
+class BioNavDatabase:
+    """Off-line artifact store: hierarchy + associations + keyword index."""
+
+    def __init__(
+        self,
+        hierarchy: ConceptHierarchy,
+        associations: AssociationTable,
+        denormalized: DenormalizedCitationTable,
+        stats: ConceptStatsTable,
+        index: InvertedIndex,
+    ):
+        self.hierarchy = hierarchy
+        self.associations = associations
+        self.denormalized = denormalized
+        self.stats = stats
+        self.index = index
+
+    # ------------------------------------------------------------------
+    # Off-line pre-processing
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, hierarchy: ConceptHierarchy, medline: MedlineDatabase
+    ) -> "BioNavDatabase":
+        """Run the off-line pre-processing pass over a MEDLINE snapshot."""
+        associations = AssociationTable()
+        index = InvertedIndex()
+        for citation in medline.iter_citations():
+            for concept in set(citation.concepts):
+                associations.insert(concept, citation.pmid)
+            index.add_document(citation.pmid, citation.searchable_text())
+        stats = ConceptStatsTable()
+        for concept in range(len(hierarchy)):
+            count = medline.medline_count(concept)
+            if count:
+                stats.set_count(concept, count)
+        return cls(
+            hierarchy=hierarchy,
+            associations=associations,
+            denormalized=associations.denormalize(),
+            stats=stats,
+            index=index,
+        )
+
+    # ------------------------------------------------------------------
+    # Online access paths
+    # ------------------------------------------------------------------
+    def concepts_of_citations(
+        self, pmids: Sequence[int]
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Concept lists for a query result (denormalized access path)."""
+        return self.denormalized.get_many(pmids)
+
+    def annotations_for_result(self, pmids: Sequence[int]) -> Dict[int, FrozenSet[int]]:
+        """concept → set of result PMIDs attached to it.
+
+        This is exactly the input the initial navigation tree needs: the
+        restriction of the association table to the query result.
+        """
+        by_concept: Dict[int, set] = {}
+        for pmid, concepts in self.denormalized.get_many(pmids).items():
+            for concept in concepts:
+                by_concept.setdefault(concept, set()).add(pmid)
+        return {concept: frozenset(ids) for concept, ids in by_concept.items()}
+
+    def medline_count(self, concept: int) -> int:
+        """``LT(n)`` for the EXPLORE probability."""
+        return self.stats.count(concept)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize everything except the keyword index to JSON.
+
+        The index is cheap to rebuild from the corpus and dominates file
+        size, so persistence stores only the pre-processing outputs the
+        paper kept in Oracle: hierarchy, associations, and concept stats.
+        """
+        payload = {
+            "hierarchy": [list(r) for r in self.hierarchy.to_records()],
+            "associations": [list(row) for row in self.associations.iter_rows()],
+            "stats": [list(item) for item in self.stats.items()],
+        }
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str, medline: Optional[MedlineDatabase] = None) -> "BioNavDatabase":
+        """Load a saved database; rebuilds the keyword index from ``medline``.
+
+        Args:
+            path: file written by :meth:`save`.
+            medline: corpus used to rebuild the keyword index; when omitted
+                the index is left empty (navigation still works from PMIDs).
+        """
+        with open(path) as handle:
+            payload = json.load(handle)
+        hierarchy = ConceptHierarchy.from_records(
+            (uid, label, parent) for uid, label, parent in payload["hierarchy"]
+        )
+        associations = AssociationTable()
+        associations.insert_many(
+            (concept, pmid) for concept, pmid in payload["associations"]
+        )
+        stats = ConceptStatsTable()
+        for concept, count in payload["stats"]:
+            stats.set_count(concept, count)
+        index = InvertedIndex()
+        if medline is not None:
+            for citation in medline.iter_citations():
+                index.add_document(citation.pmid, citation.searchable_text())
+        return cls(
+            hierarchy=hierarchy,
+            associations=associations,
+            denormalized=associations.denormalize(),
+            stats=stats,
+            index=index,
+        )

@@ -1,0 +1,95 @@
+"""Inverted keyword index over citation text.
+
+PubMed resolves keyword queries server-side; our simulated ESearch needs a
+local equivalent.  :class:`InvertedIndex` tokenizes titles and abstracts,
+maintains postings with term frequencies, and supports conjunctive (AND)
+retrieval — the semantics PubMed applies to multi-term queries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["tokenize", "InvertedIndex"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9+/\-]*")
+
+# Minimal stopword list; PubMed ignores these in queries too.
+_STOPWORDS = frozenset(
+    "a an and are as at be by for from has in is it of on or that the to was we with".split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens, keeping biomedical +/- and hyphens.
+
+    ``"Na+/I- symporter"`` tokenizes to ``["na+/i-", "symporter"]`` so
+    transporter names survive as single searchable terms.
+    """
+    return [t for t in _TOKEN_RE.findall(text.lower()) if t not in _STOPWORDS]
+
+
+class InvertedIndex:
+    """Term → postings index with conjunctive retrieval."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[int, int]] = {}
+        self._doc_lengths: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def add_document(self, doc_id: int, text: str) -> None:
+        """Index one document; re-adding a doc_id raises ValueError."""
+        if doc_id in self._doc_lengths:
+            raise ValueError("document %d already indexed" % doc_id)
+        tokens = tokenize(text)
+        self._doc_lengths[doc_id] = len(tokens)
+        for token in tokens:
+            bucket = self._postings.setdefault(token, {})
+            bucket[doc_id] = bucket.get(doc_id, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._postings)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def postings(self, term: str) -> Dict[int, int]:
+        """doc_id → term frequency for one (already lowercased) term."""
+        return dict(self._postings.get(term, {}))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, {}))
+
+    def doc_length(self, doc_id: int) -> int:
+        """Token count of one document (0 when unknown)."""
+        return self._doc_lengths.get(doc_id, 0)
+
+    def search(self, query: str) -> Set[int]:
+        """Documents containing *all* query terms (PubMed AND semantics).
+
+        An empty or all-stopword query matches nothing.
+        """
+        terms = tokenize(query)
+        if not terms:
+            return set()
+        # Intersect smallest-first for speed.
+        ordered = sorted(set(terms), key=self.document_frequency)
+        result: Set[int] = set(self._postings.get(ordered[0], {}))
+        for term in ordered[1:]:
+            if not result:
+                break
+            result &= self._postings.get(term, {}).keys()
+        return result
+
+    def term_frequencies(self, doc_id: int, terms: Sequence[str]) -> List[int]:
+        """Term frequency of each query term within one document."""
+        return [self._postings.get(term, {}).get(doc_id, 0) for term in terms]

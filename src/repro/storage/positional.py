@@ -1,0 +1,81 @@
+"""Positional inverted index — phrase queries over citation text.
+
+The plain :class:`~repro.storage.index.InvertedIndex` answers bag-of-words
+conjunctions; quoted phrases (``"cell proliferation"``) additionally need
+token positions so adjacency can be verified.  This index stores, per
+term, the ordered positions at which it occurs in each document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.storage.index import tokenize
+
+__all__ = ["PositionalIndex"]
+
+
+class PositionalIndex:
+    """Term → {doc_id → sorted token positions}."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[int, List[int]]] = {}
+        self._doc_ids: Set[int] = set()
+
+    def add_document(self, doc_id: int, text: str) -> None:
+        """Index one document; re-adding a doc_id raises ValueError."""
+        if doc_id in self._doc_ids:
+            raise ValueError("document %d already indexed" % doc_id)
+        self._doc_ids.add(doc_id)
+        for position, token in enumerate(tokenize(text)):
+            self._postings.setdefault(token, {}).setdefault(doc_id, []).append(position)
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def doc_ids(self) -> Set[int]:
+        """All indexed document ids."""
+        return set(self._doc_ids)
+
+    # ------------------------------------------------------------------
+    def term_docs(self, term: str) -> Set[int]:
+        """Documents containing ``term`` (already lowercased)."""
+        return set(self._postings.get(term, {}))
+
+    def search_term(self, term: str) -> Set[int]:
+        """Documents containing a single (possibly multi-token) term.
+
+        A term that tokenizes to several tokens is treated as a phrase.
+        """
+        tokens = tokenize(term)
+        if not tokens:
+            return set()
+        if len(tokens) == 1:
+            return self.term_docs(tokens[0])
+        return self.search_phrase(term)
+
+    def search_phrase(self, phrase: str) -> Set[int]:
+        """Documents containing the phrase's tokens adjacently, in order."""
+        tokens = tokenize(phrase)
+        if not tokens:
+            return set()
+        candidates = self.term_docs(tokens[0])
+        for token in tokens[1:]:
+            candidates &= self.term_docs(token)
+            if not candidates:
+                return set()
+        matches: Set[int] = set()
+        for doc_id in candidates:
+            first_positions = self._postings[tokens[0]][doc_id]
+            for start in first_positions:
+                if all(
+                    start + offset in self._position_set(token, doc_id)
+                    for offset, token in enumerate(tokens[1:], start=1)
+                ):
+                    matches.add(doc_id)
+                    break
+        return matches
+
+    # ------------------------------------------------------------------
+    def _position_set(self, token: str, doc_id: int) -> Set[int]:
+        return set(self._postings.get(token, {}).get(doc_id, ()))

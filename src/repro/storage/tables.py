@@ -1,0 +1,132 @@
+"""BioNav database tables (paper §VII, off-line pre-processing).
+
+The paper populates an Oracle database with ~747M ``(concept, citationId)``
+tuples, then de-normalizes them into one row per citation holding the
+comma-separated concept list, and also stores per-concept MEDLINE-wide
+citation counts (needed by the EXPLORE probability).  This module implements
+the same logical schema at laptop scale:
+
+* :class:`AssociationTable` — the normalized (concept, citationId) relation
+  with selection by either column,
+* :class:`DenormalizedCitationTable` — the citationId → [concepts] form the
+  paper derives for fast navigation-tree construction,
+* :class:`ConceptStatsTable` — concept → MEDLINE-wide count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = ["AssociationTable", "DenormalizedCitationTable", "ConceptStatsTable"]
+
+
+class AssociationTable:
+    """The normalized (concept, citationId) association relation."""
+
+    def __init__(self) -> None:
+        self._by_concept: Dict[int, Set[int]] = {}
+        self._by_citation: Dict[int, Set[int]] = {}
+        self._size = 0
+
+    def insert(self, concept: int, pmid: int) -> bool:
+        """Insert one association tuple; returns False if already present."""
+        bucket = self._by_concept.setdefault(concept, set())
+        if pmid in bucket:
+            return False
+        bucket.add(pmid)
+        self._by_citation.setdefault(pmid, set()).add(concept)
+        self._size += 1
+        return True
+
+    def insert_many(self, pairs: Iterable[Tuple[int, int]]) -> int:
+        """Bulk insert; returns number of new tuples."""
+        return sum(1 for concept, pmid in pairs if self.insert(concept, pmid))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def citations_for(self, concept: int) -> FrozenSet[int]:
+        """Citations associated with ``concept`` (empty set if none)."""
+        return frozenset(self._by_concept.get(concept, ()))
+
+    def concepts_for(self, pmid: int) -> FrozenSet[int]:
+        """Concepts associated with citation ``pmid``."""
+        return frozenset(self._by_citation.get(pmid, ()))
+
+    def concepts(self) -> List[int]:
+        """All concepts with at least one association, ascending."""
+        return sorted(self._by_concept)
+
+    def iter_rows(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (concept, pmid) tuples in sorted order."""
+        for concept in sorted(self._by_concept):
+            for pmid in sorted(self._by_concept[concept]):
+                yield concept, pmid
+
+    def denormalize(self) -> "DenormalizedCitationTable":
+        """Produce the citation-major form (paper's optimization)."""
+        table = DenormalizedCitationTable()
+        for pmid, concepts in self._by_citation.items():
+            table.put(pmid, sorted(concepts))
+        return table
+
+
+class DenormalizedCitationTable:
+    """One row per citation: pmid → ordered concept list.
+
+    This is the access path the online phase uses: given the PMIDs in a
+    query result, fetch each one's concept list in a single lookup.
+    """
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, Tuple[int, ...]] = {}
+
+    def put(self, pmid: int, concepts: Sequence[int]) -> None:
+        """Store/replace the concept list of one citation."""
+        self._rows[pmid] = tuple(concepts)
+
+    def get(self, pmid: int) -> Tuple[int, ...]:
+        """Concept list for a citation; raises KeyError when absent."""
+        return self._rows[pmid]
+
+    def get_many(self, pmids: Sequence[int]) -> Dict[int, Tuple[int, ...]]:
+        """Concept lists for many citations; missing PMIDs are skipped."""
+        return {pmid: self._rows[pmid] for pmid in pmids if pmid in self._rows}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, pmid: int) -> bool:
+        return pmid in self._rows
+
+    def pmids(self) -> List[int]:
+        """All stored PMIDs, ascending."""
+        return sorted(self._rows)
+
+
+class ConceptStatsTable:
+    """Per-concept MEDLINE-wide citation counts (``LT(n)``, paper §IV).
+
+    The paper records these while issuing the per-concept harvesting queries
+    during off-line pre-processing.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def set_count(self, concept: int, count: int) -> None:
+        """Record the MEDLINE-wide citation count of ``concept``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[concept] = count
+
+    def count(self, concept: int) -> int:
+        """MEDLINE-wide count for ``concept`` (0 when never recorded)."""
+        return self._counts.get(concept, 0)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (concept, count) pairs in concept order."""
+        return iter(sorted(self._counts.items()))

@@ -1,0 +1,20 @@
+"""Rendering of navigation state: ASCII (Figs. 1, 2, 5) and HTML export."""
+
+from repro.viz.figures import bar_chart, grouped_bar_chart
+from repro.viz.graph import active_tree_to_networkx, navigation_tree_to_networkx, to_dot
+from repro.viz.html import active_tree_to_html, navigation_tree_to_html, rows_to_html
+from repro.viz.render import render_active_tree, render_navigation_tree, render_rows
+
+__all__ = [
+    "active_tree_to_html",
+    "active_tree_to_networkx",
+    "bar_chart",
+    "grouped_bar_chart",
+    "navigation_tree_to_html",
+    "navigation_tree_to_networkx",
+    "render_active_tree",
+    "render_navigation_tree",
+    "render_rows",
+    "rows_to_html",
+    "to_dot",
+]

@@ -1,0 +1,82 @@
+"""ASCII bar charts for the experiment figures.
+
+Dependency-free renderings of the Fig. 8/9/10-style comparisons, used by
+the report generator and the examples so results read like the paper's
+figures straight from the terminal::
+
+    prothymosin          static  |############################| 197
+                         bionav  |####|                          32
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per labeled value, scaled to the maximum."""
+    if not values:
+        return "(no data)"
+    longest_label = max(len(label) for label in values)
+    peak = max(values.values())
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = []
+    for label, value in values.items():
+        bar = _FULL * max(int(round(value * scale)), 1 if value > 0 else 0)
+        lines.append(
+            "%-*s |%-*s| %g%s" % (longest_label, label, width, bar, value, unit)
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 36,
+    unit: str = "",
+) -> str:
+    """Fig. 8-style chart: one group per key, one bar per series.
+
+    All bars share a single scale so series are comparable across groups.
+    """
+    if not groups:
+        return "(no data)"
+    series_labels = sorted({s for series in groups.values() for s in series})
+    peak = max(
+        (value for series in groups.values() for value in series.values()),
+        default=0.0,
+    )
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(g) for g in groups)
+    series_width = max(len(s) for s in series_labels)
+    lines: List[str] = []
+    for group, series in groups.items():
+        first = True
+        for series_label in series_labels:
+            if series_label not in series:
+                continue
+            value = series[series_label]
+            bar = _FULL * max(int(round(value * scale)), 1 if value > 0 else 0)
+            lines.append(
+                "%-*s %-*s |%-*s| %g%s"
+                % (
+                    label_width,
+                    group if first else "",
+                    series_width,
+                    series_label,
+                    width,
+                    bar,
+                    value,
+                    unit,
+                )
+            )
+            first = False
+        lines.append("")
+    return "\n".join(lines).rstrip()

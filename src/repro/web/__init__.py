@@ -1,0 +1,5 @@
+"""The BioNav web interface (WSGI) over the simulated substrate."""
+
+from repro.web.app import BioNavWebApp
+
+__all__ = ["BioNavWebApp"]

@@ -1,0 +1,38 @@
+"""Serve the BioNav web interface locally.
+
+Run with::
+
+    python -m repro.web [--port 8080] [--hierarchy-size 2000]
+
+Builds the Table I workload and serves the interface with the standard
+library's ``wsgiref`` server (development use only, as with the paper's
+original deployment notes).
+"""
+
+from __future__ import annotations
+
+import argparse
+from wsgiref.simple_server import make_server
+
+from repro.bionav import BioNav
+from repro.web.app import BioNavWebApp
+from repro.workload.builder import build_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(prog="python -m repro.web")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--hierarchy-size", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print("Building the workload (hierarchy size %d)..." % args.hierarchy_size)
+    workload = build_workload(hierarchy_size=args.hierarchy_size, seed=args.seed)
+    app = BioNavWebApp(BioNav(workload.database, workload.entrez))
+    print("Serving BioNav on http://127.0.0.1:%d/ — try a Table I keyword." % args.port)
+    with make_server("127.0.0.1", args.port, app) as server:
+        server.serve_forever()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,383 @@
+"""The BioNav web application (paper §VII — the deployed interface).
+
+The paper's system is a web app (hosted at db.cse.buffalo.edu/bionav):
+the user types a keyword query, gets the root of the navigation tree, and
+clicks ``>>>`` hyperlinks to EXPAND components or concept labels to
+SHOWRESULTS.  This module reproduces that interface as a dependency-free
+WSGI application over the simulated substrate:
+
+    GET /                      search form
+    GET /search?q=...          run ESearch, create a session, show the root
+    GET /nav/<sid>             current interface state
+    GET /nav/<sid>/expand?node=N       EXPAND (Heuristic-ReducedOpt)
+    GET /nav/<sid>/results?node=N      SHOWRESULTS (simulated ESummary)
+    GET /nav/<sid>/backtrack           undo the last EXPAND
+
+plus a JSON API for programmatic clients:
+
+    GET /api/search?q=...      {"session": sid, "count": N}
+    GET /api/nav/<sid>                  the visible rows + cost ledger
+    GET /api/nav/<sid>/expand?node=N    expand, then the new state
+    GET /api/nav/<sid>/results?node=N   the component's PMIDs
+
+Navigation trees are shared across sessions of the same query through an
+LRU cache, and sessions themselves live in a bounded LRU store (evicted
+sessions 404, as in any stateful web app).  Serve it with
+``python -m repro.web`` or mount the :class:`BioNavWebApp` callable under
+any WSGI server; tests drive the callable directly.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.bionav import BioNav
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.core.relevance import ranked_visualization
+from repro.core.session import NavigationSession
+from repro.storage.cache import LRUCache
+
+__all__ = ["BioNavWebApp"]
+
+StartResponse = Callable[[str, List[Tuple[str, str]]], None]
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>%(title)s</title>
+<style>
+body { font-family: sans-serif; margin: 1.5em; max-width: 60em; }
+ul.bionav { list-style: none; padding-left: 1.2em; border-left: 1px dotted #bbb; }
+span.count { color: #555; }
+a.expand { color: #0645ad; text-decoration: none; margin-left: 0.4em; }
+p.cost { color: #333; background: #f2f2f2; padding: 0.4em; }
+</style></head><body>
+<h1><a href="/">BioNav</a></h1>
+%(body)s
+</body></html>
+"""
+
+
+class _QueryState:
+    """Shared per-query artifacts: tree + probability model."""
+
+    def __init__(self, tree: NavigationTree, probs: ProbabilityModel):
+        self.tree = tree
+        self.probs = probs
+
+
+class BioNavWebApp:
+    """A WSGI callable serving the BioNav interface."""
+
+    def __init__(
+        self,
+        bionav: BioNav,
+        tree_cache_size: int = 32,
+        max_sessions: int = 256,
+    ):
+        self.bionav = bionav
+        self._queries: LRUCache[str, _QueryState] = LRUCache(tree_cache_size)
+        self._sessions: LRUCache[str, Tuple[str, NavigationSession]] = LRUCache(
+            max_sessions
+        )
+        self._session_counter = 0
+
+    # ------------------------------------------------------------------
+    # WSGI entry point
+    # ------------------------------------------------------------------
+    def __call__(self, environ: Dict, start_response: StartResponse) -> Iterable[bytes]:
+        path = environ.get("PATH_INFO", "/")
+        params = parse_qs(environ.get("QUERY_STRING", ""))
+        is_api = path.startswith("/api/")
+        try:
+            if is_api:
+                status, body = self._route_api(path[len("/api") :], params)
+            else:
+                status, body = self._route(path, params)
+        except KeyError as exc:
+            if is_api:
+                status, body = "404 Not Found", json.dumps(
+                    {"error": "unknown resource: %s" % exc}
+                )
+            else:
+                status, body = "404 Not Found", self._page(
+                    "Not found", "<p>Unknown resource: %s</p>" % html.escape(str(exc))
+                )
+        except ValueError as exc:
+            if is_api:
+                status, body = "400 Bad Request", json.dumps({"error": str(exc)})
+            else:
+                status, body = "400 Bad Request", self._page(
+                    "Bad request", "<p>%s</p>" % html.escape(str(exc))
+                )
+        payload = body.encode("utf-8")
+        content_type = (
+            "application/json; charset=utf-8"
+            if is_api
+            else "text/html; charset=utf-8"
+        )
+        start_response(
+            status,
+            [
+                ("Content-Type", content_type),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, path: str, params: Dict[str, List[str]]) -> Tuple[str, str]:
+        if path in ("", "/"):
+            return "200 OK", self._render_home()
+        if path == "/search":
+            query = params.get("q", [""])[0].strip()
+            if not query:
+                raise ValueError("missing query parameter q")
+            return "200 OK", self._render_search(query)
+        if path.startswith("/nav/"):
+            parts = path[len("/nav/") :].split("/")
+            sid = parts[0]
+            action = parts[1] if len(parts) > 1 else ""
+            if sid not in self._sessions:
+                raise KeyError("session %s" % sid)
+            if action == "":
+                return "200 OK", self._render_session(sid)
+            if action == "expand":
+                node = self._node_param(params)
+                return "200 OK", self._do_expand(sid, node)
+            if action == "results":
+                node = self._node_param(params)
+                return "200 OK", self._do_results(sid, node)
+            if action == "backtrack":
+                return "200 OK", self._do_backtrack(sid)
+            raise KeyError("action %s" % action)
+        raise KeyError(path)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _render_home(self) -> str:
+        body = (
+            '<form action="/search" method="get">'
+            '<input name="q" size="40" placeholder="e.g. prothymosin">'
+            '<button type="submit">Search</button></form>'
+        )
+        return self._page("Search", body)
+
+    def _render_search(self, query: str) -> str:
+        state = self._queries.get_or_create(query, lambda: self._build_query(query))
+        sid = self._new_session(query, state)
+        count = len(state.tree.all_results())
+        if count == 0:
+            return self._page(
+                "No results", "<p>No citations match %s.</p>" % html.escape(repr(query))
+            )
+        return self._render_session(sid)
+
+    def _do_expand(self, sid: str, node: int) -> str:
+        _, session = self._session(sid)
+        if not session.active.is_expandable(node):
+            raise ValueError("node %d has nothing hidden to reveal" % node)
+        session.expand(node)
+        return self._render_session(sid)
+
+    def _do_results(self, sid: str, node: int) -> str:
+        query, session = self._session(sid)
+        if not session.active.is_visible(node):
+            raise ValueError("node %d is not visible" % node)
+        pmids = session.show_results(node)
+        summaries = self.bionav.summaries(pmids[:50])
+        rows = "".join(
+            "<li>[%d] %s <em>(%s, %d)</em></li>"
+            % (
+                s.pmid,
+                html.escape(s.title),
+                html.escape("; ".join(s.authors[:3])),
+                s.year,
+            )
+            for s in summaries
+        )
+        more = (
+            "<p>(showing first 50 of %d)</p>" % len(pmids) if len(pmids) > 50 else ""
+        )
+        body = (
+            '<p><a href="/nav/%s">&larr; back to the navigation</a></p>'
+            "<h2>%s — %d citations under %s</h2><ul>%s</ul>%s"
+            % (
+                sid,
+                html.escape(query),
+                len(pmids),
+                html.escape(session.tree.label(node)),
+                rows,
+                more,
+            )
+        )
+        return self._page("Results", body + self._cost_footer(session))
+
+    def _do_backtrack(self, sid: str) -> str:
+        _, session = self._session(sid)
+        session.backtrack()
+        return self._render_session(sid)
+
+    def _render_session(self, sid: str) -> str:
+        query, session = self._session(sid)
+        rows = ranked_visualization(session.active, self._probs_of(query))
+        parts: List[str] = []
+        depth = -1
+        for row in rows:
+            while depth >= row.depth:
+                parts.append("</ul>")
+                depth -= 1
+            parts.append('<ul class="bionav">')
+            depth = row.depth
+            expand = (
+                ' <a class="expand" href="/nav/%s/expand?node=%d">&gt;&gt;&gt;</a>'
+                % (sid, row.node)
+                if row.expandable
+                else ""
+            )
+            parts.append(
+                '<li><a href="/nav/%s/results?node=%d">%s</a> '
+                '<span class="count">(%d)</span>%s</li>'
+                % (sid, row.node, html.escape(row.label), row.count, expand)
+            )
+        while depth >= 0:
+            parts.append("</ul>")
+            depth -= 1
+        body = (
+            "<h2>%s</h2>%s"
+            '<p><a href="/nav/%s/backtrack">Backtrack</a></p>'
+            % (html.escape(query), "\n".join(parts), sid)
+        )
+        return self._page(query, body + self._cost_footer(session))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _build_query(self, query: str) -> _QueryState:
+        result = self.bionav.search(query)
+        return _QueryState(tree=result.tree, probs=result.probs)
+
+    def _probs_of(self, query: str) -> ProbabilityModel:
+        state = self._queries.get(query)
+        if state is None:  # pragma: no cover - cache evicted mid-session
+            state = self._build_query(query)
+            self._queries.put(query, state)
+        return state.probs
+
+    def _new_session(self, query: str, state: _QueryState) -> str:
+        self._session_counter += 1
+        sid = "s%06d" % self._session_counter
+        strategy = HeuristicReducedOpt(state.tree, state.probs)
+        self._sessions.put(sid, (query, NavigationSession(state.tree, strategy)))
+        return sid
+
+    def _session(self, sid: str) -> Tuple[str, NavigationSession]:
+        entry = self._sessions.get(sid)
+        if entry is None:
+            raise KeyError("session %s" % sid)
+        return entry
+
+    # ------------------------------------------------------------------
+    # JSON API
+    # ------------------------------------------------------------------
+    def _route_api(self, path: str, params: Dict[str, List[str]]) -> Tuple[str, str]:
+        if path == "/search":
+            query = params.get("q", [""])[0].strip()
+            if not query:
+                raise ValueError("missing query parameter q")
+            state = self._queries.get_or_create(query, lambda: self._build_query(query))
+            sid = self._new_session(query, state)
+            return "200 OK", json.dumps(
+                {"session": sid, "query": query, "count": len(state.tree.all_results())}
+            )
+        if path.startswith("/nav/"):
+            parts = path[len("/nav/") :].split("/")
+            sid = parts[0]
+            action = parts[1] if len(parts) > 1 else ""
+            if sid not in self._sessions:
+                raise KeyError("session %s" % sid)
+            if action == "":
+                return "200 OK", self._json_state(sid)
+            if action == "expand":
+                node = self._node_param(params)
+                _, session = self._session(sid)
+                if not session.active.is_expandable(node):
+                    raise ValueError("node %d has nothing hidden to reveal" % node)
+                session.expand(node)
+                return "200 OK", self._json_state(sid)
+            if action == "results":
+                node = self._node_param(params)
+                query, session = self._session(sid)
+                if not session.active.is_visible(node):
+                    raise ValueError("node %d is not visible" % node)
+                pmids = session.show_results(node)
+                return "200 OK", json.dumps(
+                    {
+                        "session": sid,
+                        "node": node,
+                        "label": session.tree.label(node),
+                        "pmids": pmids,
+                    }
+                )
+            if action == "backtrack":
+                _, session = self._session(sid)
+                session.backtrack()
+                return "200 OK", self._json_state(sid)
+            raise KeyError("action %s" % action)
+        raise KeyError(path)
+
+    def _json_state(self, sid: str) -> str:
+        query, session = self._session(sid)
+        rows = ranked_visualization(session.active, self._probs_of(query))
+        return json.dumps(
+            {
+                "session": sid,
+                "query": query,
+                "rows": [
+                    {
+                        "node": row.node,
+                        "label": row.label,
+                        "count": row.count,
+                        "depth": row.depth,
+                        "parent": row.parent,
+                        "expandable": row.expandable,
+                    }
+                    for row in rows
+                ],
+                "cost": {
+                    "total": session.total_cost,
+                    "navigation": session.navigation_cost,
+                    "expands": session.ledger.expand_actions,
+                    "revealed": session.ledger.concepts_revealed,
+                    "citations": session.ledger.citations_displayed,
+                },
+            }
+        )
+
+    def _cost_footer(self, session: NavigationSession) -> str:
+        return (
+            '<p class="cost">Session effort: %.0f '
+            "(%d concepts examined + %d EXPANDs + %d citations listed)</p>"
+            % (
+                session.total_cost,
+                session.ledger.concepts_revealed,
+                session.ledger.expand_actions,
+                session.ledger.citations_displayed,
+            )
+        )
+
+    def _page(self, title: str, body: str) -> str:
+        return _PAGE % {"title": html.escape(title), "body": body}
+
+    @staticmethod
+    def _node_param(params: Dict[str, List[str]]) -> int:
+        values = params.get("node")
+        if not values or not values[0].lstrip("-").isdigit():
+            raise ValueError("missing or non-integer node parameter")
+        return int(values[0])

@@ -1,0 +1,22 @@
+"""The Table I query workload and its materialization."""
+
+from repro.workload.builder import BuiltQuery, PreparedQuery, Workload, build_workload
+from repro.workload.queries import TABLE_I_QUERIES, WorkloadQuery, query_by_keyword
+from repro.workload.report import QueryReport, generate_report, run_comparison
+from repro.workload.scenarios import SCENARIOS, build_scenario, scenario_names
+
+__all__ = [
+    "BuiltQuery",
+    "PreparedQuery",
+    "QueryReport",
+    "SCENARIOS",
+    "TABLE_I_QUERIES",
+    "Workload",
+    "WorkloadQuery",
+    "build_scenario",
+    "build_workload",
+    "generate_report",
+    "query_by_keyword",
+    "run_comparison",
+    "scenario_names",
+]

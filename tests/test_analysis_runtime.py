@@ -1,0 +1,75 @@
+"""Unit tests for exponential runtime fitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runtime import fit_exponential
+
+
+class TestFitExponential:
+    def test_recovers_known_exponential(self):
+        sizes = [4, 6, 8, 10, 12]
+        times = [0.001 * (2.0 ** n) for n in sizes]
+        fit = fit_exponential(sizes, times)
+        assert fit.base == pytest.approx(2.0, rel=1e-6)
+        assert fit.scale == pytest.approx(0.001, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_exponential([1, 2, 3], [2.0, 4.0, 8.0])
+        assert fit.predict(4) == pytest.approx(16.0, rel=1e-6)
+
+    def test_linear_data_has_base_near_one(self):
+        sizes = list(range(1, 12))
+        times = [0.5 * n for n in sizes]
+        fit = fit_exponential(sizes, times)
+        assert 1.0 < fit.base < 1.5
+
+    def test_noise_tolerated(self):
+        sizes = [4, 6, 8, 10, 12, 14]
+        times = [0.001 * (2.0 ** n) * factor for n, factor in zip(sizes, (1.1, 0.9, 1.05, 0.95, 1.2, 0.85))]
+        fit = fit_exponential(sizes, times)
+        assert 1.7 < fit.base < 2.3
+        assert fit.r_squared > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2, 3], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_exponential([1, 2, 3], [1.0, 0.0, 2.0])
+
+    def test_opt_edgecut_measurements_fit_exponential(self):
+        """The §VI complexity claim, measured and fitted."""
+        import time
+
+        from repro.core.opt_edgecut import CutTree, OptEdgeCut
+        from repro.core.probabilities import ProbabilityModel
+        from repro.core.navigation_tree import NavigationTree
+        from repro.hierarchy.generator import generate_hierarchy
+
+        sizes = []
+        times = []
+        for n_nodes in (6, 8, 10, 12, 14):
+            hierarchy = generate_hierarchy(target_size=n_nodes * 3, seed=31)
+            annotations = {}
+            count = 0
+            for node in hierarchy.iter_dfs():
+                if node == hierarchy.root:
+                    continue
+                annotations[node] = set(range(count, count + 4))
+                count += 1
+                if count >= n_nodes - 1:
+                    break
+            tree = NavigationTree.build(hierarchy, annotations)
+            probs = ProbabilityModel(tree, lambda n: 100)
+            component = frozenset(tree.iter_dfs())
+            cut_tree = CutTree.from_component(tree, probs, component, tree.root)
+            started = time.perf_counter()
+            OptEdgeCut(cut_tree, probs, max_nodes=16).solve()
+            times.append(max(time.perf_counter() - started, 1e-6))
+            sizes.append(len(cut_tree))
+        fit = fit_exponential(sizes, times)
+        assert fit.base > 1.3  # decidedly super-polynomial over this range

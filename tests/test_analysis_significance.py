@@ -1,0 +1,78 @@
+"""Unit tests for the paired significance analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.significance import (
+    paired_bootstrap_ci,
+    sign_test,
+    summarize_improvements,
+    wilcoxon_signed_rank,
+)
+
+BASELINE = [210.0, 232, 247, 192, 197, 164, 293, 225, 235, 150]
+TREATMENT = [10.0, 27, 16, 12, 32, 14, 26, 12, 20, 21]
+
+
+class TestBootstrap:
+    def test_mean_improvement_matches_hand_computation(self):
+        mean, low, high = paired_bootstrap_ci(BASELINE, TREATMENT, seed=1)
+        expected = sum(1 - t / b for b, t in zip(BASELINE, TREATMENT)) / len(BASELINE)
+        assert mean == pytest.approx(expected)
+        assert low <= mean <= high
+
+    def test_interval_narrows_with_confidence(self):
+        _, low95, high95 = paired_bootstrap_ci(BASELINE, TREATMENT, confidence=0.95, seed=2)
+        _, low50, high50 = paired_bootstrap_ci(BASELINE, TREATMENT, confidence=0.50, seed=2)
+        assert high50 - low50 < high95 - low95
+
+    def test_deterministic_given_seed(self):
+        a = paired_bootstrap_ci(BASELINE, TREATMENT, seed=9)
+        b = paired_bootstrap_ci(BASELINE, TREATMENT, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([], [])
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([0.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_ci([1.0], [0.5], confidence=1.5)
+
+
+class TestWilcoxon:
+    def test_decisive_wins_are_significant(self):
+        assert wilcoxon_signed_rank(BASELINE, TREATMENT) < 0.01
+
+    def test_identical_costs_not_significant(self):
+        assert wilcoxon_signed_rank([5.0, 6.0, 7.0], [5.0, 6.0, 7.0]) == 1.0
+
+    def test_losses_are_not_significant(self):
+        assert wilcoxon_signed_rank(TREATMENT, BASELINE) > 0.9
+
+
+class TestSignTest:
+    def test_all_wins(self):
+        # 10 wins out of 10: p = 2^-10.
+        assert sign_test(BASELINE, TREATMENT) == pytest.approx(2.0 ** -10)
+
+    def test_coin_flip_not_significant(self):
+        baseline = [10.0, 10, 10, 10]
+        treatment = [9.0, 11, 9, 11]
+        assert sign_test(baseline, treatment) > 0.3
+
+    def test_ties_are_uninformative(self):
+        assert sign_test([5.0, 5.0], [5.0, 5.0]) == 1.0
+
+
+class TestSummary:
+    def test_full_summary(self):
+        summary = summarize_improvements(BASELINE, TREATMENT, seed=3)
+        assert summary.n_pairs == 10
+        assert summary.mean_improvement > 0.8
+        assert summary.ci_low > 0.7
+        assert summary.wilcoxon_p < 0.01
+        assert summary.sign_p < 0.01

@@ -1,0 +1,63 @@
+"""Unit tests for the BioNav facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bionav import BioNav
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.static_nav import StaticNavigation
+
+
+@pytest.fixture(scope="module")
+def bionav(request):
+    workload = request.getfixturevalue("small_workload")
+    return BioNav(workload.database, workload.entrez)
+
+
+class TestSearch:
+    def test_search_returns_full_query(self, bionav):
+        query = bionav.search("prothymosin")
+        assert query.result_count == 313
+        assert query.tree.size() > 50
+        assert query.session.tree is query.tree
+
+    def test_default_strategy_is_heuristic(self, bionav):
+        query = bionav.search("prothymosin")
+        assert isinstance(query.session.strategy, HeuristicReducedOpt)
+
+    def test_static_strategy_selectable(self, bionav):
+        query = bionav.search("prothymosin", strategy="static")
+        assert isinstance(query.session.strategy, StaticNavigation)
+
+    def test_unknown_strategy_rejected(self, bionav):
+        with pytest.raises(ValueError):
+            bionav.search("prothymosin", strategy="magic")
+
+    def test_no_results_query_yields_root_only_tree(self, bionav):
+        query = bionav.search("zzzzunmatched")
+        assert query.result_count == 0
+        assert query.tree.size() == 1  # just the root
+
+    def test_session_expand_works_end_to_end(self, bionav):
+        query = bionav.search("follistatin")
+        outcome = query.session.expand(query.tree.root)
+        assert outcome.revealed
+        assert query.session.navigation_cost >= 2
+
+    def test_summaries_via_esummary(self, bionav):
+        query = bionav.search("varenicline")
+        pmids = query.session.show_results(query.tree.root)
+        summaries = bionav.summaries(pmids[:5])
+        assert len(summaries) == 5
+        assert all("varenicline" in s.title for s in summaries)
+
+    def test_summaries_empty_list(self, bionav):
+        assert bionav.summaries([]) == []
+
+
+class TestBuild:
+    def test_build_from_hierarchy_and_medline(self, small_workload):
+        system = BioNav.build(small_workload.hierarchy, small_workload.medline)
+        query = system.search("LbetaT2")
+        assert query.result_count == 152

@@ -1,0 +1,83 @@
+"""Unit tests for the bionav command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--hierarchy-size", "600", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_search(self):
+        args = build_parser().parse_args(["search", "prothymosin", "--strategy", "static"])
+        assert args.command == "search"
+        assert args.keyword == "prothymosin"
+        assert args.strategy == "static"
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "x", "--strategy", "nope"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(ARGS + ["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "prothymosin" in out
+        assert "EXPAND" in out
+
+    def test_search_heuristic(self, capsys):
+        assert main(ARGS + ["search", "prothymosin"]) == 0
+        out = capsys.readouterr().out
+        assert "Reached target: True" in out
+
+    def test_search_static(self, capsys):
+        assert main(ARGS + ["search", "prothymosin", "--strategy", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "Strategy: static" in out
+
+    def test_search_unknown_keyword_fails(self, capsys):
+        assert main(ARGS + ["search", "nope"]) == 2
+
+    def test_workload_table(self, capsys):
+        assert main(ARGS + ["workload"]) == 0
+        out = capsys.readouterr().out
+        assert "prothymosin" in out
+        assert "follistatin" in out
+
+    def test_compare_reports_improvement(self, capsys):
+        assert main(ARGS + ["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "average" in out
+        assert "%" in out
+
+    def test_html_export(self, capsys, tmp_path):
+        output = str(tmp_path / "snapshot.html")
+        assert main(ARGS + ["html", "prothymosin", output]) == 0
+        with open(output) as handle:
+            page = handle.read()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "prothymosin" in page
+        assert "bionav" in page
+
+    def test_html_export_count_ranking(self, tmp_path):
+        output = str(tmp_path / "snapshot.html")
+        assert main(ARGS + ["html", "prothymosin", output, "--rank", "count", "--expands", "1"]) == 0
+
+    def test_html_unknown_keyword(self, tmp_path):
+        output = str(tmp_path / "snapshot.html")
+        assert main(ARGS + ["html", "nope", output]) == 2
+
+    def test_report_command(self, tmp_path):
+        output = str(tmp_path / "report.md")
+        assert main(ARGS + ["report", output]) == 0
+        with open(output) as handle:
+            text = handle.read()
+        assert "## Figure 8" in text
+        assert "prothymosin" in text

@@ -1,0 +1,71 @@
+"""Unit tests for repro.complexity.mes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.mes import MESInstance, mes_best_subset, mes_decision, mes_optimum
+
+
+@pytest.fixture()
+def triangle_plus_one() -> MESInstance:
+    # Triangle 1-2-3 with weights 5, 3, 2; vertex 4 attached to 1 with 10.
+    return MESInstance.from_edges(
+        vertices=[1, 2, 3, 4],
+        edges=[(1, 2, 5), (2, 3, 3), (1, 3, 2), (1, 4, 10)],
+    )
+
+
+class TestInstance:
+    def test_subset_weight(self, triangle_plus_one):
+        assert triangle_plus_one.subset_weight({1, 2}) == 5
+        assert triangle_plus_one.subset_weight({1, 2, 3}) == 10
+        assert triangle_plus_one.subset_weight({1, 4}) == 10
+        assert triangle_plus_one.subset_weight({2, 4}) == 0
+
+    def test_parallel_edges_merge(self):
+        inst = MESInstance.from_edges([1, 2], [(1, 2, 3), (2, 1, 4)])
+        assert inst.subset_weight({1, 2}) == 7
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            MESInstance(vertices=(1, 2), weights={frozenset({1}): 3})
+
+    def test_rejects_unknown_vertices(self):
+        with pytest.raises(ValueError):
+            MESInstance(vertices=(1, 2), weights={frozenset({1, 9}): 3})
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            MESInstance(vertices=(1, 2), weights={frozenset({1, 2}): 0})
+
+    def test_rejects_duplicate_vertices(self):
+        with pytest.raises(ValueError):
+            MESInstance(vertices=(1, 1), weights={})
+
+
+class TestSolvers:
+    def test_best_subset_k2(self, triangle_plus_one):
+        subset, weight = mes_best_subset(triangle_plus_one, 2)
+        assert weight == 10
+        assert subset == {1, 4}
+
+    def test_best_subset_k3(self, triangle_plus_one):
+        subset, weight = mes_best_subset(triangle_plus_one, 3)
+        # {1,2,4}: 5+10 = 15 beats the triangle's 10.
+        assert weight == 15
+        assert subset == {1, 2, 4}
+
+    def test_optimum_k0_and_k1_are_zero(self, triangle_plus_one):
+        assert mes_optimum(triangle_plus_one, 0) == 0
+        assert mes_optimum(triangle_plus_one, 1) == 0
+
+    def test_decision(self, triangle_plus_one):
+        assert mes_decision(triangle_plus_one, 2, 10)
+        assert not mes_decision(triangle_plus_one, 2, 11)
+
+    def test_k_out_of_range(self, triangle_plus_one):
+        with pytest.raises(ValueError):
+            mes_best_subset(triangle_plus_one, 5)
+        with pytest.raises(ValueError):
+            mes_best_subset(triangle_plus_one, -1)

@@ -1,0 +1,65 @@
+"""Unit tests for the optimal TOPDOWN-EXHAUSTIVE cut solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.opt_ted import TEDSolution, ted_cost_curve, ted_optimal_cut
+from repro.complexity.ted import ElementTree, ted_expected_cost
+
+
+@pytest.fixture()
+def duplicate_heavy_star() -> ElementTree:
+    # Leaves 1 and 2 share many elements; leaf 3 is disjoint.  Keeping
+    # 1 and 2 together gathers duplicates; separating 3 shortens listings.
+    shared = ["s%d" % i for i in range(6)]
+    return ElementTree(
+        parents=[-1, 0, 0, 0],
+        elements=[[], shared, shared, ["x", "y", "z"]],
+    )
+
+
+class TestOptimalCut:
+    def test_optimum_no_worse_than_every_cut(self, duplicate_heavy_star):
+        solution = ted_optimal_cut(duplicate_heavy_star)
+        for cut in duplicate_heavy_star.enumerate_valid_cuts():
+            assert solution.expected_cost <= ted_expected_cost(
+                duplicate_heavy_star, cut
+            ) + 1e-12
+
+    def test_keeps_duplicate_pair_together(self, duplicate_heavy_star):
+        solution = ted_optimal_cut(duplicate_heavy_star)
+        # Edges (0,1) and (0,2) must not both be cut: separating the two
+        # duplicate-heavy leaves doubles the expected listing length.
+        severed = {child for _, child in solution.cut}
+        assert not {1, 2} <= severed
+
+    def test_single_node_tree(self):
+        tree = ElementTree(parents=[-1], elements=[["a", "b"]])
+        solution = ted_optimal_cut(tree)
+        assert solution.cut == ()
+        assert solution.n_subtrees == 1
+        assert solution.expected_cost == pytest.approx(1 + 2)
+
+    def test_solution_fields_consistent(self, duplicate_heavy_star):
+        solution = ted_optimal_cut(duplicate_heavy_star)
+        assert solution.n_subtrees == len(solution.cut) + 1
+        assert solution.duplicates >= 0
+
+
+class TestCostCurve:
+    def test_curve_covers_reachable_subtree_counts(self, duplicate_heavy_star):
+        curve = ted_cost_curve(duplicate_heavy_star)
+        assert set(curve) == {1, 2, 3, 4}
+
+    def test_curve_minimum_is_optimal_cost(self, duplicate_heavy_star):
+        curve = ted_cost_curve(duplicate_heavy_star)
+        solution = ted_optimal_cut(duplicate_heavy_star)
+        assert min(curve.values()) == pytest.approx(solution.expected_cost)
+
+    def test_curve_shows_the_tradeoff(self, duplicate_heavy_star):
+        # With heavy duplication in one pair, a middle subtree count beats
+        # both extremes: the optimum is neither the no-cut nor full split.
+        curve = ted_cost_curve(duplicate_heavy_star)
+        best_s = min(curve, key=curve.get)
+        assert best_s not in (1,) or curve[1] <= curve[4]

@@ -1,0 +1,93 @@
+"""Unit tests for the MES → TED reduction (Theorem 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.complexity.mes import MESInstance, mes_best_subset, mes_optimum
+from repro.complexity.reduction import (
+    cut_to_subset,
+    mes_to_ted,
+    subset_to_cut,
+    ted_subtree_count_for_k,
+)
+from repro.complexity.ted import duplicates_in_subtrees, ted_best_duplicates
+
+
+@pytest.fixture()
+def instance() -> MESInstance:
+    return MESInstance.from_edges(
+        vertices=[1, 2, 3, 4],
+        edges=[(1, 2, 5), (2, 3, 3), (1, 3, 2), (1, 4, 10)],
+    )
+
+
+class TestMapping:
+    def test_tree_shape_is_a_star(self, instance):
+        tree, vertex_node = mes_to_ted(instance)
+        assert len(tree) == 5
+        assert tree.parents == [-1, 0, 0, 0, 0]
+        assert tree.elements[0] == []
+        assert set(vertex_node) == {1, 2, 3, 4}
+
+    def test_edge_weight_becomes_shared_elements(self, instance):
+        tree, vertex_node = mes_to_ted(instance)
+        u, v = vertex_node[1], vertex_node[2]
+        shared = set(tree.elements[u]) & set(tree.elements[v])
+        assert len(shared) == 5  # w(1,2) = 5
+
+    def test_subset_to_cut_and_back(self, instance):
+        tree, vertex_node = mes_to_ted(instance)
+        cut = subset_to_cut(instance, vertex_node, {1, 4})
+        assert len(cut) == 2  # vertices 2 and 3 severed
+        assert cut_to_subset(instance, vertex_node, cut) == {1, 4}
+
+    def test_subset_to_cut_unknown_vertex(self, instance):
+        tree, vertex_node = mes_to_ted(instance)
+        with pytest.raises(ValueError):
+            subset_to_cut(instance, vertex_node, {99})
+
+    def test_subtree_count_formula(self, instance):
+        assert ted_subtree_count_for_k(instance, 2) == 3
+        assert ted_subtree_count_for_k(instance, 4) == 1
+        with pytest.raises(ValueError):
+            ted_subtree_count_for_k(instance, 9)
+
+
+class TestCorrespondence:
+    def test_duplicates_equal_internal_weight(self, instance):
+        """Applying the mapped cut yields exactly the MES subset weight."""
+        tree, vertex_node = mes_to_ted(instance)
+        for subset in ({1, 2}, {1, 4}, {2, 3}, {1, 2, 3}, {1, 2, 4}):
+            cut = subset_to_cut(instance, vertex_node, subset)
+            duplicates = duplicates_in_subtrees(tree, tree.cut_subtrees(cut))
+            assert duplicates == instance.subset_weight(subset)
+
+    def test_optima_agree(self, instance):
+        """max-duplicates TED solution == max-weight MES solution (Theorem 1)."""
+        tree, vertex_node = mes_to_ted(instance)
+        for k in (1, 2, 3, 4):
+            mes_value = mes_optimum(instance, k)
+            ted_value = ted_best_duplicates(tree, ted_subtree_count_for_k(instance, k))
+            assert ted_value == mes_value
+
+    def test_optima_agree_on_random_instances(self):
+        rng = random.Random(42)
+        for trial in range(10):
+            n = rng.randrange(3, 7)
+            vertices = list(range(n))
+            edges = []
+            for u in range(n):
+                for v in range(u + 1, n):
+                    if rng.random() < 0.6:
+                        edges.append((u, v, rng.randrange(1, 8)))
+            instance = MESInstance.from_edges(vertices, edges)
+            tree, vertex_node = mes_to_ted(instance)
+            for k in range(1, n + 1):
+                expected = mes_optimum(instance, k)
+                actual = ted_best_duplicates(
+                    tree, ted_subtree_count_for_k(instance, k)
+                )
+                assert actual == expected, (trial, k)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.complexity.ted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity.ted import (
+    ElementTree,
+    duplicates_in_subtrees,
+    ted_best_duplicates,
+    ted_decision,
+    ted_expected_cost,
+)
+
+
+@pytest.fixture()
+def star() -> ElementTree:
+    # Empty root with three leaves; x shared by 1&2, y by 2&3.
+    return ElementTree(
+        parents=[-1, 0, 0, 0],
+        elements=[[], ["x"], ["x", "y"], ["y", "z"]],
+    )
+
+
+@pytest.fixture()
+def chain() -> ElementTree:
+    # 0 -> 1 -> 2, with a duplicate across 1 and 2.
+    return ElementTree(parents=[-1, 0, 1], elements=[["a"], ["b"], ["b", "c"]])
+
+
+class TestElementTree:
+    def test_structure(self, star):
+        assert len(star) == 4
+        assert star.children[0] == [1, 2, 3]
+        assert star.subtree(0) == [0, 3, 2, 1] or set(star.subtree(0)) == {0, 1, 2, 3}
+
+    def test_root_must_be_first(self):
+        with pytest.raises(ValueError):
+            ElementTree(parents=[0, -1], elements=[[], []])
+
+    def test_parents_must_precede_children(self):
+        with pytest.raises(ValueError):
+            ElementTree(parents=[-1, 2, 1], elements=[[], [], []])
+
+    def test_lengths_must_match(self):
+        with pytest.raises(ValueError):
+            ElementTree(parents=[-1, 0], elements=[[]])
+
+    def test_total_elements_counts_multiplicity(self):
+        tree = ElementTree(parents=[-1, 0], elements=[["a", "a"], ["a"]])
+        assert tree.total_elements() == 3
+
+    def test_enumerate_valid_cuts_star(self, star):
+        cuts = star.enumerate_valid_cuts()
+        # Independent choice per leaf edge: 2^3 cuts including empty.
+        assert len(cuts) == 8
+
+    def test_enumerate_valid_cuts_chain(self, chain):
+        cuts = {frozenset(c) for c in chain.enumerate_valid_cuts()}
+        assert cuts == {
+            frozenset(),
+            frozenset({(0, 1)}),
+            frozenset({(1, 2)}),
+        }
+
+    def test_cut_subtrees(self, star):
+        pieces = star.cut_subtrees([(0, 2)])
+        assert sorted(pieces[0]) == [0, 1, 3]
+        assert pieces[1] == [2]
+
+    def test_invalid_cut_detected(self, chain):
+        with pytest.raises(ValueError):
+            chain.cut_subtrees([(0, 1), (1, 2)])
+
+
+class TestDuplicates:
+    def test_whole_tree_duplicates(self, star):
+        assert duplicates_in_subtrees(star, [star.subtree(0)]) == 2  # x and y
+
+    def test_fully_separated_no_duplicates(self, star):
+        pieces = star.cut_subtrees([(0, 1), (0, 2), (0, 3)])
+        assert duplicates_in_subtrees(star, pieces) == 0
+
+    def test_in_node_multiplicity_counts(self):
+        tree = ElementTree(parents=[-1], elements=[["a", "a", "a"]])
+        assert duplicates_in_subtrees(tree, [[0]]) == 2
+
+
+class TestTEDSolvers:
+    def test_best_duplicates_for_each_subtree_count(self, star):
+        assert ted_best_duplicates(star, 1) == 2       # empty cut keeps x and y
+        assert ted_best_duplicates(star, 2) == 1       # sever one leaf
+        assert ted_best_duplicates(star, 4) == 0       # fully separated
+        assert ted_best_duplicates(star, 5) is None    # impossible
+
+    def test_decision(self, star):
+        assert ted_decision(star, 2, 1)
+        assert not ted_decision(star, 2, 2)
+        assert not ted_decision(star, 9, 0)
+
+    def test_n_subtrees_must_be_positive(self, star):
+        with pytest.raises(ValueError):
+            ted_best_duplicates(star, 0)
+
+    def test_expected_cost(self, star):
+        # Empty cut: 1 subtree, all 5 element slots, 2 duplicates → 1 + 3/1.
+        assert ted_expected_cost(star, []) == pytest.approx(4.0)
+        # Full separation: 4 subtrees, 5 distinct slots → 4 + 5/4.
+        full = [(0, 1), (0, 2), (0, 3)]
+        assert ted_expected_cost(star, full) == pytest.approx(4 + 5 / 4)
+
+    def test_expected_cost_tradeoff(self, star):
+        """The §V trade-off: more subtrees read labels, fewer share duplicates."""
+        costs = {
+            n: min(
+                ted_expected_cost(star, cut)
+                for cut in star.enumerate_valid_cuts()
+                if len(cut) + 1 == n
+            )
+            for n in (1, 2, 3, 4)
+        }
+        # Neither extreme dominates automatically; the optimum exists.
+        assert min(costs.values()) <= costs[1]
+        assert min(costs.values()) <= costs[4]

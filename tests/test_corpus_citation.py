@@ -1,0 +1,75 @@
+"""Unit tests for repro.corpus.citation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.citation import Citation, DocSummary
+
+
+def make_citation(**overrides) -> Citation:
+    defaults = dict(
+        pmid=1,
+        title="prothymosin and apoptosis",
+        abstract="We report apoptosis signaling.",
+        authors=("Smith A.",),
+        year=2005,
+        mesh_annotations=(3, 5),
+        index_concepts=(3, 5, 7, 9),
+    )
+    defaults.update(overrides)
+    return Citation(**defaults)
+
+
+class TestCitation:
+    def test_valid_construction(self):
+        citation = make_citation()
+        assert citation.pmid == 1
+        assert citation.concepts == (3, 5, 7, 9)
+
+    def test_pmid_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_citation(pmid=0)
+        with pytest.raises(ValueError):
+            make_citation(pmid=-5)
+
+    def test_index_must_cover_annotations(self):
+        with pytest.raises(ValueError) as exc:
+            make_citation(mesh_annotations=(3, 99), index_concepts=(3, 5))
+        assert "99" in str(exc.value)
+
+    def test_concepts_is_the_index_set(self):
+        # The paper builds navigation trees from the wide PubMed-index
+        # associations, not the narrow MEDLINE annotations (§VII).
+        citation = make_citation()
+        assert citation.concepts == citation.index_concepts
+
+    def test_searchable_text_includes_title_and_abstract(self):
+        citation = make_citation()
+        text = citation.searchable_text()
+        assert "prothymosin" in text
+        assert "signaling" in text
+
+    def test_frozen(self):
+        citation = make_citation()
+        with pytest.raises(AttributeError):
+            citation.pmid = 2
+
+    def test_empty_annotation_sets_allowed(self):
+        citation = make_citation(mesh_annotations=(), index_concepts=())
+        assert citation.concepts == ()
+
+
+class TestDocSummary:
+    def test_from_citation(self):
+        citation = make_citation()
+        summary = DocSummary.from_citation(citation)
+        assert summary.pmid == citation.pmid
+        assert summary.title == citation.title
+        assert summary.authors == citation.authors
+        assert summary.year == citation.year
+
+    def test_summary_has_no_abstract_or_concepts(self):
+        summary = DocSummary.from_citation(make_citation())
+        assert not hasattr(summary, "abstract")
+        assert not hasattr(summary, "index_concepts")

@@ -1,0 +1,122 @@
+"""Unit tests for repro.corpus.generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CorpusGenerator, TopicSpec
+from repro.hierarchy.generator import generate_hierarchy
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return generate_hierarchy(target_size=400, seed=11)
+
+
+@pytest.fixture()
+def generator(hierarchy):
+    return CorpusGenerator(hierarchy, seed=3)
+
+
+def topic(hierarchy, **overrides) -> TopicSpec:
+    anchor = hierarchy.children(hierarchy.root)[0]
+    other = hierarchy.children(hierarchy.root)[1]
+    defaults = dict(
+        keyword="prothymosin",
+        n_citations=40,
+        anchors=((anchor, 1.0), (other, 0.5)),
+    )
+    defaults.update(overrides)
+    return TopicSpec(**defaults)
+
+
+class TestTopicSpec:
+    def test_valid(self, hierarchy):
+        assert topic(hierarchy).n_citations == 40
+
+    def test_rejects_zero_citations(self, hierarchy):
+        with pytest.raises(ValueError):
+            topic(hierarchy, n_citations=0)
+
+    def test_rejects_empty_anchors(self, hierarchy):
+        with pytest.raises(ValueError):
+            topic(hierarchy, anchors=())
+
+    def test_rejects_index_smaller_than_annotations(self, hierarchy):
+        with pytest.raises(ValueError):
+            topic(hierarchy, annotations_per_citation=20, index_per_citation=10)
+
+    def test_rejects_bad_background_fraction(self, hierarchy):
+        with pytest.raises(ValueError):
+            topic(hierarchy, background_fraction=1.0)
+
+
+class TestGenerateTopic:
+    def test_generates_requested_count(self, generator, hierarchy):
+        citations = generator.generate_topic(topic(hierarchy))
+        assert len(citations) == 40
+
+    def test_unique_pmids(self, generator, hierarchy):
+        citations = generator.generate_topic(topic(hierarchy))
+        pmids = [c.pmid for c in citations]
+        assert len(set(pmids)) == len(pmids)
+
+    def test_keyword_in_every_title(self, generator, hierarchy):
+        citations = generator.generate_topic(topic(hierarchy))
+        assert all("prothymosin" in c.title for c in citations)
+
+    def test_annotations_subset_of_index(self, generator, hierarchy):
+        for citation in generator.generate_topic(topic(hierarchy)):
+            assert set(citation.mesh_annotations) <= set(citation.index_concepts)
+
+    def test_concepts_cluster_around_anchors(self, generator, hierarchy):
+        spec = topic(hierarchy, background_fraction=0.05)
+        anchor = spec.anchors[0][0]
+        anchor_subtree = set(hierarchy.subtree(anchor))
+        in_anchor = 0
+        total = 0
+        for citation in generator.generate_topic(spec):
+            total += len(citation.index_concepts)
+            in_anchor += sum(1 for c in citation.index_concepts if c in anchor_subtree)
+        # The dominant anchor should attract a large share of associations.
+        assert in_anchor / total > 0.3
+
+    def test_deterministic_given_seed(self, hierarchy):
+        spec = topic(hierarchy)
+        a = CorpusGenerator(hierarchy, seed=5).generate_topic(spec)
+        b = CorpusGenerator(hierarchy, seed=5).generate_topic(spec)
+        assert [c.pmid for c in a] == [c.pmid for c in b]
+        assert [c.index_concepts for c in a] == [c.index_concepts for c in b]
+
+    def test_annotation_locality(self, generator, hierarchy):
+        # Focus clustering: a citation's concepts should include related
+        # (parent/child) pairs, not only scattered singletons.
+        citations = generator.generate_topic(topic(hierarchy))
+        related_pairs = 0
+        for citation in citations:
+            concepts = set(citation.index_concepts)
+            for concept in concepts:
+                parent = hierarchy.parent(concept)
+                if parent in concepts:
+                    related_pairs += 1
+                    break
+        assert related_pairs > len(citations) * 0.5
+
+
+class TestBackground:
+    def test_background_counts_cover_all_non_root_concepts(self, generator, hierarchy):
+        counts = generator.background_counts(scale=1000)
+        assert set(counts) == set(range(1, len(hierarchy)))
+        assert all(count >= 1 for count in counts.values())
+
+    def test_background_counts_scale_with_subtree_size(self, generator, hierarchy):
+        counts = generator.background_counts(scale=10_000)
+        top = hierarchy.children(hierarchy.root)
+        biggest = max(top, key=hierarchy.subtree_size)
+        a_leaf = hierarchy.leaves()[len(hierarchy.leaves()) // 2]
+        assert counts[biggest] > counts[a_leaf]
+
+    def test_background_citations_have_no_topic_keyword(self, generator):
+        citations = generator.generate_background(20)
+        assert len(citations) == 20
+        assert all("prothymosin" not in c.title for c in citations)

@@ -1,0 +1,139 @@
+"""Unit tests for the MEDLINE text (.nbib) parser/writer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.corpus.citation import Citation
+from repro.corpus.loader import (
+    citations_from_records,
+    dump_medline_text,
+    load_medline_text,
+    parse_medline_text,
+)
+from repro.hierarchy.mesh import paper_fragment
+
+SAMPLE = """\
+PMID- 17284678
+TI  - Prothymosin alpha and cell proliferation in transformed
+      cell lines.
+AB  - We report that prothymosin alpha regulates chromatin
+      remodelling in proliferating cells.
+AU  - Smith A
+AU  - Chen B
+DP  - 2007 Feb 12
+MH  - Apoptosis
+MH  - *Cell Proliferation
+MH  - Chromatin/metabolism
+
+PMID- 9999999
+TI  - A short one.
+DP  - 1999
+"""
+
+
+class TestParse:
+    def test_two_records(self):
+        records = parse_medline_text(io.StringIO(SAMPLE))
+        assert len(records) == 2
+        assert records[0]["PMID"] == ["17284678"]
+        assert records[1]["PMID"] == ["9999999"]
+
+    def test_continuation_lines_folded(self):
+        records = parse_medline_text(io.StringIO(SAMPLE))
+        assert records[0]["TI"] == [
+            "Prothymosin alpha and cell proliferation in transformed cell lines."
+        ]
+
+    def test_repeated_tags_accumulate(self):
+        records = parse_medline_text(io.StringIO(SAMPLE))
+        assert records[0]["AU"] == ["Smith A", "Chen B"]
+        assert len(records[0]["MH"]) == 3
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_medline_text(io.StringIO("this is not a tagged line\n"))
+
+    def test_empty_input(self):
+        assert parse_medline_text(io.StringIO("")) == []
+
+
+class TestCitations:
+    def test_basic_fields(self):
+        citations = load_medline_text(io.StringIO(SAMPLE))
+        first = citations[0]
+        assert first.pmid == 17284678
+        assert first.authors == ("Smith A", "Chen B")
+        assert first.year == 2007
+        assert "chromatin" in first.abstract
+
+    def test_mesh_resolution_against_hierarchy(self):
+        hierarchy = paper_fragment()
+        citations = load_medline_text(io.StringIO(SAMPLE), hierarchy=hierarchy)
+        first = citations[0]
+        labels = {hierarchy.label(c) for c in first.mesh_annotations}
+        # Major-topic '*' and '/qualifier' forms resolve to plain headings.
+        assert labels == {"Apoptosis", "Cell Proliferation", "Chromatin"}
+
+    def test_unknown_heading_skipped_by_default(self):
+        hierarchy = paper_fragment()
+        text = "PMID- 1\nTI  - x\nMH  - Completely Unknown Heading\n"
+        citations = load_medline_text(io.StringIO(text), hierarchy=hierarchy)
+        assert citations[0].mesh_annotations == ()
+
+    def test_unknown_heading_raises_in_strict_mode(self):
+        hierarchy = paper_fragment()
+        text = "PMID- 1\nTI  - x\nMH  - Completely Unknown Heading\n"
+        with pytest.raises(ValueError):
+            load_medline_text(io.StringIO(text), hierarchy=hierarchy, strict=True)
+
+    def test_missing_pmid_raises(self):
+        with pytest.raises(ValueError):
+            citations_from_records([{"TI": ["x"]}])
+
+    def test_missing_title_raises(self):
+        with pytest.raises(ValueError):
+            citations_from_records([{"PMID": ["3"]}])
+
+    def test_year_defaults_when_unparseable(self):
+        text = "PMID- 1\nTI  - x\nDP  - Spring\n"
+        citations = load_medline_text(io.StringIO(text))
+        assert citations[0].year == 1900
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self):
+        hierarchy = paper_fragment()
+        apoptosis = hierarchy.by_label("Apoptosis")
+        histones = hierarchy.by_label("Histones")
+        annotations = tuple(sorted((apoptosis, histones)))
+        original = [
+            Citation(
+                pmid=42,
+                title="A reasonably long title that will wrap across the eighty column limit set",
+                abstract="An abstract with several words " * 5,
+                authors=("Doe J", "Roe R"),
+                year=2005,
+                mesh_annotations=annotations,
+                index_concepts=annotations,
+            )
+        ]
+        buffer = io.StringIO()
+        written = dump_medline_text(original, buffer, hierarchy=hierarchy)
+        assert written == 1
+        reloaded = load_medline_text(io.StringIO(buffer.getvalue()), hierarchy=hierarchy)
+        assert reloaded[0].pmid == 42
+        assert reloaded[0].title == original[0].title
+        assert reloaded[0].abstract.split() == original[0].abstract.split()
+        assert reloaded[0].mesh_annotations == original[0].mesh_annotations
+        assert reloaded[0].authors == original[0].authors
+        assert reloaded[0].year == 2005
+
+    def test_wrapped_lines_stay_under_limit(self):
+        citation = Citation(pmid=1, title="word " * 60)
+        buffer = io.StringIO()
+        dump_medline_text([citation], buffer)
+        for line in buffer.getvalue().splitlines():
+            assert len(line) <= 80

@@ -1,0 +1,83 @@
+"""Unit tests for repro.corpus.medline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.citation import Citation
+from repro.corpus.medline import MedlineDatabase
+
+
+def citation(pmid: int, concepts=(1, 2)) -> Citation:
+    return Citation(
+        pmid=pmid,
+        title="title %d" % pmid,
+        mesh_annotations=tuple(concepts),
+        index_concepts=tuple(concepts),
+    )
+
+
+class TestStorage:
+    def test_add_and_get(self):
+        db = MedlineDatabase()
+        db.add(citation(5))
+        assert db.get(5).pmid == 5
+        assert 5 in db
+        assert len(db) == 1
+
+    def test_duplicate_pmid_rejected(self):
+        db = MedlineDatabase()
+        db.add(citation(5))
+        with pytest.raises(ValueError):
+            db.add(citation(5))
+
+    def test_get_unknown_raises(self):
+        db = MedlineDatabase()
+        with pytest.raises(KeyError):
+            db.get(123)
+
+    def test_get_many_preserves_order(self):
+        db = MedlineDatabase()
+        db.add_all([citation(1), citation(2), citation(3)])
+        assert [c.pmid for c in db.get_many([3, 1])] == [3, 1]
+
+    def test_pmids_sorted(self):
+        db = MedlineDatabase()
+        db.add_all([citation(9), citation(2), citation(5)])
+        assert db.pmids() == [2, 5, 9]
+
+    def test_iter_citations(self):
+        db = MedlineDatabase()
+        db.add_all([citation(1), citation(2)])
+        assert {c.pmid for c in db.iter_citations()} == {1, 2}
+
+    def test_concepts_of(self):
+        db = MedlineDatabase()
+        db.add(citation(1, concepts=(4, 7)))
+        assert db.concepts_of(1) == (4, 7)
+
+
+class TestConceptCounts:
+    def test_corpus_count_tracks_distinct_citations(self):
+        db = MedlineDatabase()
+        db.add(citation(1, concepts=(4, 4, 7)))
+        db.add(citation(2, concepts=(4,)))
+        assert db.corpus_count(4) == 2
+        assert db.corpus_count(7) == 1
+        assert db.corpus_count(999) == 0
+
+    def test_medline_count_includes_background(self):
+        db = MedlineDatabase(background_counts={4: 100})
+        db.add(citation(1, concepts=(4,)))
+        assert db.medline_count(4) == 101
+        assert db.medline_count(5) == 0
+
+    def test_set_background_count(self):
+        db = MedlineDatabase()
+        db.set_background_count(7, 42)
+        assert db.medline_count(7) == 42
+
+    def test_negative_background_rejected(self):
+        db = MedlineDatabase()
+        with pytest.raises(ValueError):
+            db.set_background_count(7, -1)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.cost_model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import CostLedger, CostParams
+
+
+class TestCostParams:
+    def test_paper_defaults_are_all_one(self):
+        params = CostParams()
+        assert params.expand_cost == 1.0
+        assert params.reveal_cost == 1.0
+        assert params.citation_cost == 1.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostParams(expand_cost=-1)
+        with pytest.raises(ValueError):
+            CostParams(citation_cost=-0.1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostParams().expand_cost = 2.0
+
+
+class TestCostLedger:
+    def test_paper_worked_example(self):
+        # Paper §III: reaching Cell Proliferation costs 119 — 3 EXPANDs on
+        # the root revealing 11 concepts, 1 EXPAND revealing 5, then
+        # SHOWRESULTS listing 99 citations.
+        ledger = CostLedger()
+        ledger.charge_expand(3)
+        ledger.charge_expand(4)
+        ledger.charge_expand(4)
+        ledger.charge_expand(5)
+        ledger.charge_show_results(99)
+        assert ledger.expand_actions == 4
+        assert ledger.concepts_revealed == 16
+        assert ledger.navigation_cost == 20
+        assert ledger.total_cost == 119
+
+    def test_navigation_cost_excludes_citations(self):
+        ledger = CostLedger()
+        ledger.charge_expand(2)
+        ledger.charge_show_results(50)
+        assert ledger.navigation_cost == 3
+        assert ledger.total_cost == 53
+
+    def test_custom_unit_costs(self):
+        ledger = CostLedger(params=CostParams(expand_cost=4, reveal_cost=2, citation_cost=0.5))
+        ledger.charge_expand(3)
+        ledger.charge_show_results(10)
+        assert ledger.navigation_cost == 4 + 3 * 2
+        assert ledger.total_cost == 10 + 5
+
+    def test_negative_reveal_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_expand(-1)
+
+    def test_negative_citations_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_show_results(-1)
+
+    def test_fresh_ledger_is_free(self):
+        assert CostLedger().total_cost == 0.0

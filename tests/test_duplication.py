@@ -1,0 +1,95 @@
+"""Unit tests for duplication analysis (paper §I arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.duplication import (
+    DuplicationStats,
+    cut_duplication,
+    group_stats,
+    least_overlapping_groups,
+    tree_duplication,
+)
+
+
+class TestStats:
+    def test_duplicates_arithmetic(self):
+        stats = DuplicationStats(total_attachments=185, distinct_citations=147)
+        assert stats.duplicates == 38  # the paper's §I example
+        assert stats.duplication_ratio == pytest.approx(38 / 147)
+
+    def test_empty_group(self):
+        stats = DuplicationStats(total_attachments=0, distinct_citations=0)
+        assert stats.duplicates == 0
+        assert stats.duplication_ratio == 0.0
+
+
+class TestGroupStats:
+    def test_disjoint_concepts(self, fragment_tree, fragment_hierarchy):
+        autophagy = fragment_hierarchy.by_label("Autophagy")
+        necrosis = fragment_hierarchy.by_label("Necrosis")
+        stats = group_stats(fragment_tree, [autophagy, necrosis])
+        assert stats.duplicates == 0
+        assert stats.distinct_citations == 5
+
+    def test_overlapping_subtrees(self, fragment_tree, fragment_hierarchy):
+        # Cell Death's subtree includes Apoptosis; grouping both counts
+        # Apoptosis citations twice.
+        cell_death = fragment_hierarchy.by_label("Cell Death")
+        apoptosis = fragment_hierarchy.by_label("Apoptosis")
+        stats = group_stats(fragment_tree, [cell_death, apoptosis])
+        assert stats.duplicates == len(fragment_tree.results(apoptosis))
+
+    def test_tree_duplication_matches_table_columns(self, fragment_tree):
+        stats = tree_duplication(fragment_tree)
+        assert stats.total_attachments == fragment_tree.citations_with_duplicates()
+        assert stats.distinct_citations == len(fragment_tree.all_results())
+        assert stats.duplicates > 0  # the fragment overlaps by design
+
+
+class TestCutDuplication:
+    def test_components_with_shared_citations(self, fragment_tree, fragment_hierarchy):
+        chromatin = fragment_hierarchy.by_label("Chromatin")
+        histones = fragment_hierarchy.by_label("Histones")
+        comp_a = frozenset({chromatin})
+        comp_b = frozenset({histones})
+        stats = cut_duplication(fragment_tree, [comp_a, comp_b])
+        shared = fragment_tree.results(chromatin) & fragment_tree.results(histones)
+        assert stats.duplicates == len(shared)
+
+
+class TestLeastOverlappingGroups:
+    def test_prefers_disjoint_groups(self, fragment_tree, fragment_hierarchy):
+        labels = ["Autophagy", "Necrosis", "Cell Death", "Apoptosis"]
+        candidates = [fragment_hierarchy.by_label(l) for l in labels]
+        ranked = least_overlapping_groups(fragment_tree, candidates, group_size=2)
+        best_group, best_stats = ranked[0]
+        # Autophagy+Necrosis are fully disjoint; must rank first among
+        # zero-duplicate pairs of equal coverage or beat overlapping pairs.
+        assert best_stats.duplicates == 0
+
+    def test_min_coverage_filters(self, fragment_tree, fragment_hierarchy):
+        labels = ["Autophagy", "Necrosis", "Heterochromatin", "Euchromatin"]
+        candidates = [fragment_hierarchy.by_label(l) for l in labels]
+        # These four tiny concepts can never cover 90% of the result.
+        assert (
+            least_overlapping_groups(
+                fragment_tree, candidates, group_size=2, min_coverage=0.9
+            )
+            == []
+        )
+
+    def test_group_size_validation(self, fragment_tree, fragment_hierarchy):
+        with pytest.raises(ValueError):
+            least_overlapping_groups(
+                fragment_tree, [fragment_tree.root], group_size=2
+            )
+
+    def test_all_groups_scored(self, fragment_tree, fragment_hierarchy):
+        labels = ["Autophagy", "Necrosis", "Apoptosis"]
+        candidates = [fragment_hierarchy.by_label(l) for l in labels]
+        ranked = least_overlapping_groups(fragment_tree, candidates, group_size=2)
+        assert len(ranked) == 3  # C(3,2)
+        duplicates = [stats.duplicates for _, stats in ranked]
+        assert duplicates == sorted(duplicates)

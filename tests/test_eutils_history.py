@@ -1,0 +1,99 @@
+"""Unit tests for the Entrez history-server simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.citation import Citation
+from repro.corpus.medline import MedlineDatabase
+from repro.eutils.errors import BadRequestError
+from repro.eutils.history import HistoryEntrezClient, HistoryKey, HistoryServer
+
+
+@pytest.fixture()
+def medline() -> MedlineDatabase:
+    db = MedlineDatabase()
+    for pmid in range(1, 31):
+        db.add(Citation(pmid=pmid, title="histone study %d" % pmid))
+    return db
+
+
+@pytest.fixture()
+def client(medline) -> HistoryEntrezClient:
+    return HistoryEntrezClient(medline)
+
+
+class TestHistoryServer:
+    def test_store_and_fetch(self):
+        server = HistoryServer()
+        key = server.store(None, "histone", [1, 2, 3])
+        assert server.fetch(key) == (1, 2, 3)
+        assert server.query_of(key) == "histone"
+
+    def test_query_keys_increment_within_session(self):
+        server = HistoryServer()
+        first = server.store(None, "a", [1])
+        second = server.store(first.webenv, "b", [2])
+        assert first.webenv == second.webenv
+        assert (first.query_key, second.query_key) == (1, 2)
+        assert server.fetch(second) == (2,)
+
+    def test_separate_sessions_get_distinct_webenvs(self):
+        server = HistoryServer()
+        a = server.store(None, "a", [1])
+        b = server.store(None, "b", [2])
+        assert a.webenv != b.webenv
+
+    def test_unknown_webenv_rejected(self):
+        server = HistoryServer()
+        with pytest.raises(BadRequestError):
+            server.fetch(HistoryKey(webenv="NOPE", query_key=1))
+        with pytest.raises(BadRequestError):
+            server.store("NOPE", "a", [1])
+
+    def test_query_key_out_of_range(self):
+        server = HistoryServer()
+        key = server.store(None, "a", [1])
+        with pytest.raises(BadRequestError):
+            server.fetch(HistoryKey(webenv=key.webenv, query_key=2))
+
+
+class TestUseHistoryWorkflow:
+    def test_esearch_usehistory(self, client):
+        key, count = client.esearch_usehistory("histone")
+        assert count == 30
+        assert client.history.fetch(key)  # stored server-side
+
+    def test_esummary_paging_by_reference(self, client):
+        key, count = client.esearch_usehistory("histone")
+        first = client.esummary_page(key, retstart=0, retmax=10)
+        second = client.esummary_page(key, retstart=10, retmax=10)
+        assert len(first) == len(second) == 10
+        assert {s.pmid for s in first}.isdisjoint({s.pmid for s in second})
+
+    def test_efetch_page(self, client):
+        key, _ = client.esearch_usehistory("histone")
+        page = client.efetch_page(key, retstart=25, retmax=10)
+        assert len(page) == 5
+        assert all(isinstance(c, Citation) for c in page)
+
+    def test_page_past_end_is_empty(self, client):
+        key, _ = client.esearch_usehistory("histone")
+        assert client.esummary_page(key, retstart=100, retmax=10) == []
+
+    def test_negative_paging_rejected(self, client):
+        key, _ = client.esearch_usehistory("histone")
+        with pytest.raises(BadRequestError):
+            client.esummary_page(key, retstart=-1)
+
+    def test_iterate_summaries_covers_all(self, client):
+        key, count = client.esearch_usehistory("histone")
+        pmids = [s.pmid for s in client.iterate_summaries(key, page_size=7)]
+        assert len(pmids) == count
+        assert len(set(pmids)) == count
+
+    def test_appending_to_existing_session(self, client):
+        key1, _ = client.esearch_usehistory("histone")
+        key2, _ = client.esearch_usehistory("study", webenv=key1.webenv)
+        assert key2.webenv == key1.webenv
+        assert key2.query_key == 2

@@ -1,0 +1,76 @@
+"""Unit tests for EXPAND decision explanations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.explain import explain_expansion
+from repro.core.heuristic import HeuristicReducedOpt
+
+
+@pytest.fixture()
+def full_component(fragment_tree):
+    return frozenset(fragment_tree.iter_dfs())
+
+
+class TestExplainExpansion:
+    def test_chosen_matches_the_heuristic(self, fragment_tree, fragment_probs, full_component):
+        explanation = explain_expansion(
+            fragment_tree, fragment_probs, full_component, fragment_tree.root
+        )
+        strategy = HeuristicReducedOpt(fragment_tree, fragment_probs)
+        decision = strategy.best_cut(full_component, fragment_tree.root)
+        assert set(explanation.chosen.cut) == set(decision.cut)
+        assert explanation.chosen.margin == 0.0
+
+    def test_alternatives_sorted_by_margin(self, fragment_tree, fragment_probs, full_component):
+        explanation = explain_expansion(
+            fragment_tree, fragment_probs, full_component, fragment_tree.root, top_k=4
+        )
+        margins = [alt.margin for alt in explanation.alternatives]
+        assert margins == sorted(margins)
+        assert all(m >= 0 for m in margins)
+        assert len(explanation.alternatives) <= 4
+
+    def test_labels_match_cut_children(self, fragment_tree, fragment_probs, full_component):
+        explanation = explain_expansion(
+            fragment_tree, fragment_probs, full_component, fragment_tree.root
+        )
+        for alternative in (explanation.chosen,) + explanation.alternatives:
+            expected = tuple(
+                fragment_tree.label(child) for _, child in alternative.cut
+            )
+            assert alternative.revealed_labels == expected
+
+    def test_probabilities_reported(self, fragment_tree, fragment_probs, full_component):
+        explanation = explain_expansion(
+            fragment_tree, fragment_probs, full_component, fragment_tree.root
+        )
+        assert explanation.explore_probability == pytest.approx(1.0)
+        assert 0.0 <= explanation.expand_probability <= 1.0
+        assert explanation.reduced_size <= 10
+
+    def test_small_component_explained_exactly(self, fragment_tree, fragment_probs, fragment_hierarchy):
+        cell_death = fragment_hierarchy.by_label("Cell Death")
+        component = fragment_tree.subtree_nodes(cell_death)
+        explanation = explain_expansion(
+            fragment_tree, fragment_probs, component, cell_death
+        )
+        assert explanation.reduced_size == len(component)
+        assert explanation.chosen.cut
+
+    def test_singleton_rejected(self, fragment_tree, fragment_probs, fragment_hierarchy):
+        leaf = fragment_hierarchy.by_label("Euchromatin")
+        with pytest.raises(ValueError):
+            explain_expansion(
+                fragment_tree, fragment_probs, frozenset({leaf}), leaf
+            )
+
+    def test_works_on_workload_scale(self, small_workload):
+        prepared = small_workload.prepare("LbetaT2")
+        component = frozenset(prepared.tree.iter_dfs())
+        explanation = explain_expansion(
+            prepared.tree, prepared.probs, component, prepared.tree.root
+        )
+        assert explanation.chosen.cut
+        assert explanation.reduced_size <= 10

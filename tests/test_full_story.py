@@ -1,0 +1,119 @@
+"""End-to-end story: every subsystem in one scenario.
+
+Offline: generate hierarchy + corpus → persist the corpus as JSONL →
+reload → harvest associations the paper's way → build the BioNav database
+→ persist and reload it.  Online: search through the web interface,
+replay the session's log against a locally reconstructed tree, and
+produce the Markdown report.  One scenario touching each subsystem's
+public seam, complementing the per-module suites.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.bionav import BioNav
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.core.replay import record_session, replay_session
+from repro.core.session import NavigationSession
+from repro.corpus.persistence import load_medline_jsonl, save_medline_jsonl
+from repro.eutils.client import EntrezClient
+from repro.search.evaluator import FieldedEngineAdapter, FieldedSearchEngine
+from repro.storage.database import BioNavDatabase
+from repro.storage.harvest import ConceptHarvester
+from repro.web.app import BioNavWebApp
+
+
+@pytest.fixture(scope="module")
+def story(request, tmp_path_factory):
+    workload = request.getfixturevalue("small_workload")
+    tmp = tmp_path_factory.mktemp("story")
+
+    # Corpus persistence round trip.
+    corpus_path = tmp / "corpus.jsonl"
+    with open(corpus_path, "w") as handle:
+        save_medline_jsonl(workload.medline, handle)
+    with open(corpus_path) as handle:
+        medline = load_medline_jsonl(handle)
+
+    # Offline build + database persistence round trip.
+    database = BioNavDatabase.build(workload.hierarchy, medline)
+    db_path = tmp / "bionav.json"
+    database.save(str(db_path))
+    database = BioNavDatabase.load(str(db_path), medline=medline)
+
+    bionav = BioNav(database, EntrezClient(medline))
+    return workload, medline, database, bionav
+
+
+class TestOfflineStory:
+    def test_reloaded_corpus_equals_original(self, story):
+        workload, medline, _, _ = story
+        assert medline.pmids() == workload.medline.pmids()
+
+    def test_harvest_agrees_with_persisted_database(self, story):
+        workload, medline, database, _ = story
+        fielded = FieldedSearchEngine(medline, workload.hierarchy)
+        harvester = ConceptHarvester(
+            workload.hierarchy,
+            EntrezClient(medline, engine=FieldedEngineAdapter(fielded)),
+        )
+        sample = [n for n in range(1, 60)]
+        result = harvester.harvest(concepts=sample)
+        for concept in sample:
+            assert result.associations.citations_for(concept) == (
+                database.associations.citations_for(concept)
+            )
+
+
+class TestOnlineStory:
+    def test_search_navigate_replay(self, story):
+        workload, _, database, bionav = story
+        query = bionav.search("prothymosin")
+        assert query.result_count == 313
+        session = query.session
+        session.expand(query.tree.root)
+        expandable = [
+            n for n in session.active.component_roots() if n != query.tree.root
+        ]
+        if expandable:
+            session.expand(expandable[0])
+        log = record_session(session)
+
+        # Reconstruct the tree independently and replay.
+        pmids = bionav.entrez.esearch_all("prothymosin")
+        tree = NavigationTree.build(
+            database.hierarchy, database.annotations_for_result(pmids)
+        )
+        replayed = replay_session(tree, log)
+        assert set(replayed.active.visible_nodes()) == set(
+            session.active.visible_nodes()
+        )
+
+    def test_web_interface_over_persisted_database(self, story):
+        _, _, _, bionav = story
+        app = BioNavWebApp(bionav)
+        environ = {
+            "REQUEST_METHOD": "GET",
+            "PATH_INFO": "/search",
+            "QUERY_STRING": urlencode({"q": "follistatin"}),
+        }
+        captured = []
+        body = b"".join(app(environ, lambda s, h: captured.append(s))).decode()
+        assert captured[0] == "200 OK"
+        assert "follistatin" in body
+        assert re.search(r"/nav/s\d+", body)
+
+    def test_report_generation_from_story_workload(self, story):
+        workload, _, _, _ = story
+        from repro.workload.report import generate_report
+
+        text = generate_report(workload, title="Story report")
+        assert "## Figure 8" in text
+        assert "bootstrap CI" in text

@@ -1,0 +1,179 @@
+"""Unit tests for repro.core.heuristic (Heuristic-ReducedOpt)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.active_tree import ActiveTree
+from repro.core.edgecut import is_valid_edgecut
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import CutTree, OptEdgeCut
+from repro.core.probabilities import ProbabilityModel
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.hierarchy.generator import generate_hierarchy
+
+
+@pytest.fixture()
+def big_tree():
+    """A navigation tree well above the reduction threshold."""
+    h = generate_hierarchy(target_size=300, seed=21)
+    annotations = {}
+    for i, node in enumerate(range(1, len(h))):
+        if i % 2 == 0:
+            annotations[node] = set(range(i % 40, i % 40 + 5))
+    return NavigationTree.build(h, annotations)
+
+
+@pytest.fixture()
+def big_probs(big_tree):
+    return ProbabilityModel(big_tree, lambda n: 500)
+
+
+class TestReduction:
+    def test_reduced_tree_respects_limit(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=10)
+        component = frozenset(big_tree.iter_dfs())
+        reduced, part_roots = strategy._reduce(component, big_tree.root)
+        assert 2 <= len(reduced) <= 10
+        assert len(part_roots) == len(reduced)
+
+    def test_supernodes_partition_the_component(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=8)
+        component = frozenset(big_tree.iter_dfs())
+        reduced, _ = strategy._reduce(component, big_tree.root)
+        members = [m for payload in reduced.payload for m in payload]
+        assert sorted(members) == sorted(component)
+
+    def test_supernode_results_are_member_unions(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs)
+        component = frozenset(big_tree.iter_dfs())
+        reduced, _ = strategy._reduce(component, big_tree.root)
+        for i, payload in enumerate(reduced.payload):
+            assert reduced.results[i] == big_tree.distinct_results(payload)
+
+    def test_root_supernode_is_node_zero(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs)
+        component = frozenset(big_tree.iter_dfs())
+        reduced, part_roots = strategy._reduce(component, big_tree.root)
+        assert part_roots[0] == big_tree.root
+        assert big_tree.root in reduced.payload[0]
+
+
+class TestBestCut:
+    def test_cut_is_valid_for_original_tree(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs)
+        component = frozenset(big_tree.iter_dfs())
+        decision = strategy.best_cut(component, big_tree.root)
+        assert decision.cut
+        assert is_valid_edgecut(big_tree, component, decision.cut)
+
+    def test_small_component_solved_exactly(self, big_tree, big_probs):
+        # Take a small subtree: no reduction should happen.
+        small_root = None
+        for node in big_tree.iter_dfs():
+            size = len(big_tree.subtree_nodes(node))
+            if 3 <= size <= 8:
+                small_root = node
+                break
+        assert small_root is not None
+        component = big_tree.subtree_nodes(small_root)
+        strategy = HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=10)
+        decision = strategy.best_cut(component, small_root)
+        assert decision.reduced_size == len(component)
+        # Must match a direct Opt-EdgeCut run.
+        cut_tree = CutTree.from_component(big_tree, big_probs, component, small_root)
+        exact = OptEdgeCut(cut_tree, big_probs).solve()
+        assert decision.expected_cost == pytest.approx(exact.expected_cost)
+
+    def test_singleton_component_yields_empty_cut(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs)
+        leaf = next(n for n in big_tree.iter_dfs() if big_tree.is_leaf(n))
+        decision = strategy.best_cut(frozenset({leaf}), leaf)
+        assert decision.cut == ()
+
+    def test_choose_cut_uses_active_component(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs)
+        active = ActiveTree(big_tree)
+        decision = strategy.choose_cut(active, big_tree.root)
+        assert decision.cut
+        active.expand(big_tree.root, decision.cut)  # applies cleanly
+
+    def test_reduced_size_instrumentation(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=10)
+        component = frozenset(big_tree.iter_dfs())
+        decision = strategy.best_cut(component, big_tree.root)
+        assert decision.reduced_size == strategy.last_reduced_size
+        assert decision.reduced_size <= 10
+
+    def test_max_reduced_nodes_validation(self, big_tree, big_probs):
+        with pytest.raises(ValueError):
+            HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=1)
+
+
+class TestMemoReuse:
+    def test_subcomponents_answered_from_cache(self, big_tree, big_probs):
+        """§VI-B: after one exact solve, later EXPANDs on its
+        sub-components need no re-optimization."""
+        strategy = HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=10)
+        # Find a small component, solve it exactly, then expand a child.
+        small_root = next(
+            n
+            for n in big_tree.iter_dfs()
+            if 4 <= len(big_tree.subtree_nodes(n)) <= 8
+        )
+        component = big_tree.subtree_nodes(small_root)
+        decision = strategy.best_cut(component, small_root)
+        assert strategy.cache_hits == 0
+        # Any sub-component produced by the chosen cut is now cached.
+        from repro.core.edgecut import cut_components
+
+        upper, lowers = cut_components(big_tree, component, small_root, decision.cut)
+        strategy.best_cut(upper, small_root)
+        assert strategy.cache_hits == 1
+
+    def test_reuse_can_be_disabled(self, big_tree, big_probs):
+        strategy = HeuristicReducedOpt(
+            big_tree, big_probs, max_reduced_nodes=10, reuse_memo=False
+        )
+        small_root = next(
+            n
+            for n in big_tree.iter_dfs()
+            if 4 <= len(big_tree.subtree_nodes(n)) <= 8
+        )
+        component = big_tree.subtree_nodes(small_root)
+        strategy.best_cut(component, small_root)
+        strategy.best_cut(component, small_root)
+        assert strategy.cache_hits == 0
+
+    def test_cached_decision_is_valid(self, big_tree, big_probs):
+        from repro.core.edgecut import cut_components, is_valid_edgecut
+
+        strategy = HeuristicReducedOpt(big_tree, big_probs, max_reduced_nodes=10)
+        small_root = next(
+            n
+            for n in big_tree.iter_dfs()
+            if 4 <= len(big_tree.subtree_nodes(n)) <= 8
+        )
+        component = big_tree.subtree_nodes(small_root)
+        decision = strategy.best_cut(component, small_root)
+        upper, _ = cut_components(big_tree, component, small_root, decision.cut)
+        if len(upper) > 1:
+            cached = strategy.best_cut(upper, small_root)
+            if cached.cut:
+                assert is_valid_edgecut(big_tree, upper, cached.cut)
+
+
+class TestRepeatedExpansion:
+    def test_navigation_descends_without_errors(self, big_tree, big_probs):
+        """Repeatedly expanding components never produces an invalid cut."""
+        strategy = HeuristicReducedOpt(big_tree, big_probs)
+        active = ActiveTree(big_tree)
+        for _ in range(15):
+            expandable = active.component_roots()
+            if not expandable:
+                break
+            node = max(expandable, key=lambda n: len(active.component(n)))
+            decision = strategy.choose_cut(active, node)
+            assert is_valid_edgecut(big_tree, active.component(node), decision.cut)
+            active.expand(node, decision.cut)

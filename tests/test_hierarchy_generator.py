@@ -1,0 +1,70 @@
+"""Unit tests for repro.hierarchy.generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.generator import HierarchyGenerator, HierarchyShape, generate_hierarchy
+
+
+class TestGeneration:
+    def test_respects_target_size_approximately(self):
+        h = generate_hierarchy(target_size=800, seed=1)
+        assert 700 <= len(h) <= 850
+
+    def test_root_fanout(self):
+        h = generate_hierarchy(target_size=500, seed=2, root_fanout=17)
+        assert len(h.children(h.root)) == 17
+
+    def test_max_depth_respected(self):
+        h = generate_hierarchy(target_size=3000, seed=3, max_depth=6)
+        assert h.height() <= 6
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_hierarchy(target_size=400, seed=9)
+        b = generate_hierarchy(target_size=400, seed=9)
+        assert a.to_records() == b.to_records()
+
+    def test_different_seeds_differ(self):
+        a = generate_hierarchy(target_size=400, seed=1)
+        b = generate_hierarchy(target_size=400, seed=2)
+        assert a.to_records() != b.to_records()
+
+    def test_bushy_upper_levels(self):
+        # MeSH-like silhouette: level 1+2 together hold a sizable share of
+        # a shallow slice of the tree (wide at the top).
+        h = generate_hierarchy(target_size=2000, seed=4)
+        level_counts = {}
+        for node in h.iter_dfs():
+            level_counts[h.depth(node)] = level_counts.get(h.depth(node), 0) + 1
+        assert level_counts[1] >= 20
+        # The tree gets deep too.
+        assert h.height() >= 4
+
+    def test_labels_are_readable(self):
+        h = generate_hierarchy(target_size=50, seed=5)
+        for node in range(1, len(h)):
+            assert h.label(node)
+            assert "," in h.label(node)
+
+
+class TestShape:
+    def test_shape_defaults(self):
+        shape = HierarchyShape()
+        assert shape.max_depth == 11  # MeSH depth
+
+    def test_generator_accepts_custom_shape(self):
+        shape = HierarchyShape(target_size=120, root_fanout=5, max_depth=4)
+        h = HierarchyGenerator(shape, seed=0).generate()
+        assert len(h.children(h.root)) == 5
+        assert h.height() <= 4
+
+    def test_mesh_2008_preset_matches_paper_statistics(self):
+        shape = HierarchyShape.mesh_2008()
+        assert shape.target_size == 48_000  # "over 48,000 concept nodes"
+        assert shape.root_fanout == 98      # Fig. 1: 98 children of the root
+
+    def test_deep_preset_produces_deeper_trees(self):
+        default = HierarchyGenerator(HierarchyShape(target_size=1500), seed=3).generate()
+        deep = HierarchyGenerator(HierarchyShape.deep(target_size=1500), seed=3).generate()
+        assert deep.height() > default.height()

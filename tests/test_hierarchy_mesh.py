@@ -1,0 +1,107 @@
+"""Unit tests for repro.hierarchy.mesh."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.mesh import (
+    PAPER_FRAGMENT_EDGES,
+    format_tree_number,
+    is_tree_number_ancestor,
+    paper_fragment,
+    parse_tree_number,
+    tree_number_parent,
+)
+
+
+class TestTreeNumbers:
+    def test_parse_simple(self):
+        assert parse_tree_number("001.004.002") == (1, 4, 2)
+
+    def test_parse_root(self):
+        assert parse_tree_number("") == ()
+
+    def test_format_round_trip(self):
+        assert format_tree_number(parse_tree_number("003.012")) == "003.012"
+
+    def test_format_pads_to_three_digits(self):
+        assert format_tree_number([1, 22, 333]) == "001.022.333"
+
+    def test_parse_rejects_non_numeric(self):
+        with pytest.raises(ValueError):
+            parse_tree_number("001.x.002")
+
+    def test_parse_rejects_zero_component(self):
+        with pytest.raises(ValueError):
+            parse_tree_number("000")
+
+    def test_parent(self):
+        assert tree_number_parent("001.002.003") == "001.002"
+        assert tree_number_parent("001") == ""
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(ValueError):
+            tree_number_parent("")
+
+    def test_ancestor_prefix_semantics(self):
+        assert is_tree_number_ancestor("001", "001.002")
+        assert is_tree_number_ancestor("", "005.001")
+        assert is_tree_number_ancestor("001.002", "001.002")
+        assert not is_tree_number_ancestor("001.002", "001")
+        assert not is_tree_number_ancestor("002", "001.002")
+
+
+class TestPaperFragment:
+    def test_contains_all_edge_labels(self):
+        h = paper_fragment()
+        for label, parent_label in PAPER_FRAGMENT_EDGES:
+            node = h.by_label(label)
+            assert h.label(h.parent(node)) == parent_label
+
+    def test_size_matches_edge_list(self):
+        h = paper_fragment()
+        assert len(h) == len(PAPER_FRAGMENT_EDGES) + 1  # + root
+
+    def test_fig3_chain_is_present(self):
+        # The EdgeCut anatomy of Fig. 3: Biological Phenomena... → Cell
+        # Physiology → Cell Death → Apoptosis.
+        h = paper_fragment()
+        apoptosis = h.by_label("Apoptosis")
+        path_labels = [h.label(n) for n in h.path_to_root(apoptosis)]
+        assert path_labels == [
+            "Apoptosis",
+            "Cell Death",
+            "Cell Physiology",
+            "Biological Phenomena, Cell Phenomena, and Immunity",
+            "MeSH",
+        ]
+
+    def test_cell_proliferation_under_growth_processes(self):
+        # Fig. 2c: Cell Proliferation replaces Cell Growth Processes
+        # because it is more specific with the same citations.
+        h = paper_fragment()
+        proliferation = h.by_label("Cell Proliferation")
+        assert h.label(h.parent(proliferation)) == "Cell Growth Processes"
+
+    def test_table1_target_concepts_present(self):
+        h = paper_fragment()
+        for label in [
+            "Mice, Transgenic",
+            "Substrate Specificity",
+            "Nicotinic Agonists",
+            "Perchloric Acid",
+            "Histones",
+            "Plants, Genetically Modified",
+            "Phosphodiesterase Inhibitors",
+            "Polymorphism, Single Nucleotide",
+            "GABA Plasma Membrane Transport Proteins",
+            "Follicle Stimulating Hormone",
+        ]:
+            h.by_label(label)  # raises KeyError if missing
+
+    def test_fragment_is_a_tree(self):
+        h = paper_fragment()
+        # Every non-root node has exactly one parent and the root is an
+        # ancestor of everything.
+        for node in range(1, len(h)):
+            assert h.is_ancestor(h.root, node)

@@ -1,0 +1,108 @@
+"""Unit tests for the imperfect-user (BACKTRACK) simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.imperfect import navigate_with_errors
+from repro.core.simulator import navigate_to_target
+from repro.core.static_nav import StaticNavigation
+
+
+@pytest.fixture()
+def heuristic(fragment_tree, fragment_probs):
+    return HeuristicReducedOpt(fragment_tree, fragment_probs)
+
+
+@pytest.fixture()
+def target(fragment_hierarchy):
+    return fragment_hierarchy.by_label("Apoptosis")
+
+
+class TestNavigateWithErrors:
+    def test_zero_error_matches_perfect_user(self, fragment_tree, fragment_probs, target):
+        perfect = navigate_to_target(
+            fragment_tree,
+            HeuristicReducedOpt(fragment_tree, fragment_probs),
+            target,
+            show_results=False,
+        )
+        imperfect = navigate_with_errors(
+            fragment_tree,
+            HeuristicReducedOpt(fragment_tree, fragment_probs),
+            target,
+            error_rate=0.0,
+            rng=random.Random(1),
+        )
+        assert imperfect.reached
+        assert imperfect.wrong_turns == 0
+        assert imperfect.navigation_cost == perfect.navigation_cost
+
+    def test_errors_cost_extra(self, fragment_tree, fragment_probs, target):
+        clean = navigate_with_errors(
+            fragment_tree,
+            HeuristicReducedOpt(fragment_tree, fragment_probs),
+            target,
+            error_rate=0.0,
+            rng=random.Random(2),
+        )
+        noisy_costs = []
+        for seed in range(8):
+            noisy = navigate_with_errors(
+                fragment_tree,
+                HeuristicReducedOpt(fragment_tree, fragment_probs),
+                target,
+                error_rate=0.5,
+                rng=random.Random(seed),
+            )
+            assert noisy.reached
+            noisy_costs.append(noisy.navigation_cost)
+        assert sum(noisy_costs) / len(noisy_costs) >= clean.navigation_cost
+
+    def test_wrong_turns_are_backtracked(self, fragment_tree, fragment_probs, target):
+        outcome = navigate_with_errors(
+            fragment_tree,
+            HeuristicReducedOpt(fragment_tree, fragment_probs),
+            target,
+            error_rate=0.7,
+            rng=random.Random(5),
+        )
+        assert outcome.backtracks == outcome.wrong_turns
+
+    def test_always_wrong_user_hits_step_budget(self, fragment_tree, fragment_probs, target):
+        outcome = navigate_with_errors(
+            fragment_tree,
+            HeuristicReducedOpt(fragment_tree, fragment_probs),
+            target,
+            error_rate=1.0,
+            rng=random.Random(3),
+            max_steps=20,
+        )
+        # The first step is forced-correct (only the root is expandable);
+        # afterwards a 100%-wrong user can still stall.
+        assert outcome.expand_actions <= 20
+
+    def test_static_strategy_supported(self, fragment_tree, target):
+        outcome = navigate_with_errors(
+            fragment_tree,
+            StaticNavigation(fragment_tree),
+            target,
+            error_rate=0.3,
+            rng=random.Random(4),
+        )
+        assert outcome.reached
+
+    def test_error_rate_validation(self, fragment_tree, fragment_probs, target, heuristic):
+        with pytest.raises(ValueError):
+            navigate_with_errors(
+                fragment_tree, heuristic, target, error_rate=1.5, rng=random.Random(0)
+            )
+
+    def test_unknown_target_raises(self, fragment_tree, heuristic):
+        with pytest.raises(KeyError):
+            navigate_with_errors(
+                fragment_tree, heuristic, 99999, error_rate=0.0, rng=random.Random(0)
+            )

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.navigation_tree (maximum embedding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.navigation_tree import NavigationTree
+from repro.hierarchy.concept import ConceptHierarchy
+
+
+@pytest.fixture()
+def chain_hierarchy() -> ConceptHierarchy:
+    # root -> a -> b -> c, plus root -> d
+    h = ConceptHierarchy(root_label="root")
+    a = h.add_child(0, "a")  # 1
+    b = h.add_child(a, "b")  # 2
+    h.add_child(b, "c")      # 3
+    h.add_child(0, "d")      # 4
+    return h
+
+
+class TestMaximumEmbedding:
+    def test_empty_internal_node_is_spliced_out(self, chain_hierarchy):
+        # a and b empty, c annotated: c becomes a direct child of the root.
+        tree = NavigationTree.build(chain_hierarchy, {3: {10}})
+        assert set(tree.nodes()) == {0, 3}
+        assert tree.parent(3) == 0
+
+    def test_empty_leaf_is_dropped(self, chain_hierarchy):
+        tree = NavigationTree.build(chain_hierarchy, {1: {10}})
+        assert set(tree.nodes()) == {0, 1}
+
+    def test_root_kept_even_when_empty(self, chain_hierarchy):
+        tree = NavigationTree.build(chain_hierarchy, {4: {10}})
+        assert tree.root == 0
+        assert tree.results(0) == frozenset()
+
+    def test_intermediate_annotated_node_is_kept(self, chain_hierarchy):
+        tree = NavigationTree.build(chain_hierarchy, {2: {10}, 3: {11}})
+        assert tree.parent(3) == 2
+        assert tree.parent(2) == 0
+
+    def test_annotations_with_empty_sets_treated_as_empty(self, chain_hierarchy):
+        tree = NavigationTree.build(chain_hierarchy, {1: set(), 3: {10}})
+        assert 1 not in tree
+        assert 3 in tree
+
+    def test_preserves_ancestor_descendant_relationships(self, fragment_hierarchy, fragment_tree):
+        # Any two kept nodes related in the hierarchy stay related (and in
+        # the same direction) in the embedded tree.
+        nodes = fragment_tree.nodes()
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    continue
+                hier = fragment_hierarchy.is_ancestor(a, b)
+                embedded = fragment_tree.is_tree_ancestor(a, b)
+                assert hier == embedded
+
+    def test_no_empty_nodes_except_root(self, fragment_tree):
+        for node in fragment_tree.nodes():
+            if node != fragment_tree.root:
+                assert fragment_tree.results(node)
+
+    def test_all_annotated_nodes_kept(self, fragment_tree, fragment_annotations):
+        for node in fragment_annotations:
+            assert node in fragment_tree
+
+
+class TestResults:
+    def test_direct_results(self, fragment_tree, fragment_hierarchy):
+        apoptosis = fragment_hierarchy.by_label("Apoptosis")
+        assert len(fragment_tree.results(apoptosis)) == 35
+
+    def test_subtree_results_are_distinct_union(self, fragment_tree, fragment_hierarchy):
+        cell_death = fragment_hierarchy.by_label("Cell Death")
+        # Apoptosis (1..35) ∪ Autophagy {36,37,38} ∪ Necrosis {39,40}
+        # ∪ Cell Death {1,2,41,42} = 1..42 → 42 distinct.
+        assert len(fragment_tree.subtree_results(cell_death)) == 42
+
+    def test_subtree_results_at_root_covers_everything(
+        self, fragment_tree, fragment_annotations
+    ):
+        everything = set()
+        for ids in fragment_annotations.values():
+            everything |= ids
+        assert fragment_tree.all_results() == frozenset(everything)
+
+    def test_distinct_results_over_node_subset(self, fragment_tree, fragment_hierarchy):
+        a = fragment_hierarchy.by_label("Autophagy")
+        n = fragment_hierarchy.by_label("Necrosis")
+        assert fragment_tree.distinct_results([a, n]) == frozenset({36, 37, 38, 39, 40})
+
+    def test_results_of_unknown_node_raise(self, fragment_tree):
+        with pytest.raises(KeyError):
+            fragment_tree.results(10_000)
+
+
+class TestStatistics:
+    def test_size(self, fragment_tree, fragment_annotations):
+        # All annotated nodes + root (no annotated node is an empty split).
+        assert fragment_tree.size() == len(fragment_annotations) + 1
+
+    def test_citations_with_duplicates_is_sum_of_attachments(
+        self, fragment_tree, fragment_annotations
+    ):
+        expected = sum(len(ids) for ids in fragment_annotations.values())
+        assert fragment_tree.citations_with_duplicates() == expected
+
+    def test_height_positive(self, fragment_tree):
+        assert fragment_tree.height() >= 2
+
+    def test_max_width_at_least_top_level(self, fragment_tree):
+        assert fragment_tree.max_width() >= len(fragment_tree.children(fragment_tree.root))
+
+    def test_tree_depth(self, fragment_tree, fragment_hierarchy):
+        assert fragment_tree.tree_depth(fragment_tree.root) == 0
+        apoptosis = fragment_hierarchy.by_label("Apoptosis")
+        parent = fragment_tree.parent(apoptosis)
+        assert fragment_tree.tree_depth(apoptosis) == fragment_tree.tree_depth(parent) + 1
+
+
+class TestTraversal:
+    def test_iter_dfs_starts_at_root(self, fragment_tree):
+        order = list(fragment_tree.iter_dfs())
+        assert order[0] == fragment_tree.root
+        assert len(order) == fragment_tree.size()
+
+    def test_edges_count(self, fragment_tree):
+        assert len(list(fragment_tree.edges())) == fragment_tree.size() - 1
+
+    def test_subtree_nodes(self, fragment_tree, fragment_hierarchy):
+        cell_death = fragment_hierarchy.by_label("Cell Death")
+        members = fragment_tree.subtree_nodes(cell_death)
+        labels = {fragment_tree.label(n) for n in members}
+        assert labels == {"Cell Death", "Autophagy", "Apoptosis", "Necrosis"}

@@ -1,0 +1,105 @@
+"""Unit tests for the PubMed-style query language parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.search.query_language import (
+    And,
+    Not,
+    Or,
+    QuerySyntaxError,
+    Term,
+    parse_query,
+)
+
+
+class TestTerms:
+    def test_single_word(self):
+        assert parse_query("prothymosin") == Term("prothymosin")
+
+    def test_quoted_phrase(self):
+        node = parse_query('"cell proliferation"')
+        assert node == Term("cell proliferation", phrase=True)
+
+    def test_field_tags(self):
+        assert parse_query("apoptosis[mh]") == Term("apoptosis", field="mh")
+        assert parse_query("cancer[ti]") == Term("cancer", field="ti")
+        assert parse_query("kinase[ab]") == Term("kinase", field="ab")
+        assert parse_query("x[all]") == Term("x", field="all")
+
+    def test_field_tag_on_phrase(self):
+        node = parse_query('"cell death"[mh]')
+        assert node == Term("cell death", field="mh", phrase=True)
+
+    def test_field_tags_case_insensitive(self):
+        assert parse_query("apoptosis[MH]") == Term("apoptosis", field="mh")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("apoptosis[xyz]")
+
+    def test_transporter_names_survive(self):
+        assert parse_query("Na+/I- symporter") == And(
+            Term("Na+/I-"), Term("symporter")
+        )
+
+
+class TestBooleans:
+    def test_explicit_and(self):
+        assert parse_query("a AND b") == And(Term("a"), Term("b"))
+
+    def test_juxtaposition_is_and(self):
+        assert parse_query("a b c") == And(And(Term("a"), Term("b")), Term("c"))
+
+    def test_or(self):
+        assert parse_query("a OR b") == Or(Term("a"), Term("b"))
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_query("a OR b AND c")
+        assert node == Or(Term("a"), And(Term("b"), Term("c")))
+
+    def test_parentheses_override(self):
+        node = parse_query("(a OR b) AND c")
+        assert node == And(Or(Term("a"), Term("b")), Term("c"))
+
+    def test_not(self):
+        assert parse_query("NOT a") == Not(Term("a"))
+        assert parse_query("a NOT b") == And(Term("a"), Not(Term("b")))
+
+    def test_nested_not(self):
+        assert parse_query("NOT NOT a") == Not(Not(Term("a")))
+
+    def test_operators_case_insensitive(self):
+        assert parse_query("a and b") == And(Term("a"), Term("b"))
+        assert parse_query("a or b") == Or(Term("a"), Term("b"))
+
+    def test_complex_query(self):
+        node = parse_query('prothymosin AND (apoptosis[mh] OR "cell death") NOT review[ti]')
+        assert isinstance(node, And)
+        assert isinstance(node.right, Not)
+        assert node.right.operand == Term("review", field="ti")
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(a OR b")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("a OR b)")
+
+    def test_dangling_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("a AND")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("OR a")
+
+    def test_empty_phrase(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('""')

@@ -1,0 +1,100 @@
+"""Unit tests for session recording and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.replay import SessionLog, record_session, replay_session
+from repro.core.session import NavigationSession
+
+
+@pytest.fixture()
+def recorded(fragment_tree, fragment_probs):
+    """A session with a few expands plus its extracted log."""
+    session = NavigationSession(
+        fragment_tree, HeuristicReducedOpt(fragment_tree, fragment_probs)
+    )
+    session.expand(fragment_tree.root)
+    expandable = [
+        n for n in session.active.component_roots() if n != fragment_tree.root
+    ]
+    if expandable:
+        session.expand(expandable[0])
+    return session, record_session(session)
+
+
+class TestRecording:
+    def test_log_contains_one_entry_per_expand(self, recorded):
+        session, log = recorded
+        expands = [a for a in log.actions if a[0] == "expand"]
+        assert len(expands) == session.ledger.expand_actions
+
+    def test_manual_log_recording(self):
+        log = SessionLog()
+        log.record_expand(0, [(0, 1)])
+        log.record_show(1)
+        log.record_ignore(2)
+        log.record_backtrack()
+        assert [a[0] for a in log.actions] == ["expand", "show", "ignore", "backtrack"]
+
+
+class TestSerialization:
+    def test_json_round_trip(self, recorded):
+        _, log = recorded
+        restored = SessionLog.from_json(log.to_json())
+        assert restored.actions == log.actions
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ValueError):
+            SessionLog.from_json('{"version": 99, "actions": []}')
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            SessionLog.from_json('{"version": 1, "actions": [["teleport", 3]]}')
+
+
+class TestReplay:
+    def test_replay_reconstructs_visible_state(self, recorded, fragment_tree):
+        session, log = recorded
+        replayed = replay_session(fragment_tree, log)
+        assert set(replayed.active.visible_nodes()) == set(
+            session.active.visible_nodes()
+        )
+        for node in replayed.active.component_roots():
+            assert replayed.active.component(node) == session.active.component(node)
+
+    def test_replay_reconstructs_cost_ledger(self, recorded, fragment_tree):
+        session, log = recorded
+        replayed = replay_session(fragment_tree, log)
+        assert replayed.ledger.expand_actions == session.ledger.expand_actions
+        assert replayed.ledger.concepts_revealed == session.ledger.concepts_revealed
+
+    def test_replay_with_show_and_backtrack(self, fragment_tree, fragment_probs):
+        session = NavigationSession(
+            fragment_tree, HeuristicReducedOpt(fragment_tree, fragment_probs)
+        )
+        outcome = session.expand(fragment_tree.root)
+        log = SessionLog()
+        log.record_expand(fragment_tree.root, outcome.decision.cut)
+        log.record_show(outcome.revealed[0])
+        log.record_backtrack()
+        replayed = replay_session(fragment_tree, log)
+        assert replayed.ledger.citations_displayed > 0
+        assert replayed.active.visible_nodes() == [fragment_tree.root]
+
+    def test_replay_against_wrong_tree_fails(self, recorded, fragment_tree):
+        from repro.core.navigation_tree import NavigationTree
+        from repro.hierarchy.concept import ConceptHierarchy
+
+        _, log = recorded
+        h = ConceptHierarchy()
+        h.add_child(0, "only")
+        other = NavigationTree.build(h, {1: {1}})
+        with pytest.raises((ValueError, KeyError)):
+            replay_session(other, log)
+
+    def test_empty_log_replays_to_initial_state(self, fragment_tree):
+        replayed = replay_session(fragment_tree, SessionLog())
+        assert replayed.active.visible_nodes() == [fragment_tree.root]
+        assert replayed.total_cost == 0

@@ -1,0 +1,66 @@
+"""Cost-parameter plumbing through sessions and simulations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import CostParams
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.session import NavigationSession
+from repro.core.simulator import navigate_to_target
+from repro.core.static_nav import StaticNavigation
+
+
+@pytest.fixture()
+def pricey() -> CostParams:
+    return CostParams(expand_cost=5.0, reveal_cost=2.0, citation_cost=0.5)
+
+
+class TestSessionParams:
+    def test_session_charges_custom_units(self, fragment_tree, pricey):
+        session = NavigationSession(
+            fragment_tree, StaticNavigation(fragment_tree), params=pricey
+        )
+        outcome = session.expand(fragment_tree.root)
+        revealed = len(outcome.revealed)
+        assert session.navigation_cost == pytest.approx(5.0 + 2.0 * revealed)
+        pmids = session.show_results(outcome.revealed[0])
+        assert session.total_cost == pytest.approx(
+            5.0 + 2.0 * revealed + 0.5 * len(pmids)
+        )
+
+    def test_simulator_propagates_params(self, fragment_tree, fragment_hierarchy, pricey):
+        target = fragment_hierarchy.by_label("Apoptosis")
+        cheap = navigate_to_target(
+            fragment_tree, StaticNavigation(fragment_tree), target, show_results=False
+        )
+        expensive = navigate_to_target(
+            fragment_tree,
+            StaticNavigation(fragment_tree),
+            target,
+            params=pricey,
+            show_results=False,
+        )
+        # Same actions, different unit prices.
+        assert expensive.expand_actions == cheap.expand_actions
+        assert expensive.concepts_revealed == cheap.concepts_revealed
+        assert expensive.navigation_cost == pytest.approx(
+            5.0 * cheap.expand_actions + 2.0 * cheap.concepts_revealed
+        )
+
+    def test_heuristic_strategy_and_session_share_params(
+        self, fragment_tree, fragment_probs, pricey
+    ):
+        strategy = HeuristicReducedOpt(fragment_tree, fragment_probs, params=pricey)
+        session = NavigationSession(fragment_tree, strategy, params=pricey)
+        outcome = session.expand(fragment_tree.root)
+        assert session.ledger.params is pricey
+        assert outcome.decision.cut
+
+    def test_free_citations_make_showresults_free(self, fragment_tree):
+        free = CostParams(citation_cost=0.0)
+        session = NavigationSession(
+            fragment_tree, StaticNavigation(fragment_tree), params=free
+        )
+        session.show_results(fragment_tree.root)
+        assert session.total_cost == session.navigation_cost

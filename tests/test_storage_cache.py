@@ -1,0 +1,74 @@
+"""Unit tests for the LRU cache used by the web layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache: LRUCache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self):
+        cache: LRUCache = LRUCache(2)
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        cache: LRUCache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache: LRUCache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_get_or_create_builds_once(self):
+        cache: LRUCache = LRUCache(2)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "built"
+
+        assert cache.get_or_create("k", factory) == "built"
+        assert cache.get_or_create("k", factory) == "built"
+        assert len(calls) == 1
+
+    def test_hit_rate(self):
+        cache: LRUCache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert LRUCache(1).hit_rate == 0.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_clear(self):
+        cache: LRUCache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert "a" not in cache

@@ -1,0 +1,101 @@
+"""Unit tests for repro.storage.database (off-line pre-processing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.citation import Citation
+from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.storage.database import BioNavDatabase
+
+
+@pytest.fixture()
+def hierarchy() -> ConceptHierarchy:
+    h = ConceptHierarchy()
+    h.add_child(0, "A")  # 1
+    h.add_child(0, "B")  # 2
+    h.add_child(1, "C")  # 3
+    return h
+
+
+@pytest.fixture()
+def medline(hierarchy) -> MedlineDatabase:
+    db = MedlineDatabase(background_counts={1: 50, 2: 10})
+    db.add(
+        Citation(
+            pmid=100,
+            title="prothymosin study",
+            mesh_annotations=(1,),
+            index_concepts=(1, 3),
+        )
+    )
+    db.add(
+        Citation(
+            pmid=101,
+            title="histone study",
+            mesh_annotations=(2,),
+            index_concepts=(2, 3),
+        )
+    )
+    return db
+
+
+@pytest.fixture()
+def database(hierarchy, medline) -> BioNavDatabase:
+    return BioNavDatabase.build(hierarchy, medline)
+
+
+class TestBuild:
+    def test_associations_extracted(self, database):
+        assert database.associations.citations_for(3) == frozenset({100, 101})
+        assert database.associations.citations_for(1) == frozenset({100})
+
+    def test_denormalized_matches(self, database):
+        assert database.denormalized.get(100) == (1, 3)
+
+    def test_stats_include_background(self, database):
+        assert database.medline_count(1) == 51  # 1 corpus + 50 background
+        assert database.medline_count(3) == 2
+
+    def test_index_searches_titles(self, database):
+        assert database.index.search("prothymosin") == {100}
+
+
+class TestOnlineAccess:
+    def test_concepts_of_citations(self, database):
+        assert database.concepts_of_citations([100, 101]) == {
+            100: (1, 3),
+            101: (2, 3),
+        }
+
+    def test_annotations_for_result(self, database):
+        annotations = database.annotations_for_result([100, 101])
+        assert annotations[3] == frozenset({100, 101})
+        assert annotations[1] == frozenset({100})
+
+    def test_annotations_for_partial_result(self, database):
+        annotations = database.annotations_for_result([100])
+        assert 2 not in annotations
+        assert annotations[3] == frozenset({100})
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, database, medline, tmp_path):
+        path = str(tmp_path / "bionav.json")
+        database.save(path)
+        loaded = BioNavDatabase.load(path, medline=medline)
+        assert list(loaded.associations.iter_rows()) == list(
+            database.associations.iter_rows()
+        )
+        assert loaded.medline_count(1) == database.medline_count(1)
+        assert loaded.hierarchy.label(3) == "C"
+        assert loaded.index.search("histone") == {101}
+
+    def test_load_without_medline_leaves_index_empty(self, database, tmp_path):
+        path = str(tmp_path / "bionav.json")
+        database.save(path)
+        loaded = BioNavDatabase.load(path)
+        assert loaded.index.search("prothymosin") == set()
+        # But associations still work (navigation from PMIDs).
+        assert loaded.annotations_for_result([100])[1] == frozenset({100})

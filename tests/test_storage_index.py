@@ -1,0 +1,84 @@
+"""Unit tests for repro.storage.index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.index import InvertedIndex, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Apoptosis Signaling") == ["apoptosis", "signaling"]
+
+    def test_drops_stopwords(self):
+        assert tokenize("the role of histones in cancer") == [
+            "role",
+            "histones",
+            "cancer",
+        ]
+
+    def test_keeps_transporter_names(self):
+        assert tokenize("Na+/I- symporter") == ["na+/i-", "symporter"]
+
+    def test_keeps_hyphenated_terms(self):
+        assert "beta-catenin" in tokenize("beta-catenin pathway")
+
+    def test_numbers_survive(self):
+        assert tokenize("syntaxin 1A binding") == ["syntaxin", "1a", "binding"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("the of and") == []
+
+
+@pytest.fixture()
+def index() -> InvertedIndex:
+    idx = InvertedIndex()
+    idx.add_document(1, "prothymosin alpha in apoptosis")
+    idx.add_document(2, "apoptosis and necrosis in cancer")
+    idx.add_document(3, "prothymosin expression prothymosin levels")
+    return idx
+
+
+class TestIndexing:
+    def test_document_count(self, index):
+        assert len(index) == 3
+
+    def test_duplicate_doc_id_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add_document(1, "again")
+
+    def test_postings_with_term_frequency(self, index):
+        assert index.postings("prothymosin") == {1: 1, 3: 2}
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("apoptosis") == 2
+        assert index.document_frequency("nosuchterm") == 0
+
+    def test_doc_length_excludes_stopwords(self, index):
+        assert index.doc_length(2) == 3  # "and"/"in" dropped
+
+    def test_vocabulary_size(self, index):
+        assert index.vocabulary_size >= 6
+
+
+class TestSearch:
+    def test_single_term(self, index):
+        assert index.search("apoptosis") == {1, 2}
+
+    def test_conjunctive_semantics(self, index):
+        assert index.search("prothymosin apoptosis") == {1}
+
+    def test_case_insensitive(self, index):
+        assert index.search("PROTHYMOSIN") == {1, 3}
+
+    def test_no_match(self, index):
+        assert index.search("kinase") == set()
+
+    def test_empty_query_matches_nothing(self, index):
+        assert index.search("") == set()
+        assert index.search("the of") == set()
+
+    def test_term_frequencies_vector(self, index):
+        assert index.term_frequencies(3, ["prothymosin", "apoptosis"]) == [2, 0]

@@ -1,0 +1,70 @@
+"""Unit tests for the positional index (phrase support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.positional import PositionalIndex
+
+
+@pytest.fixture()
+def index() -> PositionalIndex:
+    idx = PositionalIndex()
+    idx.add_document(1, "cell proliferation drives cell division")
+    idx.add_document(2, "proliferation of the cell")
+    idx.add_document(3, "cell cycle and division")
+    return idx
+
+
+class TestIndexing:
+    def test_doc_count(self, index):
+        assert len(index) == 3
+        assert index.doc_ids() == {1, 2, 3}
+
+    def test_duplicate_doc_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add_document(1, "again")
+
+    def test_term_docs(self, index):
+        assert index.term_docs("cell") == {1, 2, 3}
+        assert index.term_docs("division") == {1, 3}
+        assert index.term_docs("missing") == set()
+
+
+class TestPhraseSearch:
+    def test_adjacent_in_order(self, index):
+        assert index.search_phrase("cell proliferation") == {1}
+
+    def test_reversed_order_no_match(self, index):
+        assert index.search_phrase("division cell") == set()
+
+    def test_stopwords_skipped_in_phrase(self, index):
+        # "proliferation of the cell" tokenizes to [proliferation, cell],
+        # so the phrase matches post-tokenization adjacency.
+        assert index.search_phrase("proliferation cell") | index.search_phrase(
+            "proliferation of the cell"
+        ) == {2}
+
+    def test_three_token_phrase(self, index):
+        assert index.search_phrase("cell proliferation drives") == {1}
+        assert index.search_phrase("proliferation drives division") == set()
+
+    def test_repeated_token_phrase(self):
+        idx = PositionalIndex()
+        idx.add_document(1, "signal signal transduction")
+        assert idx.search_phrase("signal signal") == {1}
+        assert idx.search_phrase("signal transduction") == {1}
+
+    def test_single_token_phrase(self, index):
+        assert index.search_phrase("division") == {1, 3}
+
+    def test_empty_phrase(self, index):
+        assert index.search_phrase("") == set()
+
+
+class TestSearchTerm:
+    def test_single_token_term(self, index):
+        assert index.search_term("cycle") == {3}
+
+    def test_multi_token_term_is_phrase(self, index):
+        assert index.search_term("cell division") == {1}

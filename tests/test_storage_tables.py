@@ -1,0 +1,99 @@
+"""Unit tests for repro.storage.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.tables import (
+    AssociationTable,
+    ConceptStatsTable,
+    DenormalizedCitationTable,
+)
+
+
+@pytest.fixture()
+def table() -> AssociationTable:
+    t = AssociationTable()
+    t.insert_many([(1, 100), (1, 101), (2, 100), (3, 102)])
+    return t
+
+
+class TestAssociationTable:
+    def test_insert_counts_new_tuples(self):
+        t = AssociationTable()
+        assert t.insert(1, 100)
+        assert not t.insert(1, 100)  # duplicate tuple
+        assert len(t) == 1
+
+    def test_insert_many_returns_new_count(self):
+        t = AssociationTable()
+        assert t.insert_many([(1, 100), (1, 100), (2, 100)]) == 2
+
+    def test_citations_for(self, table):
+        assert table.citations_for(1) == frozenset({100, 101})
+        assert table.citations_for(99) == frozenset()
+
+    def test_concepts_for(self, table):
+        assert table.concepts_for(100) == frozenset({1, 2})
+        assert table.concepts_for(999) == frozenset()
+
+    def test_concepts_listing(self, table):
+        assert table.concepts() == [1, 2, 3]
+
+    def test_iter_rows_sorted(self, table):
+        assert list(table.iter_rows()) == [
+            (1, 100),
+            (1, 101),
+            (2, 100),
+            (3, 102),
+        ]
+
+    def test_denormalize(self, table):
+        denorm = table.denormalize()
+        assert denorm.get(100) == (1, 2)
+        assert denorm.get(101) == (1,)
+        assert len(denorm) == 3
+
+
+class TestDenormalizedTable:
+    def test_put_get(self):
+        t = DenormalizedCitationTable()
+        t.put(7, [3, 1, 2])
+        assert t.get(7) == (3, 1, 2)
+        assert 7 in t
+
+    def test_get_missing_raises(self):
+        t = DenormalizedCitationTable()
+        with pytest.raises(KeyError):
+            t.get(1)
+
+    def test_get_many_skips_missing(self):
+        t = DenormalizedCitationTable()
+        t.put(1, [5])
+        assert t.get_many([1, 2]) == {1: (5,)}
+
+    def test_pmids_sorted(self):
+        t = DenormalizedCitationTable()
+        t.put(9, [1])
+        t.put(3, [1])
+        assert t.pmids() == [3, 9]
+
+
+class TestConceptStats:
+    def test_set_and_count(self):
+        t = ConceptStatsTable()
+        t.set_count(4, 1000)
+        assert t.count(4) == 1000
+        assert t.count(5) == 0
+        assert len(t) == 1
+
+    def test_negative_rejected(self):
+        t = ConceptStatsTable()
+        with pytest.raises(ValueError):
+            t.set_count(4, -1)
+
+    def test_items_sorted(self):
+        t = ConceptStatsTable()
+        t.set_count(9, 1)
+        t.set_count(2, 3)
+        assert list(t.items()) == [(2, 3), (9, 1)]

@@ -1,0 +1,48 @@
+"""Tests for repository tooling (docs generation)."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS_DIR))
+
+import gen_api_docs  # noqa: E402
+
+
+class TestApiDocsGenerator:
+    def test_renders_all_packages(self):
+        text = gen_api_docs.render()
+        for module in (
+            "repro.core.heuristic",
+            "repro.complexity.ted",
+            "repro.eutils.client",
+            "repro.storage.database",
+            "repro.web.app",
+        ):
+            assert "## `%s`" % module in text
+
+    def test_docstring_summaries_included(self):
+        text = gen_api_docs.render()
+        assert "Heuristic-ReducedOpt" in text
+        assert "maximum embedding" in text.lower()
+
+    def test_no_private_members(self):
+        text = gen_api_docs.render()
+        assert "`_solve" not in text
+        assert "`_reduce" not in text
+
+    def test_committed_reference_is_current(self):
+        """docs/API.md must be regenerated when public APIs change."""
+        committed = (TOOLS_DIR.parent / "docs" / "API.md").read_text()
+        assert committed == gen_api_docs.render(), (
+            "docs/API.md is stale — run `python tools/gen_api_docs.py`"
+        )
+
+    def test_first_paragraph_extraction(self):
+        assert gen_api_docs.first_paragraph("Line one\nline two\n\nrest") == (
+            "Line one line two"
+        )

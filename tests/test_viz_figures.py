@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII bar-chart helpers."""
+
+from __future__ import annotations
+
+from repro.viz.figures import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        chart = bar_chart({"a": 10, "b": 5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_value_gets_no_bar(self):
+        chart = bar_chart({"a": 10, "b": 0}, width=10)
+        assert chart.splitlines()[1].count("#") == 0
+
+    def test_small_nonzero_value_still_visible(self):
+        chart = bar_chart({"a": 1000, "b": 1}, width=20)
+        assert chart.splitlines()[1].count("#") == 1
+
+    def test_values_printed_with_unit(self):
+        chart = bar_chart({"x": 42}, unit="ms")
+        assert "42ms" in chart
+
+    def test_empty_input(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1, "much longer label": 2})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestGroupedBarChart:
+    def test_one_bar_per_series(self):
+        chart = grouped_bar_chart(
+            {"q1": {"static": 100, "bionav": 10}, "q2": {"static": 50, "bionav": 5}}
+        )
+        assert chart.count("static") == 2
+        assert chart.count("bionav") == 2
+
+    def test_shared_scale_across_groups(self):
+        chart = grouped_bar_chart(
+            {"q1": {"s": 100}, "q2": {"s": 50}}, width=10
+        )
+        lines = [l for l in chart.splitlines() if "#" in l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_group_label_printed_once(self):
+        chart = grouped_bar_chart({"query": {"a": 1, "b": 2}})
+        assert chart.count("query") == 1
+
+    def test_empty_input(self):
+        assert grouped_bar_chart({}) == "(no data)"

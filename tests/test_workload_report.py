@@ -1,0 +1,54 @@
+"""Unit tests for the experiment report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.report import generate_report, run_comparison
+
+
+@pytest.fixture(scope="module")
+def report_text(request):
+    workload = request.getfixturevalue("small_workload")
+    return generate_report(workload, title="Test report")
+
+
+class TestRunComparison:
+    def test_single_query_report(self, small_workload):
+        prepared = small_workload.prepare("LbetaT2")
+        report = run_comparison(small_workload, prepared)
+        assert report.keyword == "LbetaT2"
+        assert report.citations == 152
+        assert report.static.reached and report.bionav.reached
+        assert 0.0 <= report.improvement <= 1.0
+
+    def test_improvement_matches_costs(self, small_workload):
+        prepared = small_workload.prepare("varenicline")
+        report = run_comparison(small_workload, prepared)
+        expected = 1 - report.bionav.navigation_cost / report.static.navigation_cost
+        assert report.improvement == pytest.approx(expected)
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self, report_text):
+        assert "# Test report" in report_text
+        assert "## Table I" in report_text
+        assert "## Figure 8" in report_text
+        assert "## Figure 9" in report_text
+        assert "## Figure 10" in report_text
+
+    def test_contains_every_query_row(self, report_text, small_workload):
+        for built in small_workload.queries:
+            assert built.spec.keyword in report_text
+
+    def test_contains_average_improvement(self, report_text):
+        assert "**average**" in report_text
+
+    def test_contains_ascii_figure(self, report_text):
+        assert "```" in report_text
+        assert "#" in report_text
+
+    def test_markdown_tables_are_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|") and not line.startswith("|---"):
+                assert line.rstrip().endswith("|")

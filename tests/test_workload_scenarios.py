@@ -1,0 +1,54 @@
+"""Unit tests for the stress-scenario workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.scenarios import SCENARIOS, build_scenario, scenario_names
+
+
+class TestScenarioRegistry:
+    def test_four_scenarios_registered(self):
+        assert scenario_names() == [
+            "deep_hierarchy",
+            "high_duplication",
+            "low_selectivity",
+            "tiny_result",
+        ]
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            build_scenario("nonexistent")
+
+
+class TestScenarioProperties:
+    @pytest.fixture(scope="class")
+    def built(self):
+        return {name: build_scenario(name) for name in scenario_names()}
+
+    def test_each_scenario_has_one_resolvable_query(self, built):
+        for name, workload in built.items():
+            assert len(workload.queries) == 1, name
+            prepared = workload.prepare(workload.queries[0].spec.keyword)
+            assert len(prepared.pmids) == workload.queries[0].spec.n_citations
+            assert prepared.target_node in prepared.tree
+
+    def test_deep_scenario_is_deep(self, built):
+        deep = built["deep_hierarchy"]
+        prepared = deep.prepare("deep scenario")
+        default_like = built["high_duplication"]
+        other = default_like.prepare("duplication scenario")
+        assert deep.hierarchy.depth(prepared.target_node) > default_like.hierarchy.depth(
+            other.target_node
+        )
+
+    def test_low_selectivity_target_is_rare(self, built):
+        workload = built["low_selectivity"]
+        prepared = workload.prepare("rare target scenario")
+        share = len(prepared.tree.results(prepared.target_node)) / len(prepared.pmids)
+        assert share < 0.1
+
+    def test_tiny_result_below_expand_threshold(self, built):
+        workload = built["tiny_result"]
+        prepared = workload.prepare("tiny scenario")
+        assert len(prepared.pmids) < prepared.probs.upper_threshold

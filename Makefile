@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples docs demo clean
+.PHONY: install test lint bench bench-tables bench-smoke examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,11 +10,19 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+lint:
+	$(PYTHON) tools/lint.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fast benchmark subset for CI: the Figure 10 heuristic-latency curve plus
+# the opt-engine speedup gate (writes BENCH_opt_engine.json).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py -q
 
 examples:
 	@for script in examples/*.py; do \

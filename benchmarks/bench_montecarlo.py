@@ -10,8 +10,6 @@ user population.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.evaluation import expected_strategy_cost
 from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.montecarlo import estimate_expected_cost

@@ -1,0 +1,143 @@
+"""Opt-EdgeCut bitmask engine vs the retained exhaustive reference.
+
+The bitmask engine (`repro.core.opt_edgecut.OptEdgeCut`) must be a pure
+perf win: identical `BestCut` output (same cut edges, same expected cost,
+bit for bit) at a fraction of the runtime.  This bench pits it against
+`repro.core.opt_edgecut_reference.ReferenceOptEdgeCut` on seeded random
+navigation-tree components at 8, 10 and 12 nodes (realistic citation-set
+sizes, real EXPLORE mass), asserts exact agreement at every size, and
+gates the speedup (≥3× on the full 12-node solve — the size class
+Heuristic-ReducedOpt actually runs near the N=10 cap).
+
+Results are written to ``BENCH_opt_engine.json`` at the repository root so
+the measured margin is versioned alongside the code it certifies.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import CutTree, OptEdgeCut
+from repro.core.opt_edgecut_reference import ReferenceOptEdgeCut
+from repro.core.probabilities import ProbabilityModel
+from repro.hierarchy.concept import ConceptHierarchy
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_opt_engine.json"
+
+SIZES = (8, 10, 12)
+TREES_PER_SIZE = 3
+REPEATS = 3
+SPEEDUP_FLOOR = 3.0
+GATED_SIZE = 12
+
+
+def random_scenario(size: int, seed: int):
+    """A random navigation-tree component lifted into a CutTree.
+
+    Built the way production components are (random hierarchy, dense
+    citation annotations, real EXPLORE mass) so the engines face
+    realistic result-set sizes, not toy ones.
+    """
+    rng = random.Random(seed)
+    h = ConceptHierarchy(root_label="r")
+    nodes = [0]
+    for i in range(size - 1):
+        nodes.append(h.add_child(rng.choice(nodes), "c%d" % i))
+    annotations = {
+        n: set(rng.sample(range(300), rng.randint(5, 40))) for n in nodes
+    }
+    tree = NavigationTree.build(h, annotations)
+    probs = ProbabilityModel(tree, lambda n: 500)
+    component = frozenset(tree.iter_dfs())
+    return CutTree.from_component(tree, probs, component, tree.root), probs
+
+
+def _solve_time(solver_cls, tree: CutTree, probs, params) -> float:
+    """Best-of-REPEATS wall time for one cold full solve."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        solver = solver_cls(tree, probs, params)
+        started = time.perf_counter()
+        solver.solve()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure():
+    params = CostParams()
+    rows = []
+    for size in SIZES:
+        scenarios = [
+            random_scenario(size, 1000 * size + i) for i in range(TREES_PER_SIZE)
+        ]
+        for tree, probs in scenarios:
+            new = OptEdgeCut(tree, probs, params).solve()
+            old = ReferenceOptEdgeCut(tree, probs, params).solve()
+            assert new == old, "engines disagree at size %d: %r vs %r" % (
+                size,
+                new,
+                old,
+            )
+        reference_s = sum(
+            _solve_time(ReferenceOptEdgeCut, t, p, params) for t, p in scenarios
+        )
+        bitmask_s = sum(
+            _solve_time(OptEdgeCut, t, p, params) for t, p in scenarios
+        )
+        rows.append(
+            {
+                "size": size,
+                "trees": TREES_PER_SIZE,
+                "reference_ms": reference_s * 1000.0,
+                "bitmask_ms": bitmask_s * 1000.0,
+                "speedup": reference_s / bitmask_s if bitmask_s > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def test_opt_engine_speedup(report, benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "",
+        "=" * 70,
+        "OPT-EDGECUT ENGINE — bitmask vs exhaustive reference (full solve)",
+        "=" * 70,
+        "%8s %8s %14s %14s %10s"
+        % ("|T|", "trees", "reference ms", "bitmask ms", "speedup"),
+        "-" * 70,
+    ]
+    for row in rows:
+        lines.append(
+            "%8d %8d %14.2f %14.2f %9.1fx"
+            % (
+                row["size"],
+                row["trees"],
+                row["reference_ms"],
+                row["bitmask_ms"],
+                row["speedup"],
+            )
+        )
+    lines.append("-" * 70)
+    report("\n".join(lines))
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "benchmark": "opt_engine",
+                "speedup_floor": SPEEDUP_FLOOR,
+                "gated_size": GATED_SIZE,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    gated = [row for row in rows if row["size"] == GATED_SIZE]
+    assert gated, "gated size missing from measurement"
+    assert gated[0]["speedup"] >= SPEEDUP_FLOOR, (
+        "bitmask engine speedup %.2fx below the %.1fx floor at %d nodes"
+        % (gated[0]["speedup"], SPEEDUP_FLOOR, GATED_SIZE)
+    )

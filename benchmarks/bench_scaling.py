@@ -10,8 +10,6 @@ persists across the sweep.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import navigate_to_target
 from repro.core.static_nav import StaticNavigation

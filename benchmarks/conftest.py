@@ -12,7 +12,7 @@ and drives its hot loop through pytest-benchmark.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 import pytest
 

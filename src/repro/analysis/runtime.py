@@ -1,4 +1,4 @@
-"""Runtime growth-curve fitting.
+"""Runtime growth-curve fitting and per-EXPAND solver profiling.
 
 The paper claims Opt-EdgeCut is exponential (complexity O(2^|T|)) and
 bounds the reduced-tree size accordingly; the benchmarks measure its
@@ -6,16 +6,22 @@ runtime over tree sizes.  This module fits the measurements to an
 exponential model ``t(n) = a · b^n`` by log-linear least squares (numpy)
 and reports the growth base with a goodness-of-fit, turning "it explodes"
 into a measured quantity.
+
+It also provides :class:`SolverProfile`, the lightweight recorder
+:class:`~repro.core.session.NavigationSession` feeds with one
+:class:`SolverTiming` per EXPAND decision, so deployments can watch the
+latency the paper's Figure 10 measures — per-EXPAND optimizer time — in
+production rather than only on the bench.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["ExponentialFit", "fit_exponential"]
+__all__ = ["ExponentialFit", "fit_exponential", "SolverTiming", "SolverProfile"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +41,105 @@ class ExponentialFit:
     def predict(self, n: float) -> float:
         """Predicted runtime at size ``n``."""
         return self.scale * (self.base ** n)
+
+
+@dataclass(frozen=True)
+class SolverTiming:
+    """One EXPAND decision's solver cost.
+
+    Attributes:
+        node: the expanded concept (navigation-tree node id).
+        seconds: wall-clock time the strategy spent choosing the cut.
+        reduced_size: supernode count of the tree the decision ran on
+            (the Figure 10 regressor).
+    """
+
+    node: int
+    seconds: float
+    reduced_size: int
+
+
+@dataclass
+class SolverProfile:
+    """Accumulates per-EXPAND solver timings across sessions.
+
+    A single profile can be shared by every session of a deployment (the
+    web layer keeps one per application); ``record`` is append-only, so
+    aggregation never perturbs the measured path.
+    """
+
+    records: List[SolverTiming] = field(default_factory=list)
+
+    def record(self, node: int, seconds: float, reduced_size: int) -> None:
+        """Append one EXPAND decision's timing."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.records.append(
+            SolverTiming(node=node, seconds=seconds, reduced_size=reduced_size)
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total solver time recorded."""
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean per-EXPAND solver time (0.0 with no records)."""
+        return self.total_seconds / len(self.records) if self.records else 0.0
+
+    def percentile_seconds(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of per-EXPAND solver time."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self.records:
+            return 0.0
+        ordered = sorted(r.seconds for r in self.records)
+        rank = int(round((q / 100.0) * (len(ordered) - 1)))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics, in milliseconds where latency-like.
+
+        Keys: ``expands``, ``total_ms``, ``mean_ms``, ``p50_ms``,
+        ``p95_ms``, ``max_ms``, ``mean_reduced_size``.
+        """
+        if not self.records:
+            return {
+                "expands": 0,
+                "total_ms": 0.0,
+                "mean_ms": 0.0,
+                "p50_ms": 0.0,
+                "p95_ms": 0.0,
+                "max_ms": 0.0,
+                "mean_reduced_size": 0.0,
+            }
+        return {
+            "expands": len(self.records),
+            "total_ms": self.total_seconds * 1000.0,
+            "mean_ms": self.mean_seconds * 1000.0,
+            "p50_ms": self.percentile_seconds(50) * 1000.0,
+            "p95_ms": self.percentile_seconds(95) * 1000.0,
+            "max_ms": max(r.seconds for r in self.records) * 1000.0,
+            "mean_reduced_size": (
+                sum(r.reduced_size for r in self.records) / len(self.records)
+            ),
+        }
+
+    def growth_fit(self) -> "ExponentialFit":
+        """Fit solver time against reduced-tree size (see module docstring).
+
+        Raises:
+            ValueError: fewer than 3 records or non-positive timings (the
+                log-linear fit needs t > 0).
+        """
+        return fit_exponential(
+            [float(r.reduced_size) for r in self.records],
+            [r.seconds for r in self.records],
+        )
 
 
 def fit_exponential(

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import navigate_to_target
 from repro.core.static_nav import StaticNavigation
-from repro.viz.render import render_active_tree, render_navigation_tree
+from repro.viz.render import render_active_tree
 from repro.workload.builder import Workload, build_workload
 
 __all__ = ["main", "build_parser"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 __all__ = ["MESInstance", "mes_optimum", "mes_decision", "mes_best_subset"]
 

@@ -12,7 +12,7 @@ per-subtree-count trade-off curve the proof's intuition describes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.complexity.ted import ElementTree, duplicates_in_subtrees, ted_expected_cost
 

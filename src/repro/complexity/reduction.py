@@ -18,10 +18,10 @@ executable proof artifact.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.complexity.mes import MESInstance
-from repro.complexity.ted import ElementTree, ted_best_duplicates
+from repro.complexity.ted import ElementTree
 
 __all__ = [
     "mes_to_ted",

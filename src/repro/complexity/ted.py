@@ -20,8 +20,7 @@ duplicates gathered inside subtrees, averaged over the random pick).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "ElementTree",

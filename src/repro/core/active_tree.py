@@ -15,8 +15,8 @@ the BACKTRACK action of the general navigation model (§III).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.core.edgecut import component_edges, cut_components
 from repro.core.navigation_tree import NavigationTree

@@ -22,7 +22,7 @@ navigation cost the benchmarks contrast with BioNav's.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.core.active_tree import ActiveTree
 from repro.core.edgecut import component_children

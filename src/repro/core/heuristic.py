@@ -18,12 +18,12 @@ exactly.  The paper uses N = 10.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.active_tree import ActiveTree
 from repro.core.cost_model import CostParams
 from repro.core.navigation_tree import NavigationTree
-from repro.core.opt_edgecut import BestCut, CutTree, OptEdgeCut
+from repro.core.opt_edgecut import CutTree, OptEdgeCut
 from repro.core.partition import partition_with_limit
 from repro.core.probabilities import ProbabilityModel
 from repro.core.strategy import CutDecision, ExpansionStrategy
@@ -45,6 +45,7 @@ class HeuristicReducedOpt(ExpansionStrategy):
         max_reduced_nodes: int = 10,
         params: Optional[CostParams] = None,
         reuse_memo: bool = True,
+        decision_cache: Optional[Dict[FrozenSet[int], CutDecision]] = None,
     ):
         """
         Args:
@@ -57,6 +58,11 @@ class HeuristicReducedOpt(ExpansionStrategy):
                 paper's §VI-B reuse).  Cached decisions keep the EXPLORE
                 normalization of the solve that produced them; disable to
                 re-normalize every component independently instead.
+            decision_cache: optional externally-owned decision store.
+                Decisions are deterministic per (tree, probs, params)
+                query, so concurrent sessions of the same query can pass a
+                shared dict and answer each other's EXPANDs from cache —
+                the web layer shares one per cached query state.
         """
         if max_reduced_nodes < 2:
             raise ValueError("max_reduced_nodes must be at least 2")
@@ -70,8 +76,15 @@ class HeuristicReducedOpt(ExpansionStrategy):
         # exploits this so subsequent EXPANDs need no re-optimization
         # (§VI-B).  We harvest those memo entries into a decision cache.
         self.reuse_memo = reuse_memo
-        self._decision_cache: Dict[FrozenSet[int], CutDecision] = {}
+        self._decision_cache: Dict[FrozenSet[int], CutDecision] = (
+            decision_cache if decision_cache is not None else {}
+        )
         self.cache_hits = 0
+
+    @property
+    def decision_cache_size(self) -> int:
+        """Entries in the (possibly shared) decision cache."""
+        return len(self._decision_cache)
 
     # ------------------------------------------------------------------
     def choose_cut(self, active: ActiveTree, node: int) -> CutDecision:
@@ -124,18 +137,24 @@ class HeuristicReducedOpt(ExpansionStrategy):
     def _harvest_memo(self, cut_tree: CutTree, solver: OptEdgeCut) -> None:
         """Store every exactly-solved sub-component's decision for reuse.
 
-        Solver memo keys are CutTree-index sets over *plain* components
-        (each index is one navigation-tree node here), so they translate
-        directly to navigation-tree components.
+        Solver memo keys are CutTree-index bitmasks over *plain*
+        components (each index is one navigation-tree node here), so each
+        mask bit translates directly through the payload to a
+        navigation-tree component member.
         """
-        for indices, best in solver.memo_items():
-            original = frozenset(cut_tree.payload[i] for i in indices)
-            cut = tuple(
-                (cut_tree.payload[p], cut_tree.payload[c]) for p, c in best.cut
-            )
+        payload = cut_tree.payload
+        for mask, best in solver.memo_masks():
+            members = []
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                members.append(payload[low.bit_length() - 1])
+                remaining ^= low
+            original = frozenset(members)
+            cut = tuple((payload[p], payload[c]) for p, c in best.cut)
             self._decision_cache[original] = CutDecision(
                 cut=cut,
-                reduced_size=len(indices),
+                reduced_size=len(members),
                 expected_cost=best.expected_cost,
             )
 

@@ -11,6 +11,13 @@ node is spliced out and replaced by its children, an empty leaf is dropped.
 Navigation-tree nodes keep their hierarchy node ids, so labels, depths and
 ancestor tests delegate to the hierarchy; only the parent/child structure
 is re-wired by the embedding.
+
+The tree is immutable once built, so construction precomputes positional
+indices over a single preorder traversal — per-node depth, preorder
+interval, and subtree size.  ``tree_depth``, ``is_tree_ancestor`` and
+``subtree_size`` are O(1) lookups, and ``iter_dfs``/``subtree_nodes`` are
+contiguous slices of the stored preorder, instead of parent-chain or
+subtree rewalks per call.
 """
 
 from __future__ import annotations
@@ -46,6 +53,26 @@ class NavigationTree:
         self._children = children
         self._results = results
         self._subtree_results: Dict[int, FrozenSet[int]] = {}
+        # Positional indices, one preorder pass (the tree never mutates):
+        # depth, preorder position, and subtree size per node.  Preorder
+        # numbers each subtree contiguously, so the subtree of ``n`` is
+        # exactly ``_preorder[_position[n] : _position[n] + _subtree_size[n]]``
+        # and ancestor tests reduce to interval containment.
+        self._preorder: List[int] = []
+        self._depth: Dict[int, int] = {}
+        self._position: Dict[int, int] = {}
+        self._subtree_size: Dict[int, int] = {}
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            self._depth[node] = depth
+            self._position[node] = len(self._preorder)
+            self._preorder.append(node)
+            stack.extend((child, depth + 1) for child in reversed(children[node]))
+        for node in reversed(self._preorder):
+            self._subtree_size[node] = 1 + sum(
+                self._subtree_size[child] for child in children[node]
+            )
 
     # ------------------------------------------------------------------
     # Construction (maximum embedding)
@@ -78,22 +105,26 @@ class NavigationTree:
         parent: Dict[int, int] = {root: -1}
         children: Dict[int, List[int]] = {root: []}
 
-        def embed_children(hier_node: int, kept_ancestor: int) -> None:
-            """Attach kept descendants of ``hier_node`` under ``kept_ancestor``."""
-            stack = list(reversed(hierarchy.children(hier_node)))
-            while stack:
-                node = stack.pop()
-                if node in results:
-                    parent[node] = kept_ancestor
-                    children[kept_ancestor].append(node)
-                    children[node] = []
-                    embed_children(node, node)
-                else:
-                    # Spliced out: its children compete for the same ancestor.
-                    # Reverse to preserve left-to-right order under the stack.
-                    stack.extend(reversed(hierarchy.children(node)))
-
-        embed_children(root, root)
+        # Iterative embedding (deep kept chains must not hit the recursion
+        # limit): each stack entry pairs a hierarchy node with the nearest
+        # kept ancestor it competes under.  A kept node becomes the
+        # ancestor for its own descendants; a spliced-out node passes its
+        # ancestor through.  Children are pushed reversed so siblings are
+        # attached left to right.
+        stack: List[Tuple[int, int]] = [
+            (node, root) for node in reversed(hierarchy.children(root))
+        ]
+        while stack:
+            node, kept_ancestor = stack.pop()
+            if node in results:
+                parent[node] = kept_ancestor
+                children[kept_ancestor].append(node)
+                children[node] = []
+                kept_ancestor = node
+            stack.extend(
+                (child, kept_ancestor)
+                for child in reversed(hierarchy.children(node))
+            )
         kept_results = {
             node: results.get(node, frozenset()) for node in parent
         }
@@ -136,29 +167,39 @@ class NavigationTree:
                 yield (node, child)
 
     def iter_dfs(self, start: Optional[int] = None) -> Iterator[int]:
-        """Pre-order traversal of the embedded tree."""
+        """Pre-order traversal of the embedded tree.
+
+        Served from the precomputed preorder: the subtree of ``start`` is a
+        contiguous slice of it, so iteration does no stack bookkeeping.
+        """
         if start is None:
             start = self.root
         self._require(start)
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            yield node
-            stack.extend(reversed(self._children[node]))
+        begin = self._position[start]
+        return iter(self._preorder[begin : begin + self._subtree_size[start]])
 
     def subtree_nodes(self, node: int) -> FrozenSet[int]:
         """All embedded-tree nodes in the subtree rooted at ``node``."""
-        return frozenset(self.iter_dfs(node))
+        self._require(node)
+        begin = self._position[node]
+        return frozenset(self._preorder[begin : begin + self._subtree_size[node]])
+
+    def subtree_size(self, node: int) -> int:
+        """Number of embedded-tree nodes in the subtree of ``node`` (O(1))."""
+        self._require(node)
+        return self._subtree_size[node]
 
     def is_tree_ancestor(self, ancestor: int, node: int) -> bool:
-        """Ancestor test within the embedded tree (a node is its own ancestor)."""
+        """Ancestor test within the embedded tree (a node is its own ancestor).
+
+        O(1) via preorder intervals: ``ancestor`` spans a contiguous
+        preorder range, and ``node`` is a descendant iff its preorder
+        position falls inside it.
+        """
         self._require(ancestor)
         self._require(node)
-        while node != -1:
-            if node == ancestor:
-                return True
-            node = self._parent[node]
-        return False
+        begin = self._position[ancestor]
+        return begin <= self._position[node] < begin + self._subtree_size[ancestor]
 
     # ------------------------------------------------------------------
     # Results
@@ -178,13 +219,10 @@ class NavigationTree:
         cached = self._subtree_results.get(node)
         if cached is not None:
             return cached
-        # Iterative post-order accumulation to avoid recursion limits.
-        order: List[int] = []
-        stack = [node]
-        while stack:
-            n = stack.pop()
-            order.append(n)
-            stack.extend(self._children[n])
+        # Iterative post-order accumulation (reversed preorder slice) to
+        # avoid recursion limits.
+        begin = self._position[node]
+        order = self._preorder[begin : begin + self._subtree_size[node]]
         for n in reversed(order):
             if n in self._subtree_results:
                 continue
@@ -215,13 +253,13 @@ class NavigationTree:
     def max_width(self) -> int:
         """Maximum number of nodes at one embedded-tree depth (Table I)."""
         counts: Dict[int, int] = {}
-        for node, depth in self._iter_depths():
+        for depth in self._depth.values():
             counts[depth] = counts.get(depth, 0) + 1
         return max(counts.values())
 
     def height(self) -> int:
         """Longest root-to-leaf edge count in the embedded tree (Table I)."""
-        return max(depth for _, depth in self._iter_depths())
+        return max(self._depth.values())
 
     def citations_with_duplicates(self) -> int:
         """Total attachment count, duplicates included (Table I).
@@ -231,22 +269,11 @@ class NavigationTree:
         return sum(len(ids) for ids in self._results.values())
 
     def tree_depth(self, node: int) -> int:
-        """Depth of ``node`` in the embedded tree (root = 0)."""
+        """Depth of ``node`` in the embedded tree (root = 0, O(1))."""
         self._require(node)
-        depth = 0
-        while self._parent[node] != -1:
-            node = self._parent[node]
-            depth += 1
-        return depth
+        return self._depth[node]
 
     # ------------------------------------------------------------------
-    def _iter_depths(self) -> Iterator[Tuple[int, int]]:
-        stack: List[Tuple[int, int]] = [(self.root, 0)]
-        while stack:
-            node, depth = stack.pop()
-            yield node, depth
-            stack.extend((child, depth + 1) for child in self._children[node])
-
     def _require(self, node: int) -> None:
         if node not in self._parent:
             raise KeyError("node %r is not in the navigation tree" % (node,))

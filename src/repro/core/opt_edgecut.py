@@ -12,12 +12,40 @@ The algorithm operates on a :class:`CutTree`, a tiny standalone tree
 carrying per-node result sets and EXPLORE mass.  Both raw navigation-tree
 components and the heuristic's reduced supernode trees are converted into
 this form, so the optimal machinery is shared.
+
+Engine internals (the bitmask representation)
+---------------------------------------------
+
+Because solvable trees are capped at :data:`MAX_OPT_NODES` (= 16) nodes,
+every component is represented as an ``int`` bitmask over the CutTree's
+dense node indices instead of a ``FrozenSet[int]``:
+
+* per-node **subtree masks** are precomputed once at solver construction,
+  so deriving the upper/lower components of a cut is two bitwise ops
+  instead of a DFS per lower root;
+* the per-component **cost memo** (:attr:`OptEdgeCut._memo`) and the
+  per-component **statistics memo** (EXPLORE mass, distinct-result count,
+  member-count histogram) are keyed on masks, making lookups integer
+  hashes;
+* distinct-result counting ORs precomputed per-node **citation bitmaps**
+  and takes a popcount, instead of unioning Python sets;
+* cut enumeration is a **lazy depth-first search** over per-child choices
+  (cut the edge, or recurse into the child) that prunes whole prefixes of
+  the cut space once the accumulated lower-component cost can no longer
+  beat the best expansion term found so far.
+
+The engine is observationally identical to the retained legacy
+implementation (:mod:`repro.core.opt_edgecut_reference`): it enumerates
+cuts in the same order, accumulates cost terms in the same floating-point
+order, and breaks ties identically, so both return bit-identical
+:class:`BestCut` values — a property test enforces this on randomized
+trees.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cost_model import CostParams
 from repro.core.navigation_tree import NavigationTree
@@ -26,7 +54,8 @@ from repro.core.probabilities import ProbabilityModel
 __all__ = ["CutTree", "BestCut", "OptEdgeCut", "MAX_OPT_NODES"]
 
 # Above this size the exhaustive enumeration is intractable in real time;
-# the paper caps reduced trees at N = 10.
+# the paper caps reduced trees at N = 10.  The bitmask engine additionally
+# relies on this cap to key components by machine-word masks.
 MAX_OPT_NODES = 16
 
 CutTreeEdge = Tuple[int, int]
@@ -142,7 +171,13 @@ class BestCut:
 
 
 class OptEdgeCut:
-    """Exhaustive optimal EdgeCut selection with component memoization."""
+    """Exhaustive optimal EdgeCut selection with mask-keyed memoization.
+
+    Components are integer bitmasks over the CutTree indices; the solver
+    precomputes per-node subtree masks and citation bitmaps once, memoizes
+    per-component costs and statistics on those masks, and searches the
+    cut space lazily with cost-bound pruning (see the module docstring).
+    """
 
     def __init__(
         self,
@@ -164,12 +199,55 @@ class OptEdgeCut:
         # The input tree is "the initial active tree" of this expansion:
         # its total EXPLORE probability is 1 (paper §IV).
         self._explore_norm = total_mass if total_mass > 0 else 1.0
-        self._memo: Dict[FrozenSet[int], BestCut] = {}
+        k = len(cut_tree)
+        self._children: List[Tuple[int, ...]] = [
+            tuple(kids) for kids in cut_tree.children
+        ]
+        self._parent: List[int] = [-1] * k
+        for node, kids in enumerate(self._children):
+            for child in kids:
+                self._parent[child] = node
+        # Subtree masks, bottom-up over a preorder (children have higher
+        # positions than their parent in the traversal order).
+        order: List[int] = []
+        stack = [cut_tree.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(self._children[node])
+        self._subtree_mask: List[int] = [0] * k
+        for node in reversed(order):
+            mask = 1 << node
+            for child in self._children[node]:
+                mask |= self._subtree_mask[child]
+            self._subtree_mask[node] = mask
+        # Citation bitmaps: each distinct citation id across the tree gets
+        # one bit, so distinct-result counts are OR + popcount.
+        citation_bit: Dict[int, int] = {}
+        self._result_bits: List[int] = []
+        for citations in cut_tree.results:
+            bits = 0
+            for citation in citations:
+                bit = citation_bit.get(citation)
+                if bit is None:
+                    bit = 1 << len(citation_bit)
+                    citation_bit[citation] = bit
+                bits |= bit
+            self._result_bits.append(bits)
+        self._explore: List[float] = list(cut_tree.explore)
+        self._member_counts: List[Tuple[int, ...]] = [
+            tuple(counts) for counts in cut_tree.member_counts
+        ]
+        # Mask-keyed memos: best cut per component, and component
+        # statistics (EXPLORE mass, distinct results, member histogram).
+        self._memo: Dict[int, BestCut] = {}
+        self._stats: Dict[int, Tuple[float, int, Tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     def solve(self) -> BestCut:
         """Best cut (and expected cost) for the whole CutTree."""
-        return self.solve_component(self.tree.subtree_indices(self.tree.root), self.tree.root)
+        root = self.tree.root
+        return self.solve_component_mask(self._subtree_mask[root], root)
 
     def solve_component(self, component: FrozenSet[int], root: int) -> BestCut:
         """Best cut for a connected sub-component rooted at ``root``.
@@ -179,70 +257,209 @@ class OptEdgeCut:
         produce — the reuse the paper exploits to call the optimizer once
         per user query rather than once per EXPAND.
         """
-        cached = self._memo.get(component)
+        return self.solve_component_mask(self._mask_of(component), root)
+
+    def solve_component_mask(self, mask: int, root: int) -> BestCut:
+        """Best cut for the component ``mask`` (bitmask) rooted at ``root``."""
+        cached = self._memo.get(mask)
         if cached is not None:
             return cached
-        result = self._solve(component, root)
-        self._memo[component] = result
+        result = self._solve(mask, root)
+        self._memo[mask] = result
         return result
 
     def memo_items(self):
         """All (component index set, BestCut) pairs solved so far.
 
-        After :meth:`solve`, this covers every sub-component reachable by
-        future expansions — the reuse Heuristic-ReducedOpt harvests.
+        After :meth:`solve`, this covers every sub-component the chosen
+        cuts can produce — the reuse Heuristic-ReducedOpt harvests.
+        Component keys are materialized as frozensets; use
+        :meth:`memo_masks` for the raw mask-keyed entries.
         """
+        return [(self._indices_of(mask), best) for mask, best in self._memo.items()]
+
+    def memo_masks(self):
+        """All (component bitmask, BestCut) pairs solved so far."""
         return list(self._memo.items())
 
     # ------------------------------------------------------------------
-    def _solve(self, component: FrozenSet[int], root: int) -> BestCut:
-        tree = self.tree
-        explore = sum(tree.explore[i] for i in component) / self._explore_norm
-        distinct: Set[int] = set()
-        member_counts: List[int] = []
-        for i in component:
-            distinct.update(tree.results[i])
-            member_counts.extend(tree.member_counts[i])
-        result_count = len(distinct)
+    # Mask helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mask_of(indices) -> int:
+        mask = 0
+        for index in indices:
+            mask |= 1 << index
+        return mask
 
-        cuts = [cut for cut in self._enumerate_cuts(root, component) if cut]
-        if not cuts:
+    @staticmethod
+    def _indices_of(mask: int) -> FrozenSet[int]:
+        indices = []
+        while mask:
+            low = mask & -mask
+            indices.append(low.bit_length() - 1)
+            mask ^= low
+        return frozenset(indices)
+
+    def _component_stats(self, mask: int) -> Tuple[float, int, Tuple[int, ...]]:
+        """(EXPLORE mass, distinct results, member histogram) for ``mask``."""
+        stats = self._stats.get(mask)
+        if stats is not None:
+            return stats
+        explore_sum = 0.0
+        result_bits = 0
+        member_counts: List[int] = []
+        remaining = mask
+        # Ascending index order — the same summation order the reference
+        # engine's frozenset iteration produces for indices < 16.
+        while remaining:
+            low = remaining & -remaining
+            index = low.bit_length() - 1
+            explore_sum += self._explore[index]
+            result_bits |= self._result_bits[index]
+            member_counts.extend(self._member_counts[index])
+            remaining ^= low
+        stats = (explore_sum, result_bits.bit_count(), tuple(member_counts))
+        self._stats[mask] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    def _solve(self, mask: int, root: int) -> BestCut:
+        explore_sum, result_count, member_counts = self._component_stats(mask)
+        explore = explore_sum / self._explore_norm
+        kids = [c for c in self._children[root] if (mask >> c) & 1]
+        if not kids:
             # Singleton (or childless) component: only SHOWRESULTS remains.
             cost = explore * result_count
             return BestCut(cut=(), expected_cost=cost, expansion_term=0.0)
 
         p_expand = self.probs.expand_from_distribution(member_counts, result_count)
-        best_term = float("inf")
-        best_cut: Tuple[CutTreeEdge, ...] = ()
-        for cut in cuts:
-            term = self._expansion_term(component, root, cut)
-            if term < best_term:
-                best_term = term
-                best_cut = tuple(cut)
+        best_term, best_children = self._search_cuts(mask, root, kids)
+        best_cut = tuple((self._parent[c], c) for c in best_children)
         show_cost = (1.0 - p_expand) * result_count
         expected = explore * (show_cost + p_expand * best_term)
         return BestCut(cut=best_cut, expected_cost=expected, expansion_term=best_term)
 
+    def _search_cuts(
+        self, mask: int, root: int, kids: Sequence[int]
+    ) -> Tuple[float, Tuple[int, ...]]:
+        """Minimize the expansion term over all valid non-empty cuts.
+
+        The search walks a stack of undecided edges ("slots"); each slot is
+        either cut (its child becomes a lower root) or descended into (its
+        child's edges become new slots).  ``acc`` carries the running lower
+        bound ``expand_cost + Σ (reveal_cost + cost(lower))`` over decided
+        cut edges, accumulated in the same floating-point order as the
+        final term, so any prefix with ``acc >= best_term`` can be pruned
+        without changing the argmin or its tie-breaking.
+        """
+        params = self.params
+        expand_cost = params.expand_cost
+        reveal_cost = params.reveal_cost
+        subtree_mask = self._subtree_mask
+        children = self._children
+        memo = self._memo
+        solve = self.solve_component_mask
+        best_term = float("inf")
+        best_children: Tuple[int, ...] = ()
+        # The expected cost of each child's lower component is invariant
+        # across every cut that severs that edge; compute it on demand once.
+        lower_cost: Dict[int, float] = {}
+        chosen: List[int] = []
+
+        slots = None
+        for kid in reversed(kids):
+            slots = (kid, slots)
+        # Explicit DFS stack (no per-prefix Python call): entries are
+        # (slots, acc) visits, with ``None`` markers undoing the chosen
+        # edge of the enclosing option-1 branch.  Option 1 (cut the edge)
+        # is pushed last so it is explored first, preserving the legacy
+        # enumeration order — and since a visit re-checks ``acc`` against
+        # the current best at pop time, prefixes pushed before a better
+        # cut was found still prune.
+        # Option 1 (cut the edge) is always the next prefix explored, so it
+        # runs as the inner loop; only option 2 round-trips the stack.
+        stack: List[Optional[Tuple[object, float]]] = [(slots, expand_cost)]
+        while stack:
+            entry = stack.pop()
+            if entry is None:
+                chosen.pop()
+                continue
+            slots, acc = entry
+            while True:
+                # Every completion of this prefix costs at least ``acc``.
+                if acc >= best_term:
+                    break
+                if slots is None:
+                    if chosen:  # the empty cut is not a valid EXPAND
+                        upper = mask
+                        for child in chosen:
+                            upper &= ~subtree_mask[child]
+                        # Recompute the term in the legacy accumulation
+                        # order (expand, upper, then lowers) for
+                        # bit-identical floats.
+                        best = memo.get(upper)
+                        if best is None:
+                            best = solve(upper, root)
+                        term = expand_cost
+                        term += reveal_cost + best.expected_cost
+                        if term < best_term:
+                            ok = True
+                            for child in chosen:
+                                term += reveal_cost + lower_cost[child]
+                                if term >= best_term:
+                                    ok = False
+                                    break
+                            if ok:
+                                best_term = term
+                                best_children = tuple(chosen)
+                    break
+                child, rest = slots
+                # Option 1: cut this edge (lower component = its subtree).
+                cost = lower_cost.get(child)
+                if cost is None:
+                    lower = subtree_mask[child] & mask
+                    best = memo.get(lower)
+                    if best is None:
+                        best = solve(lower, child)
+                    cost = best.expected_cost
+                    lower_cost[child] = cost
+                # Option 2: keep the edge and decide the child's own edges.
+                child_slots = rest
+                for grandchild in reversed(children[child]):
+                    if (mask >> grandchild) & 1:
+                        child_slots = (grandchild, child_slots)
+                stack.append((child_slots, acc))
+                stack.append(None)
+                chosen.append(child)
+                slots = rest
+                acc = acc + (reveal_cost + cost)
+        return best_term, best_children
+
+    # ------------------------------------------------------------------
+    # Introspection (kept for tests and repro.core.explain)
+    # ------------------------------------------------------------------
     def _expansion_term(
         self, component: FrozenSet[int], root: int, cut: Sequence[CutTreeEdge]
     ) -> float:
         """Cost of executing this EXPAND: click + per-revealed-root terms."""
         params = self.params
-        removed: Set[int] = set()
-        lower_roots: List[int] = []
+        mask = self._mask_of(component)
+        removed = 0
         for _, child in cut:
-            lower = self.tree.subtree_indices(child) & component
-            removed.update(lower)
-            lower_roots.append(child)
-        upper = frozenset(component - removed)
+            removed |= self._subtree_mask[child] & mask
+        upper = mask & ~removed
         term = params.expand_cost
         # The EdgeCut operation returns the upper root plus every lower
         # root; each contributes an examination cost and its own expected
         # exploration cost.
-        term += params.reveal_cost + self.solve_component(upper, root).expected_cost
-        for child in lower_roots:
-            lower = self.tree.subtree_indices(child) & component
-            term += params.reveal_cost + self.solve_component(lower, child).expected_cost
+        term += params.reveal_cost + self.solve_component_mask(upper, root).expected_cost
+        for _, child in cut:
+            lower = self._subtree_mask[child] & mask
+            term += (
+                params.reveal_cost
+                + self.solve_component_mask(lower, child).expected_cost
+            )
         return term
 
     def _enumerate_cuts(
@@ -250,18 +467,31 @@ class OptEdgeCut:
     ) -> List[List[CutTreeEdge]]:
         """All valid EdgeCuts of the component subtree at ``node``.
 
-        Returns cut-sets (including the empty cut).  Validity — at most
-        one cut edge per root-to-leaf path — is guaranteed structurally:
-        once an edge is cut, no edge below it is considered.
+        Materializes :meth:`_iter_cuts` (including the empty cut) in the
+        legacy enumeration order; the solver itself never builds this list.
         """
-        options_per_child: List[List[List[CutTreeEdge]]] = []
-        for child in self.tree.children[node]:
-            if child not in component:
-                continue
-            child_options = [[(node, child)]]
-            child_options.extend(self._enumerate_cuts(child, component))
-            options_per_child.append(child_options)
-        combos: List[List[CutTreeEdge]] = [[]]
-        for child_options in options_per_child:
-            combos = [base + extra for base in combos for extra in child_options]
-        return combos
+        return [list(cut) for cut in self._iter_cuts(node, self._mask_of(component))]
+
+    def _iter_cuts(self, node: int, mask: int) -> Iterator[Tuple[CutTreeEdge, ...]]:
+        """Lazily yield every valid cut of the component subtree at ``node``.
+
+        Validity — at most one cut edge per root-to-leaf path — is
+        guaranteed structurally: once an edge is cut, no edge below it is
+        considered.  The order matches the legacy engine's materialized
+        product exactly (earlier children vary slowest; per child the cut
+        edge precedes the child's own cuts, with the empty cut last).
+        """
+        kids = [c for c in self._children[node] if (mask >> c) & 1]
+
+        def per_kid(i: int) -> Iterator[Tuple[CutTreeEdge, ...]]:
+            if i == len(kids):
+                yield ()
+                return
+            child = kids[i]
+            for rest in per_kid(i + 1):
+                yield ((node, child),) + rest
+            for sub in self._iter_cuts(child, mask):
+                for rest in per_kid(i + 1):
+                    yield sub + rest
+
+        return per_kid(0)

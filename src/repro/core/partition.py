@@ -14,7 +14,7 @@ gradually larger δ until at most N partitions result.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 __all__ = ["k_partition", "partition_with_limit"]
 
@@ -90,8 +90,9 @@ def partition_with_limit(
         raise ValueError("max_partitions must be at least 1")
     if growth <= 1.0:
         raise ValueError("growth must exceed 1")
-    node_count = sum(1 for _ in _postorder(adjacency, root))
-    total = float(sum(weights[n] for n in _postorder(adjacency, root)))
+    order = _postorder(adjacency, root)
+    node_count = len(order)
+    total = float(sum(weights[n] for n in order))
     delta = total / max_partitions if total > 0 else 1.0
     partitions = k_partition(adjacency, root, weights, delta)
     while len(partitions) > max_partitions:

@@ -23,7 +23,7 @@ Two probabilities drive the cost model:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, Sequence
 
 from repro.core.navigation_tree import NavigationTree
 

@@ -4,17 +4,26 @@ A :class:`NavigationSession` wraps an active tree with an expansion
 strategy and exposes the four user actions of the general navigation model
 — EXPAND, SHOWRESULTS, IGNORE, BACKTRACK — while a :class:`CostLedger`
 records the actual cost incurred, using the paper's unit charges.
+
+Sessions optionally carry a profiler (any object with a
+``record(node, seconds, reduced_size)`` method, e.g.
+:class:`repro.analysis.SolverProfile`); each EXPAND then reports how long
+the strategy spent choosing its cut — the latency Figure 10 measures.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from repro.core.active_tree import ActiveTree, VisNode
 from repro.core.cost_model import CostLedger, CostParams
 from repro.core.navigation_tree import NavigationTree
 from repro.core.strategy import CutDecision, ExpansionStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runtime import SolverProfile
 
 __all__ = ["ExpandOutcome", "NavigationSession"]
 
@@ -28,11 +37,14 @@ class ExpandOutcome:
         revealed: newly visible concept node ids (the lower-component
             roots; the upper root was already visible).
         decision: the strategy's cut decision (with instrumentation).
+        elapsed_seconds: wall-clock time the strategy spent choosing the
+            cut (0.0 only for a degenerate clock).
     """
 
     node: int
     revealed: Tuple[int, ...]
     decision: CutDecision
+    elapsed_seconds: float = 0.0
 
 
 class NavigationSession:
@@ -43,11 +55,22 @@ class NavigationSession:
         tree: NavigationTree,
         strategy: ExpansionStrategy,
         params: Optional[CostParams] = None,
+        profiler: "Optional[SolverProfile]" = None,
     ):
+        """
+        Args:
+            tree: the query's navigation tree.
+            strategy: EXPAND strategy (chooses EdgeCuts).
+            params: cost-model unit costs.
+            profiler: optional per-EXPAND timing sink; anything exposing
+                ``record(node, seconds, reduced_size)`` works, so the core
+                stays importable without the analysis extras.
+        """
         self.tree = tree
         self.strategy = strategy
         self.active = ActiveTree(tree)
         self.ledger = CostLedger(params=params or CostParams())
+        self.profiler = profiler
         self._ignored: Set[int] = set()
         self._expand_log: List[ExpandOutcome] = []
 
@@ -63,13 +86,24 @@ class NavigationSession:
             ValueError: when ``node`` has no expandable component or the
                 strategy returns an empty cut.
         """
+        started = time.perf_counter()
         decision = self.strategy.choose_cut(self.active, node)
+        elapsed = time.perf_counter() - started
         if not decision.cut:
             raise ValueError("strategy produced no cut for node %r" % (node,))
+        if self.profiler is not None:
+            self.profiler.record(
+                node=node, seconds=elapsed, reduced_size=decision.reduced_size
+            )
         self.active.expand(node, decision.cut)
         revealed = tuple(child for _, child in decision.cut)
         self.ledger.charge_expand(len(revealed))
-        outcome = ExpandOutcome(node=node, revealed=revealed, decision=decision)
+        outcome = ExpandOutcome(
+            node=node,
+            revealed=revealed,
+            decision=decision,
+            elapsed_seconds=elapsed,
+        )
         self._expand_log.append(outcome)
         return outcome
 

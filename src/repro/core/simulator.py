@@ -11,7 +11,7 @@ expansion strategy and reports the per-query numbers behind Figures 8–10.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.cost_model import CostParams

@@ -13,8 +13,8 @@ navigation tree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = ["Citation", "DocSummary"]
 

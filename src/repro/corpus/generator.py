@@ -19,7 +19,7 @@ with the same structural properties the algorithms depend on:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.citation import Citation

@@ -22,7 +22,7 @@ in a form standard MEDLINE tooling understands.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+from typing import Dict, Iterable, List, Optional, TextIO
 
 from repro.corpus.citation import Citation
 from repro.hierarchy.concept import ConceptHierarchy

@@ -24,7 +24,7 @@ for inspection with standard MeSH tooling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
 
 from repro.hierarchy.concept import ConceptHierarchy
 

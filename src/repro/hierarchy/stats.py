@@ -10,7 +10,7 @@ and workload builder) rather than asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.hierarchy.concept import ConceptHierarchy
 

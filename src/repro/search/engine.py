@@ -9,7 +9,7 @@ ESearch wire-level conventions (retstart/retmax paging, counts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.corpus.medline import MedlineDatabase
 from repro.search.ranking import rank_results

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple, Union
+from typing import List, Tuple, Union
 
 __all__ = [
     "QuerySyntaxError",

@@ -11,7 +11,7 @@ with hit/miss statistics for capacity planning.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Generic, Hashable, Optional, TypeVar
+from typing import Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
 
 __all__ = ["LRUCache"]
 
@@ -64,6 +64,15 @@ class LRUCache(Generic[K, V]):
             value = factory()
             self.put(key, value)
         return value  # type: ignore[return-value]
+
+    def items(self) -> List[Tuple[K, V]]:
+        """Snapshot of (key, value) pairs, LRU first.
+
+        Unlike :meth:`get`, this neither refreshes recency nor touches the
+        hit/miss counters — it exists for stats endpoints that must
+        observe the cache without perturbing it.
+        """
+        return list(self._entries.items())
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""

@@ -9,7 +9,7 @@ retrieval — the semantics PubMed applies to multi-term queries.
 from __future__ import annotations
 
 import re
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 __all__ = ["tokenize", "InvertedIndex"]
 

@@ -8,7 +8,7 @@ term, the ordered positions at which it occurs in each document.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Set
 
 from repro.storage.index import tokenize
 

@@ -10,7 +10,7 @@ figures straight from the terminal::
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping
 
 __all__ = ["bar_chart", "grouped_bar_chart"]
 

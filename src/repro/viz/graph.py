@@ -9,7 +9,7 @@ counts, visibility), and renders a GraphViz DOT form for figures.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import networkx as nx
 

@@ -19,10 +19,15 @@ plus a JSON API for programmatic clients:
     GET /api/nav/<sid>                  the visible rows + cost ledger
     GET /api/nav/<sid>/expand?node=N    expand, then the new state
     GET /api/nav/<sid>/results?node=N   the component's PMIDs
+    GET /api/stats                      cache + solver-latency statistics
 
 Navigation trees are shared across sessions of the same query through an
 LRU cache, and sessions themselves live in a bounded LRU store (evicted
-sessions 404, as in any stateful web app).  Serve it with
+sessions 404, as in any stateful web app).  Sessions of the same cached
+query also share one Heuristic-ReducedOpt decision cache, so an EXPAND any
+of them has already optimized is answered from cache for all of them; a
+single :class:`~repro.analysis.runtime.SolverProfile` collects per-EXPAND
+solver latency across every session for ``/api/stats``.  Serve it with
 ``python -m repro.web`` or mount the :class:`BioNavWebApp` callable under
 any WSGI server; tests drive the callable directly.
 """
@@ -31,15 +36,17 @@ from __future__ import annotations
 
 import html
 import json
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple
 from urllib.parse import parse_qs
 
+from repro.analysis.runtime import SolverProfile
 from repro.bionav import BioNav
 from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.navigation_tree import NavigationTree
 from repro.core.probabilities import ProbabilityModel
 from repro.core.relevance import ranked_visualization
 from repro.core.session import NavigationSession
+from repro.core.strategy import CutDecision
 from repro.storage.cache import LRUCache
 
 __all__ = ["BioNavWebApp"]
@@ -62,11 +69,17 @@ p.cost { color: #333; background: #f2f2f2; padding: 0.4em; }
 
 
 class _QueryState:
-    """Shared per-query artifacts: tree + probability model."""
+    """Shared per-query artifacts: tree, probability model, decisions.
+
+    ``decisions`` is the Heuristic-ReducedOpt decision cache every session
+    of this query shares — EdgeCut decisions are deterministic per query,
+    so one session's EXPAND work serves all of them.
+    """
 
     def __init__(self, tree: NavigationTree, probs: ProbabilityModel):
         self.tree = tree
         self.probs = probs
+        self.decisions: Dict[FrozenSet[int], CutDecision] = {}
 
 
 class BioNavWebApp:
@@ -84,6 +97,7 @@ class BioNavWebApp:
             max_sessions
         )
         self._session_counter = 0
+        self.profile = SolverProfile()
 
     # ------------------------------------------------------------------
     # WSGI entry point
@@ -273,8 +287,11 @@ class BioNavWebApp:
     def _new_session(self, query: str, state: _QueryState) -> str:
         self._session_counter += 1
         sid = "s%06d" % self._session_counter
-        strategy = HeuristicReducedOpt(state.tree, state.probs)
-        self._sessions.put(sid, (query, NavigationSession(state.tree, strategy)))
+        strategy = HeuristicReducedOpt(
+            state.tree, state.probs, decision_cache=state.decisions
+        )
+        session = NavigationSession(state.tree, strategy, profiler=self.profile)
+        self._sessions.put(sid, (query, session))
         return sid
 
     def _session(self, sid: str) -> Tuple[str, NavigationSession]:
@@ -287,6 +304,8 @@ class BioNavWebApp:
     # JSON API
     # ------------------------------------------------------------------
     def _route_api(self, path: str, params: Dict[str, List[str]]) -> Tuple[str, str]:
+        if path == "/stats":
+            return "200 OK", self._json_stats()
         if path == "/search":
             query = params.get("q", [""])[0].strip()
             if not query:
@@ -357,6 +376,35 @@ class BioNavWebApp:
                     "revealed": session.ledger.concepts_revealed,
                     "citations": session.ledger.citations_displayed,
                 },
+            }
+        )
+
+    def _json_stats(self) -> str:
+        """Operational statistics: caches plus per-EXPAND solver latency."""
+        queries = [
+            {
+                "query": query,
+                "tree_size": len(state.tree),
+                "decision_cache_size": len(state.decisions),
+            }
+            for query, state in self._queries.items()
+        ]
+        return json.dumps(
+            {
+                "query_cache": {
+                    "size": len(self._queries),
+                    "capacity": self._queries.capacity,
+                    "hits": self._queries.hits,
+                    "misses": self._queries.misses,
+                    "evictions": self._queries.evictions,
+                    "hit_rate": self._queries.hit_rate,
+                },
+                "sessions": {
+                    "active": len(self._sessions),
+                    "created": self._session_counter,
+                },
+                "queries": queries,
+                "solver": self.profile.summary(),
             }
         )
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.corpus.citation import Citation
 from repro.corpus.generator import CorpusGenerator, TopicSpec

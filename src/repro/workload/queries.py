@@ -13,7 +13,7 @@ narrowly targeted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 __all__ = ["WorkloadQuery", "TABLE_I_QUERIES", "query_by_keyword"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import NavigationOutcome, navigate_to_target

@@ -73,3 +73,55 @@ class TestFitExponential:
             sizes.append(len(cut_tree))
         fit = fit_exponential(sizes, times)
         assert fit.base > 1.3  # decidedly super-polynomial over this range
+
+
+class TestSolverProfile:
+    def _profile(self):
+        from repro.analysis.runtime import SolverProfile
+
+        profile = SolverProfile()
+        for i, seconds in enumerate((0.010, 0.020, 0.030, 0.040)):
+            profile.record(node=i, seconds=seconds, reduced_size=4 + i)
+        return profile
+
+    def test_record_and_aggregates(self):
+        profile = self._profile()
+        assert len(profile) == 4
+        assert profile.total_seconds == pytest.approx(0.100)
+        assert profile.mean_seconds == pytest.approx(0.025)
+
+    def test_percentiles(self):
+        profile = self._profile()
+        assert profile.percentile_seconds(0) == pytest.approx(0.010)
+        assert profile.percentile_seconds(100) == pytest.approx(0.040)
+        with pytest.raises(ValueError):
+            profile.percentile_seconds(101)
+
+    def test_summary_keys_and_units(self):
+        summary = self._profile().summary()
+        assert summary["expands"] == 4
+        assert summary["mean_ms"] == pytest.approx(25.0)
+        assert summary["max_ms"] == pytest.approx(40.0)
+        assert summary["mean_reduced_size"] == pytest.approx(5.5)
+
+    def test_empty_profile_summary(self):
+        from repro.analysis.runtime import SolverProfile
+
+        summary = SolverProfile().summary()
+        assert summary["expands"] == 0
+        assert summary["mean_ms"] == 0.0
+
+    def test_negative_seconds_rejected(self):
+        from repro.analysis.runtime import SolverProfile
+
+        with pytest.raises(ValueError):
+            SolverProfile().record(node=1, seconds=-0.1, reduced_size=2)
+
+    def test_growth_fit_over_records(self):
+        from repro.analysis.runtime import SolverProfile
+
+        profile = SolverProfile()
+        for n in (4, 6, 8, 10, 12):
+            profile.record(node=n, seconds=0.001 * (2.0 ** n), reduced_size=n)
+        fit = profile.growth_fit()
+        assert fit.base == pytest.approx(2.0, rel=1e-6)

@@ -177,3 +177,27 @@ class TestRepeatedExpansion:
             decision = strategy.choose_cut(active, node)
             assert is_valid_edgecut(big_tree, active.component(node), decision.cut)
             active.expand(node, decision.cut)
+
+
+class TestSharedDecisionCache:
+    def test_sessions_share_external_decision_store(self, big_tree, big_probs):
+        shared = {}
+        first = HeuristicReducedOpt(big_tree, big_probs, decision_cache=shared)
+        second = HeuristicReducedOpt(big_tree, big_probs, decision_cache=shared)
+        component = frozenset(big_tree.iter_dfs())
+        decision = first.best_cut(component, big_tree.root)
+        assert first.decision_cache_size == len(shared) > 0
+        # The second strategy has done no optimization of its own, yet
+        # answers the same EXPAND from the shared store.
+        assert second.cache_hits == 0
+        replay = second.best_cut(component, big_tree.root)
+        assert second.cache_hits == 1
+        assert replay == decision
+
+    def test_default_cache_is_private(self, big_tree, big_probs):
+        first = HeuristicReducedOpt(big_tree, big_probs)
+        second = HeuristicReducedOpt(big_tree, big_probs)
+        component = frozenset(big_tree.iter_dfs())
+        first.best_cut(component, big_tree.root)
+        second.best_cut(component, big_tree.root)
+        assert second.cache_hits == 0

@@ -134,3 +134,77 @@ class TestTraversal:
         members = fragment_tree.subtree_nodes(cell_death)
         labels = {fragment_tree.label(n) for n in members}
         assert labels == {"Cell Death", "Autophagy", "Apoptosis", "Necrosis"}
+
+
+class TestPositionalIndices:
+    """The precomputed preorder/depth/subtree-size indices (O(1) queries)."""
+
+    @pytest.fixture()
+    def random_tree(self):
+        import random
+
+        rng = random.Random(11)
+        h = ConceptHierarchy(root_label="root")
+        nodes = [0]
+        for i in range(60):
+            nodes.append(h.add_child(rng.choice(nodes), "n%d" % i))
+        annotations = {
+            n: {rng.randrange(200) for _ in range(rng.randint(0, 4))}
+            for n in nodes
+        }
+        return NavigationTree.build(h, annotations)
+
+    def test_depth_matches_parent_chain_walk(self, random_tree):
+        for node in random_tree.nodes():
+            depth = 0
+            cursor = node
+            while random_tree.parent(cursor) != -1:
+                cursor = random_tree.parent(cursor)
+                depth += 1
+            assert random_tree.tree_depth(node) == depth
+
+    def test_subtree_size_matches_subtree_nodes(self, random_tree):
+        for node in random_tree.nodes():
+            assert random_tree.subtree_size(node) == len(
+                random_tree.subtree_nodes(node)
+            )
+
+    def test_is_tree_ancestor_matches_naive_walk(self, random_tree):
+        nodes = random_tree.nodes()
+        for ancestor in nodes:
+            for node in nodes:
+                cursor = node
+                naive = False
+                while cursor != -1:
+                    if cursor == ancestor:
+                        naive = True
+                        break
+                    cursor = random_tree.parent(cursor)
+                assert random_tree.is_tree_ancestor(ancestor, node) == naive
+
+    def test_iter_dfs_subtree_is_contiguous_preorder_slice(self, random_tree):
+        full = list(random_tree.iter_dfs())
+        for node in random_tree.nodes():
+            sub = list(random_tree.iter_dfs(node))
+            start = full.index(node)
+            assert full[start : start + len(sub)] == sub
+
+    def test_subtree_size_unknown_node_raises(self, random_tree):
+        with pytest.raises(KeyError):
+            random_tree.subtree_size(10_000)
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        # 2,000 annotated nodes in a single chain: the iterative embedding
+        # and index construction must not recurse.
+        h = ConceptHierarchy(root_label="root")
+        node = 0
+        annotations = {}
+        for i in range(2000):
+            node = h.add_child(node, "deep%d" % i)
+            annotations[node] = {i}
+        tree = NavigationTree.build(h, annotations)
+        assert tree.size() == 2001
+        assert tree.height() == 2000
+        assert tree.tree_depth(node) == 2000
+        assert tree.is_tree_ancestor(tree.root, node)
+        assert len(tree.subtree_results(tree.root)) == 2000

@@ -1,0 +1,179 @@
+"""Bitmask Opt-EdgeCut engine vs the exhaustive reference oracle.
+
+The bitmask engine must be *observationally identical* to the retained
+legacy implementation: same cut edges, same expected cost and expansion
+term (bit for bit), same enumeration order, and a memo that answers every
+component the reference solves.  These tests enforce that on a seeded
+randomized sweep of navigation-tree components up to ``MAX_OPT_NODES``
+nodes plus hand-built supernode trees like the ones Heuristic-ReducedOpt
+produces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.opt_edgecut import MAX_OPT_NODES, CutTree, OptEdgeCut
+from repro.core.opt_edgecut_reference import ReferenceOptEdgeCut
+from repro.core.probabilities import ProbabilityModel
+from repro.hierarchy.concept import ConceptHierarchy
+
+
+def random_scenario(size: int, seed: int):
+    """A random ``size``-node navigation tree lifted into a CutTree."""
+    rng = random.Random(seed)
+    h = ConceptHierarchy(root_label="r")
+    nodes = [0]
+    for i in range(size - 1):
+        nodes.append(h.add_child(rng.choice(nodes), "c%d" % i))
+    annotations = {
+        n: set(rng.sample(range(120), rng.randint(1, 25))) for n in nodes
+    }
+    tree = NavigationTree.build(h, annotations)
+    probs = ProbabilityModel(tree, lambda n: 500)
+    component = frozenset(tree.iter_dfs())
+    return CutTree.from_component(tree, probs, component, tree.root), probs
+
+
+def supernode_cut_tree(seed: int, size: int) -> CutTree:
+    """A CutTree with multi-member supernodes (reduced-tree shape)."""
+    rng = random.Random(seed)
+    children = [[] for _ in range(size)]
+    for node in range(1, size):
+        children[rng.randrange(node)].append(node)
+    results = []
+    member_counts = []
+    for _ in range(size):
+        counts = [rng.randint(1, 8) for _ in range(rng.randint(1, 4))]
+        member_counts.append(counts)
+        results.append(frozenset(rng.sample(range(200), sum(counts))))
+    return CutTree(
+        children=children,
+        results=results,
+        explore=[rng.uniform(0.2, 5.0) for _ in range(size)],
+        member_counts=member_counts,
+        payload=list(range(size)),
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_probs():
+    """A probability model for raw CutTrees.
+
+    ``expand_from_distribution`` only reads component statistics, so the
+    host tree is irrelevant for hand-built CutTrees.
+    """
+    h = ConceptHierarchy(root_label="root")
+    h.add_child(0, "a")
+    tree = NavigationTree.build(h, {1: set(range(30))})
+    return ProbabilityModel(tree, lambda n: 1000)
+
+
+class TestEngineEquivalence:
+    # Four chunks of 55 seeded trees = 220 random instances.
+    @pytest.mark.parametrize("chunk", range(4))
+    def test_best_cut_identical_on_random_trees(self, chunk):
+        params = CostParams()
+        for trial in range(55):
+            seed = chunk * 55 + trial
+            rng = random.Random(seed)
+            size = rng.randint(2, 13)
+            cut_tree, probs = random_scenario(size, 9000 + seed)
+            new = OptEdgeCut(cut_tree, probs, params).solve()
+            old = ReferenceOptEdgeCut(cut_tree, probs, params).solve()
+            assert new.cut == old.cut, "seed %d" % seed
+            assert new.expected_cost == old.expected_cost, "seed %d" % seed
+            assert new.expansion_term == old.expansion_term, "seed %d" % seed
+
+    def test_best_cut_identical_at_max_size(self):
+        """A few instances at the MAX_OPT_NODES ceiling."""
+        params = CostParams()
+        for seed in range(3):
+            cut_tree, probs = random_scenario(MAX_OPT_NODES, 500 + seed)
+            assert len(cut_tree) == MAX_OPT_NODES
+            new = OptEdgeCut(cut_tree, probs, params).solve()
+            old = ReferenceOptEdgeCut(cut_tree, probs, params).solve()
+            assert new == old
+
+    def test_best_cut_identical_on_supernode_trees(self, shared_probs):
+        """Reduced-tree shapes: multi-member member_counts histograms."""
+        params = CostParams()
+        for seed in range(40):
+            rng = random.Random(seed)
+            cut_tree = supernode_cut_tree(3000 + seed, rng.randint(2, 10))
+            new = OptEdgeCut(cut_tree, shared_probs, params).solve()
+            old = ReferenceOptEdgeCut(cut_tree, shared_probs, params).solve()
+            assert new == old, "seed %d" % seed
+
+    def test_nonuniform_costs_agree(self, shared_probs):
+        """Equivalence must not depend on the default unit costs."""
+        params = CostParams(expand_cost=2.5, reveal_cost=0.75, citation_cost=1.5)
+        for seed in range(20):
+            cut_tree, probs = random_scenario(2 + seed % 11, 40_000 + seed)
+            new = OptEdgeCut(cut_tree, probs, params).solve()
+            old = ReferenceOptEdgeCut(cut_tree, probs, params).solve()
+            assert new == old, "seed %d" % seed
+
+    def test_memo_covers_and_matches_reference(self):
+        """Every component the bitmask engine memoizes, the reference
+        solved too — with the identical BestCut.  (The bitmask memo can be
+        a subset: pruning skips work the exhaustive engine does.)"""
+        for seed in range(25):
+            cut_tree, probs = random_scenario(2 + seed % 10, 60_000 + seed)
+            new_solver = OptEdgeCut(cut_tree, probs)
+            old_solver = ReferenceOptEdgeCut(cut_tree, probs)
+            assert new_solver.solve() == old_solver.solve()
+            reference_memo = dict(old_solver.memo_items())
+            for component, best in new_solver.memo_items():
+                assert component in reference_memo, "seed %d" % seed
+                assert reference_memo[component] == best, "seed %d" % seed
+
+    def test_chosen_cut_components_are_memoized(self):
+        """The pruned search still fully solves the winning cut's
+        components, so Heuristic-ReducedOpt's memo harvest keeps covering
+        later EXPANDs."""
+        cut_tree, probs = random_scenario(12, 777)
+        solver = OptEdgeCut(cut_tree, probs)
+        best = solver.solve()
+        memo = {component for component, _ in solver.memo_items()}
+        full = frozenset(range(len(cut_tree)))
+        removed = set()
+        for _, child in best.cut:
+            lower = cut_tree.subtree_indices(child)
+            assert lower in memo
+            removed |= lower
+        assert frozenset(full - removed) in memo
+
+    def test_enumeration_order_matches_reference(self):
+        """`_enumerate_cuts` (the compat surface explain.py uses) yields
+        cuts in the exact legacy order."""
+        for seed in (1, 2, 3, 4, 5):
+            cut_tree, probs = random_scenario(8, 88_000 + seed)
+            new_solver = OptEdgeCut(cut_tree, probs)
+            old_solver = ReferenceOptEdgeCut(cut_tree, probs)
+            component = frozenset(range(len(cut_tree)))
+            assert new_solver._enumerate_cuts(0, component) == (
+                old_solver._enumerate_cuts(0, component)
+            )
+
+    def test_expansion_term_matches_reference(self):
+        """The compat `_expansion_term` agrees on every enumerated cut."""
+        cut_tree, probs = random_scenario(7, 4242)
+        new_solver = OptEdgeCut(cut_tree, probs)
+        old_solver = ReferenceOptEdgeCut(cut_tree, probs)
+        component = frozenset(range(len(cut_tree)))
+        for cut in old_solver._enumerate_cuts(0, component):
+            assert new_solver._expansion_term(component, 0, cut) == (
+                old_solver._expansion_term(component, 0, cut)
+            )
+
+    def test_oversized_tree_rejected_by_both(self, shared_probs):
+        cut_tree = supernode_cut_tree(1, MAX_OPT_NODES + 1)
+        with pytest.raises(ValueError):
+            OptEdgeCut(cut_tree, shared_probs)
+        with pytest.raises(ValueError):
+            ReferenceOptEdgeCut(cut_tree, shared_probs)

@@ -115,3 +115,35 @@ class TestVisualize:
         assert rows[0].node == fragment_tree.root
         visible = set(session.active.visible_nodes())
         assert {r.node for r in rows} == visible
+
+
+class TestProfiler:
+    def test_expand_records_timing(self, fragment_tree, fragment_probs):
+        from repro.analysis.runtime import SolverProfile
+
+        profile = SolverProfile()
+        strategy = HeuristicReducedOpt(fragment_tree, fragment_probs)
+        session = NavigationSession(fragment_tree, strategy, profiler=profile)
+        outcome = session.expand(fragment_tree.root)
+        assert len(profile) == 1
+        record = profile.records[0]
+        assert record.node == fragment_tree.root
+        assert record.seconds == outcome.elapsed_seconds >= 0.0
+        assert record.reduced_size == outcome.decision.reduced_size
+
+    def test_expand_outcome_carries_elapsed_without_profiler(
+        self, session, fragment_tree
+    ):
+        outcome = session.expand(fragment_tree.root)
+        assert outcome.elapsed_seconds >= 0.0
+
+    def test_failed_expand_records_nothing(self, fragment_tree, fragment_probs):
+        from repro.analysis.runtime import SolverProfile
+
+        profile = SolverProfile()
+        session = NavigationSession(
+            fragment_tree, EmptyCutStrategy(), profiler=profile
+        )
+        with pytest.raises(ValueError):
+            session.expand(fragment_tree.root)
+        assert len(profile) == 0

@@ -72,3 +72,15 @@ class TestLRUCache:
         cache.clear()
         assert len(cache) == 0
         assert "a" not in cache
+
+    def test_items_snapshot_does_not_touch_stats_or_recency(self):
+        cache: LRUCache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        hits, misses = cache.hits, cache.misses
+        assert cache.items() == [("a", 1), ("b", 2)]
+        assert (cache.hits, cache.misses) == (hits, misses)
+        # "a" was NOT refreshed by items(): it is still the LRU entry.
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache

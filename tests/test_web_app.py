@@ -253,3 +253,55 @@ class TestCaching:
         _, expanded_a = request_page(app, "/nav/%s/expand" % sid_a, {"node": node})
         _, still_b = request_page(app, "/nav/%s" % sid_b)
         assert expanded_a.count("<li>") > still_b.count("<li>")
+
+
+class TestStatsEndpoint:
+    def test_api_stats_reports_caches_and_solver(self, request):
+        import json
+
+        workload = request.getfixturevalue("small_workload")
+        app = BioNavWebApp(BioNav(workload.database, workload.entrez))
+        _, body = request_page(app, "/api/search", {"q": "prothymosin"})
+        sid = json.loads(body)["session"]
+        _, state = request_page(app, "/api/nav/%s" % sid)
+        root = json.loads(state)["rows"][0]["node"]
+        request_page(app, "/api/nav/%s/expand" % sid, {"node": str(root)})
+
+        status, body = request_page(app, "/api/stats")
+        assert status == "200 OK"
+        stats = json.loads(body)
+        assert stats["query_cache"]["size"] == 1
+        assert stats["sessions"] == {"active": 1, "created": 1}
+        (entry,) = stats["queries"]
+        assert entry["query"] == "prothymosin"
+        assert entry["decision_cache_size"] > 0
+        solver = stats["solver"]
+        assert solver["expands"] == 1
+        assert solver["mean_ms"] >= 0.0
+        assert solver["mean_reduced_size"] > 0
+
+    def test_sessions_of_same_query_share_decisions(self, request):
+        import json
+
+        workload = request.getfixturevalue("small_workload")
+        app = BioNavWebApp(BioNav(workload.database, workload.entrez))
+        _, body = request_page(app, "/api/search", {"q": "prothymosin"})
+        first = json.loads(body)["session"]
+        _, state = request_page(app, "/api/nav/%s" % first)
+        root = json.loads(state)["rows"][0]["node"]
+        request_page(app, "/api/nav/%s/expand" % first, {"node": str(root)})
+        _, body = request_page(app, "/api/stats")
+        cached = json.loads(body)["queries"][0]["decision_cache_size"]
+
+        # A second session of the same query answers its root EXPAND from
+        # the shared store: the decision cache does not grow.
+        _, body = request_page(app, "/api/search", {"q": "prothymosin"})
+        second = json.loads(body)["session"]
+        _, after = request_page(
+            app, "/api/nav/%s/expand" % second, {"node": str(root)}
+        )
+        assert json.loads(after)["rows"]
+        _, body = request_page(app, "/api/stats")
+        stats = json.loads(body)
+        assert stats["queries"][0]["decision_cache_size"] == cached
+        assert stats["sessions"]["created"] == 2

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-tables bench-smoke examples docs demo clean
+.PHONY: install test lint analyze baseline bench bench-tables bench-smoke examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,17 @@ test:
 
 lint:
 	$(PYTHON) tools/lint.py
+
+# Full static-analysis gate: lint rules plus the repo-specific semantic
+# rules (determinism, no-recursion, float-equality, bitmask-bounds).
+# Fails on any finding not recorded in tools/analyzer/baseline.json.
+analyze:
+	$(PYTHON) -m tools.analyzer
+
+# Regenerate the committed analyzer baseline (records current findings
+# so `make analyze` only fails on NEW ones; keep it empty if possible).
+baseline:
+	$(PYTHON) -m tools.analyzer --write-baseline
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

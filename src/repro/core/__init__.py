@@ -1,7 +1,7 @@
 """The paper's contribution: navigation trees, EdgeCuts, cost model, algorithms."""
 
 from repro.core.active_tree import ActiveTree, VisNode
-from repro.core.cost_model import CostLedger, CostParams
+from repro.core.cost_model import CostLedger, CostParams, cost_improves, costs_equal
 from repro.core.edgecut import component_edges, cut_components, is_valid_edgecut
 from repro.core.duplication import (
     DuplicationStats,
@@ -55,6 +55,8 @@ __all__ = [
     "VisNode",
     "WalkOutcome",
     "component_edges",
+    "cost_improves",
+    "costs_equal",
     "cut_components",
     "cut_duplication",
     "estimate_expected_cost",

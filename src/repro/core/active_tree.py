@@ -169,11 +169,14 @@ class ActiveTree:
         """The embedded visible tree, in pre-order, with counts.
 
         The visible parent of a node is its nearest visible ancestor in the
-        navigation tree.
+        navigation tree.  The walk is an explicit-stack pre-order (children
+        pushed reversed so siblings emit left to right): deep MeSH chains
+        must not depend on the interpreter recursion limit.
         """
         rows: List[VisNode] = []
-
-        def visit(node: int, depth: int, parent: int) -> None:
+        stack: List[Tuple[int, int, int]] = [(self.tree.root, 0, -1)]
+        while stack:
+            node, depth, parent = stack.pop()
             rows.append(
                 VisNode(
                     node=node,
@@ -184,10 +187,8 @@ class ActiveTree:
                     parent=parent,
                 )
             )
-            for visible_child in self._visible_children(node):
-                visit(visible_child, depth + 1, node)
-
-        visit(self.tree.root, 0, -1)
+            for visible_child in reversed(self._visible_children(node)):
+                stack.append((visible_child, depth + 1, node))
         return rows
 
     def _visible_children(self, node: int) -> List[int]:

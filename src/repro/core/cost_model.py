@@ -24,9 +24,44 @@ report actual (not expected) navigation costs in the Fig. 8/9 experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
-__all__ = ["CostParams", "CostLedger"]
+__all__ = ["CostParams", "CostLedger", "costs_equal", "cost_improves", "COST_RTOL"]
+
+# Relative tolerance for comparing independently computed costs.  Costs
+# are sums/products of O(tree-size) IEEE doubles, so equal quantities
+# computed along different association orders agree to far better than
+# 1e-9 relative; anything farther apart is a genuine difference.
+COST_RTOL = 1e-9
+
+
+def costs_equal(a: float, b: float, rtol: float = COST_RTOL) -> bool:
+    """Tolerance equality for independently computed cost values.
+
+    This is the sanctioned replacement for ``==`` on floats (the
+    ``float-equality`` analyzer rule): two costs that agree within
+    ``rtol`` relative tolerance are the same expected cost, differing
+    only by floating-point association order.
+
+    Note the solver engines themselves must NOT use this for tie-breaking
+    — their bit-identical-to-reference guarantee requires exact strict
+    ``<`` first-minimum comparisons on costs accumulated in canonical
+    order (see DESIGN.md §8).  Use it in evaluation, tests, and callers
+    comparing costs that were produced by different computation paths.
+    """
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=rtol)
+
+
+def cost_improves(candidate: float, best: float) -> bool:
+    """First-minimum tie-break: does ``candidate`` strictly beat ``best``?
+
+    The sanctioned solver comparison: strictly smaller wins, equal keeps
+    the incumbent.  Both Opt-EdgeCut engines break ties this way, which
+    is what makes their enumeration-order agreement observable as
+    bit-identical ``BestCut`` values.
+    """
+    return candidate < best
 
 
 @dataclass(frozen=True)

@@ -24,10 +24,15 @@ Edge = Tuple[int, int]
 
 
 def component_edges(tree: NavigationTree, component: FrozenSet[int]) -> List[Edge]:
-    """Navigation-tree edges with both endpoints inside ``component``."""
+    """Navigation-tree edges with both endpoints inside ``component``.
+
+    Iterates the component in sorted order so the returned edge list is a
+    deterministic function of the component's contents, not of CPython's
+    set layout.
+    """
     return [
         (node, child)
-        for node in component
+        for node in sorted(component)
         for child in tree.children(node)
         if child in component
     ]

@@ -65,7 +65,9 @@ def expected_strategy_cost(
             )
         explore = probs.explore(component)
         result_count = len(tree.distinct_results(component))
-        if explore == 0.0:
+        # EXPLORE mass is non-negative, so <= is the exact zero test
+        # without comparing floats for equality (float-equality rule).
+        if explore <= 0.0:
             memo[key] = 0.0
             return 0.0
         if len(component) == 1:

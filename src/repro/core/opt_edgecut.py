@@ -268,7 +268,7 @@ class OptEdgeCut:
         self._memo[mask] = result
         return result
 
-    def memo_items(self):
+    def memo_items(self) -> List[Tuple[FrozenSet[int], "BestCut"]]:
         """All (component index set, BestCut) pairs solved so far.
 
         After :meth:`solve`, this covers every sub-component the chosen
@@ -278,7 +278,7 @@ class OptEdgeCut:
         """
         return [(self._indices_of(mask), best) for mask, best in self._memo.items()]
 
-    def memo_masks(self):
+    def memo_masks(self) -> List[Tuple[int, "BestCut"]]:
         """All (component bitmask, BestCut) pairs solved so far."""
         return list(self._memo.items())
 

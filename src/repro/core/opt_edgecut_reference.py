@@ -73,7 +73,7 @@ class ReferenceOptEdgeCut:
         self._memo[component] = result
         return result
 
-    def memo_items(self):
+    def memo_items(self) -> List[Tuple[FrozenSet[int], BestCut]]:
         """All (component index set, BestCut) pairs solved so far."""
         return list(self._memo.items())
 

@@ -88,8 +88,13 @@ class ProbabilityModel:
         return self._mass[node]
 
     def explore(self, component: Iterable[int]) -> float:
-        """``pE(I(n))``: sum of member node probabilities."""
-        return sum(self._mass[m] for m in component) / self._normalizer
+        """``pE(I(n))``: sum of member node probabilities.
+
+        Members are summed in sorted order so the float accumulation
+        order — and therefore the probability to the last ulp — depends
+        only on the component's contents, never on set iteration order.
+        """
+        return sum(self._mass[m] for m in sorted(component)) / self._normalizer
 
     # ------------------------------------------------------------------
     # EXPAND
@@ -99,8 +104,9 @@ class ProbabilityModel:
         if len(component) <= 1:
             return 0.0
         result_count = len(self.tree.distinct_results(component))
+        # Sorted members pin the entropy summation order (see explore()).
         return self.expand_from_distribution(
-            [len(self.tree.results(m)) for m in component], result_count
+            [len(self.tree.results(m)) for m in sorted(component)], result_count
         )
 
     def expand_from_distribution(

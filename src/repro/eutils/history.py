@@ -14,7 +14,7 @@ simulated client.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.corpus.citation import Citation, DocSummary
 from repro.corpus.medline import MedlineDatabase
@@ -120,7 +120,9 @@ class HistoryEntrezClient:
             return []
         return self._client.efetch(pmids)
 
-    def iterate_summaries(self, key: HistoryKey, page_size: int = 100):
+    def iterate_summaries(
+        self, key: HistoryKey, page_size: int = 100
+    ) -> Iterator[DocSummary]:
         """Generator over all summaries of a stored set, page by page."""
         start = 0
         while True:

@@ -128,7 +128,7 @@ class FieldedEngineAdapter:
     def __init__(self, engine: FieldedSearchEngine):
         self._engine = engine
 
-    def search(self, query: str):
+    def search(self, query: str) -> "QueryResult":
         """Evaluate ``query`` and wrap the matches as a QueryResult."""
         from repro.search.engine import QueryResult
 

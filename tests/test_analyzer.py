@@ -1,0 +1,526 @@
+"""Tests for the ``tools/analyzer`` static-analysis framework.
+
+Per-rule fixture snippets (positive, negative, suppressed, baselined),
+framework mechanics (registry, suppressions, baseline, reporters), the
+acceptance fixtures from the issue (unsorted set iteration in
+``core/opt_edgecut.py``, recursion in ``navigation_tree.py``, float
+``==`` in ``cost_model.py``), and the ``tools/lint.py`` shim CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analyzer import all_rules, analyze  # noqa: E402
+from tools.analyzer.baseline import (  # noqa: E402
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.analyzer.reporters import json_report, text_report  # noqa: E402
+from tools.analyzer.runner import main  # noqa: E402
+from tools.analyzer.rules import bitmask  # noqa: E402
+
+
+def run_rules(tmp_path, relpath, source, lint_only=False):
+    """Write one fixture file and return its findings (no baseline)."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    findings, _, _, _ = analyze(
+        paths=[str(target)],
+        lint_only=lint_only,
+        baseline_path=tmp_path / "no-baseline.json",
+    )
+    return findings
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+class TestRegistry:
+    def test_rule_catalog_is_complete(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {
+            "syntax-error",
+            "unused-import",
+            "duplicate-import",
+            "star-import",
+            "mutable-default",
+            "shadowed-builtin",
+            "bare-except",
+            "missing-hints",
+            "determinism",
+            "no-recursion",
+            "float-equality",
+            "bitmask-bounds",
+        } <= ids
+
+    def test_lint_only_subset_excludes_semantic_rules(self):
+        lint_ids = {rule.id for rule in all_rules(lint_only=True)}
+        assert "unused-import" in lint_ids
+        assert "determinism" not in lint_ids
+        assert "no-recursion" not in lint_ids
+
+    def test_every_rule_has_severity_and_description(self):
+        for rule in all_rules():
+            assert rule.severity in ("error", "warning")
+            assert rule.description
+
+    def test_bitmask_width_matches_solver_constant(self):
+        from repro.core.opt_edgecut import MAX_OPT_NODES
+
+        assert bitmask.MAX_OPT_NODES == MAX_OPT_NODES
+
+
+class TestDeterminismRule:
+    def test_flags_set_iteration_in_core(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/opt_edgecut.py",
+            "def f(xs):\n    total = 0.0\n    for x in set(xs):\n        total += x\n    return total\n",
+        )
+        assert "determinism" in rule_ids(findings)
+
+    def test_flags_frozenset_annotated_parameter(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "from typing import FrozenSet\n"
+            "def f(component: FrozenSet[int]):\n"
+            "    return [x + 1 for x in component]\n",
+        )
+        assert "determinism" in rule_ids(findings)
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(xs):\n    return [x for x in sorted(set(xs))]\n",
+        )
+        assert "determinism" not in rule_ids(findings)
+
+    def test_order_free_consumption_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(xs):\n    s = set(xs)\n    return len(s), min(s), frozenset(s)\n",
+        )
+        assert "determinism" not in rule_ids(findings)
+
+    def test_outside_core_not_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "web/mod.py",
+            "def f(xs):\n    return [x for x in set(xs)]\n",
+        )
+        assert "determinism" not in rule_ids(findings)
+
+    def test_suppression_comment(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(xs):\n"
+            "    mask = 0\n"
+            "    for x in set(xs):  # repro: ignore[determinism]\n"
+            "        mask |= x\n"
+            "    return mask\n",
+        )
+        assert "determinism" not in rule_ids(findings)
+
+
+class TestNoRecursionRule:
+    def test_flags_recursive_function(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "navigation_tree.py",
+            "def walk(node):\n    for child in node.children:\n        walk(child)\n",
+        )
+        assert "no-recursion" in rule_ids(findings)
+
+    def test_flags_recursive_method(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "active_tree.py",
+            "class T:\n"
+            "    def visit(self, n):\n"
+            "        for c in n.children:\n"
+            "            self.visit(c)\n",
+        )
+        assert "no-recursion" in rule_ids(findings)
+
+    def test_iterative_traversal_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "partition.py",
+            "def walk(root):\n"
+            "    stack = [root]\n"
+            "    while stack:\n"
+            "        node = stack.pop()\n"
+            "        stack.extend(node.children)\n",
+        )
+        assert "no-recursion" not in rule_ids(findings)
+
+    def test_other_modules_may_recurse(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/other.py",
+            "def walk(node):\n    return [walk(c) for c in node.children]\n",
+        )
+        assert "no-recursion" not in rule_ids(findings)
+
+
+class TestFloatEqualityRule:
+    def test_flags_float_equality(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "cost_model.py",
+            "def f(x):\n    return x == 0.0\n",
+        )
+        assert "float-equality" in rule_ids(findings)
+
+    def test_flags_division_inequality_comparison(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "probabilities.py",
+            "def f(a, b, c):\n    return a / b != c\n",
+        )
+        assert "float-equality" in rule_ids(findings)
+
+    def test_ordering_comparisons_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "cost_model.py",
+            "def f(x):\n    return x <= 0.0 or x > 1.0\n",
+        )
+        assert "float-equality" not in rule_ids(findings)
+
+    def test_sanctioned_helper_is_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "cost_model.py",
+            "def costs_equal(a, b):\n    return a == b * 1.0\n",
+        )
+        assert "float-equality" not in rule_ids(findings)
+
+    def test_integer_equality_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "cost_model.py",
+            "def f(n):\n    return n == 0\n",
+        )
+        assert "float-equality" not in rule_ids(findings)
+
+
+class TestBitmaskBoundsRule:
+    def test_flags_literal_shift_amount(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "opt_edgecut.py",
+            "def f(x):\n    return x << 16\n",
+        )
+        assert "bitmask-bounds" in rule_ids(findings)
+
+    def test_flags_hand_written_mask(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "opt_edgecut.py",
+            "def f(x):\n    return x & 0x1FFFF\n",
+        )
+        assert "bitmask-bounds" in rule_ids(findings)
+
+    def test_flags_literal_size_cap(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "opt_edgecut.py",
+            "def f(tree):\n    if len(tree) > 16:\n        raise ValueError\n",
+        )
+        assert "bitmask-bounds" in rule_ids(findings)
+
+    def test_index_shift_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "opt_edgecut.py",
+            "def f(node, mask):\n    return mask | (1 << node)\n",
+        )
+        assert "bitmask-bounds" not in rule_ids(findings)
+
+    def test_only_applies_to_opt_edgecut(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/other.py",
+            "def f(x):\n    return x << 16\n",
+        )
+        assert "bitmask-bounds" not in rule_ids(findings)
+
+
+class TestGenericRules:
+    def test_mutable_default(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "def f(xs=[]):\n    return xs\n")
+        assert "mutable-default" in rule_ids(findings)
+
+    def test_immutable_default_is_clean(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "def f(xs=()):\n    return xs\n")
+        assert "mutable-default" not in rule_ids(findings)
+
+    def test_shadowed_builtin_parameter(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "def f(list):\n    return list\n")
+        assert "shadowed-builtin" in rule_ids(findings)
+
+    def test_class_attribute_is_not_a_shadow(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "m.py",
+            "class Rule:\n    id = 'x'\n    type: str = 'y'\n",
+        )
+        assert "shadowed-builtin" not in rule_ids(findings)
+
+    def test_bare_except(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "m.py",
+            "def f():\n    try:\n        pass\n    except:\n        pass\n",
+        )
+        assert "bare-except" in rule_ids(findings)
+
+    def test_missing_hints_on_public_api(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "repro/m.py",
+            "__all__ = ['f']\n\ndef f(x):\n    return x\n",
+        )
+        messages = [f.message for f in findings if f.rule == "missing-hints"]
+        assert any("lacks a type hint" in m for m in messages)
+        assert any("return type hint" in m for m in messages)
+
+    def test_private_and_unexported_functions_unchecked(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "repro/m.py",
+            "__all__ = ['f']\n\ndef f(x: int) -> int:\n    return x\n\ndef g(y):\n    return y\n",
+        )
+        assert "missing-hints" not in rule_ids(findings)
+
+
+class TestImportRules:
+    def test_unused_import(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "import os\n\nVALUE = 1\n")
+        assert "unused-import" in rule_ids(findings)
+
+    def test_used_import_is_clean(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "import os\n\nVALUE = os.sep\n")
+        assert "unused-import" not in rule_ids(findings)
+
+    def test_init_reexports_are_exempt(self, tmp_path):
+        findings = run_rules(tmp_path, "pkg/__init__.py", "import os\n")
+        assert "unused-import" not in rule_ids(findings)
+
+    def test_duplicate_import(self, tmp_path):
+        findings = run_rules(
+            tmp_path, "m.py", "import os\nimport os\n\nVALUE = os.sep\n"
+        )
+        assert "duplicate-import" in rule_ids(findings)
+
+    def test_star_import(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "from os.path import *\n")
+        assert "star-import" in rule_ids(findings)
+
+    def test_syntax_error_reported(self, tmp_path):
+        findings = run_rules(tmp_path, "m.py", "def broken(:\n")
+        assert "syntax-error" in rule_ids(findings)
+
+
+class TestSuppressions:
+    def test_wildcard_suppression(self, tmp_path):
+        findings = run_rules(
+            tmp_path, "m.py", "import os  # repro: ignore[*]\n\nVALUE = 1\n"
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "m.py",
+            "import os  # repro: ignore[duplicate-import]\n\nVALUE = 1\n",
+        )
+        assert "unused-import" in rule_ids(findings)
+
+
+class TestBaseline:
+    def _analyze(self, target, baseline):
+        return analyze(paths=[str(target)], baseline_path=baseline)
+
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        bad = tmp_path / "m.py"
+        bad.write_text("import os\n\nVALUE = 1\n")
+        baseline_file = tmp_path / "baseline.json"
+        first, _, _, _ = self._analyze(bad, tmp_path / "missing.json")
+        assert first
+        write_baseline(baseline_file, first)
+        fresh, _, baselined, stale = self._analyze(bad, baseline_file)
+        assert fresh == []
+        assert baselined == len(first)
+        assert stale == []
+
+    def test_new_findings_exceed_the_baseline(self, tmp_path):
+        bad = tmp_path / "m.py"
+        bad.write_text("import os\n\nVALUE = 1\n")
+        baseline_file = tmp_path / "baseline.json"
+        first, _, _, _ = self._analyze(bad, tmp_path / "missing.json")
+        write_baseline(baseline_file, first)
+        bad.write_text("import os\nimport json\n\nVALUE = 1\n")
+        fresh, _, _, _ = self._analyze(bad, baseline_file)
+        assert [f.message for f in fresh] == ["unused import 'json'"]
+
+    def test_fixed_findings_become_stale_entries(self, tmp_path):
+        bad = tmp_path / "m.py"
+        bad.write_text("import os\n\nVALUE = 1\n")
+        baseline_file = tmp_path / "baseline.json"
+        first, _, _, _ = self._analyze(bad, tmp_path / "missing.json")
+        write_baseline(baseline_file, first)
+        bad.write_text("VALUE = 1\n")
+        fresh, _, _, stale = self._analyze(bad, baseline_file)
+        assert fresh == []
+        assert len(stale) == 1
+
+    def test_round_trip_and_version_check(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [])
+        assert load_baseline(baseline_file) == {}
+        baseline_file.write_text('{"version": 99, "findings": {}}')
+        with pytest.raises(ValueError):
+            load_baseline(baseline_file)
+
+    def test_apply_baseline_counts_per_fingerprint(self):
+        from tools.analyzer.core import Finding
+
+        findings = [
+            Finding("r", "p.py", line, "msg", "warning") for line in (1, 2, 3)
+        ]
+        fresh, stale = apply_baseline(findings, {findings[0].key: 2})
+        assert [f.line for f in fresh] == [3]
+        assert stale == []
+
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self):
+        from tools.analyzer.core import Finding
+
+        report = text_report(
+            [Finding("unused-import", "m.py", 3, "unused import 'os'", "warning")],
+            files_analyzed=1,
+        )
+        assert "m.py:3: [warning] unused-import: unused import 'os'" in report
+        assert "1 finding(s)" in report
+
+    def test_json_report_is_machine_readable(self):
+        from tools.analyzer.core import Finding
+
+        payload = json.loads(
+            json_report(
+                [Finding("determinism", "core/m.py", 7, "msg", "error")],
+                files_analyzed=4,
+                baselined=2,
+            )
+        )
+        assert payload["files_analyzed"] == 4
+        assert payload["baselined"] == 2
+        assert payload["findings"][0]["rule"] == "determinism"
+        assert payload["findings"][0]["line"] == 7
+
+
+class TestAcceptanceFixtures:
+    """The issue's gate: known-bad fixtures must fail ``main``."""
+
+    def _main_exit(self, tmp_path, relpath, source):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return main(
+            [str(target), "--baseline", str(tmp_path / "empty-baseline.json")]
+        )
+
+    def test_unsorted_set_iteration_in_opt_edgecut_fails(self, tmp_path, capsys):
+        status = self._main_exit(
+            tmp_path,
+            "core/opt_edgecut.py",
+            "def f(xs):\n    return [x for x in set(xs)]\n",
+        )
+        assert status == 1
+        assert "determinism" in capsys.readouterr().out
+
+    def test_recursive_traversal_in_navigation_tree_fails(self, tmp_path, capsys):
+        status = self._main_exit(
+            tmp_path,
+            "navigation_tree.py",
+            "def walk(n):\n    return [walk(c) for c in n.children]\n",
+        )
+        assert status == 1
+        assert "no-recursion" in capsys.readouterr().out
+
+    def test_float_equality_in_cost_model_fails(self, tmp_path, capsys):
+        status = self._main_exit(
+            tmp_path,
+            "cost_model.py",
+            "def f(cost):\n    return cost == 1.0\n",
+        )
+        assert status == 1
+        assert "float-equality" in capsys.readouterr().out
+
+    def test_repo_head_is_clean(self):
+        assert main([]) == 0
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        assert "determinism" in capsys.readouterr().out
+
+
+class TestLintShim:
+    def test_cli_fails_on_known_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import os\n\nVALUE = 1\n")
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint.py"), str(bad)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "unused import 'os'" in proc.stdout
+
+    def test_cli_passes_on_clean_file(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("VALUE = 1\n")
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "lint.py"), str(good)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+
+    def test_shim_skips_semantic_rules(self, tmp_path):
+        from tools.lint import check_file
+
+        target = tmp_path / "cost_model.py"
+        target.write_text("def f(x):\n    return x == 0.0\n")
+        assert check_file(target) == []
+
+    def test_check_file_reports_tuples(self, tmp_path):
+        from tools.lint import check_file
+
+        target = tmp_path / "bad.py"
+        target.write_text("import os\n\nVALUE = 1\n")
+        findings = check_file(target)
+        assert findings and findings[0][1] == 1
+        assert "unused import 'os'" in findings[0][2]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.complexity.opt_ted import TEDSolution, ted_cost_curve, ted_optimal_cut
+from repro.complexity.opt_ted import ted_cost_curve, ted_optimal_cut
 from repro.complexity.ted import ElementTree, ted_expected_cost
 
 

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.complexity.mes import MESInstance, mes_best_subset, mes_optimum
+from repro.complexity.mes import MESInstance, mes_optimum
 from repro.complexity.reduction import (
     cut_to_subset,
     mes_to_ted,

@@ -10,18 +10,14 @@ public seam, complementing the per-module suites.
 
 from __future__ import annotations
 
-import io
 import re
 from urllib.parse import urlencode
 
 import pytest
 
 from repro.bionav import BioNav
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.navigation_tree import NavigationTree
-from repro.core.probabilities import ProbabilityModel
 from repro.core.replay import record_session, replay_session
-from repro.core.session import NavigationSession
 from repro.corpus.persistence import load_medline_jsonl, save_medline_jsonl
 from repro.eutils.client import EntrezClient
 from repro.search.evaluator import FieldedEngineAdapter, FieldedSearchEngine

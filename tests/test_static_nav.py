@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.active_tree import ActiveTree
 from repro.core.static_nav import StaticNavigation

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pathlib
 import sys
 
-import pytest
 
 TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent / "tools"
 sys.path.insert(0, str(TOOLS_DIR))

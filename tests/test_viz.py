@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.active_tree import ActiveTree
 from repro.viz.render import render_active_tree, render_navigation_tree, render_rows

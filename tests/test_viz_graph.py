@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 
 from repro.core.active_tree import ActiveTree
 from repro.core.static_nav import StaticNavigation

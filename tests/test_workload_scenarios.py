@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workload.scenarios import SCENARIOS, build_scenario, scenario_names
+from repro.workload.scenarios import build_scenario, scenario_names
 
 
 class TestScenarioRegistry:

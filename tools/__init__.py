@@ -1,0 +1,1 @@
+"""Repository tooling: lint shim, static analyzer, docs generator."""

@@ -1,0 +1,10 @@
+"""``python -m tools.analyzer`` — run the static-analysis gate."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.analyzer.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

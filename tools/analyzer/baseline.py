@@ -1,0 +1,69 @@
+"""Committed-baseline support for grandfathered findings.
+
+The baseline maps finding fingerprints (``rule::path::message``, line
+numbers excluded so unrelated edits do not invalidate entries) to the
+number of occurrences tolerated in that file.  ``make analyze`` fails
+only on findings *beyond* the baseline, so the gate can be introduced —
+and kept strict — without first fixing every historic defect.  Fixing a
+baselined finding and regenerating (``make baseline``) shrinks the file;
+it never grows silently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from tools.analyzer.core import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline", "apply_baseline"]
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> tolerated count; empty when no baseline exists."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            "unsupported baseline version %r in %s" % (data.get("version"), path)
+        )
+    findings = data.get("findings", {})
+    return {str(key): int(count) for key, count in findings.items()}
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Overwrite ``path`` so every current finding is grandfathered."""
+    counts = Counter(finding.key for finding in findings)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[str]]:
+    """Split findings into (new, stale-baseline-keys).
+
+    Per fingerprint, the first ``baseline[key]`` occurrences (lowest line
+    numbers first) are absorbed; the excess is new.  Baseline keys with no
+    remaining occurrences are reported as stale so the file can shrink.
+    """
+    by_key: Dict[str, List[Finding]] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        by_key.setdefault(finding.key, []).append(finding)
+    fresh: List[Finding] = []
+    for key, group in by_key.items():
+        tolerated = baseline.get(key, 0)
+        fresh.extend(group[tolerated:])
+    stale = sorted(key for key in baseline if key not in by_key)
+    fresh.sort(key=lambda f: (f.path, f.line, f.rule))
+    return fresh, stale

@@ -1,0 +1,207 @@
+"""Framework primitives: findings, rules, the registry, and the index.
+
+A :class:`Rule` sees one parsed module at a time plus the whole-project
+:class:`ProjectIndex` built by the first pass, and returns
+:class:`Finding` objects.  Rules self-register via the :func:`register`
+decorator so adding one is a single import in ``tools.analyzer.rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Rule",
+    "register",
+    "all_rules",
+]
+
+# Both severities fail the gate on new findings; the label records how
+# dangerous a violation is (errors break solver invariants, warnings are
+# hygiene defects).
+SEVERITIES = ("error", "warning")
+
+# Inline suppression: ``# repro: ignore[rule-id]`` (comma-separated ids,
+# or ``*`` for every rule) on the flagged line.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_\-*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str  # repo-relative posix path (or absolute for external targets)
+    line: int
+    message: str
+    severity: str = "warning"
+
+    @property
+    def key(self) -> str:
+        """Line-insensitive fingerprint used for baseline matching.
+
+        Line numbers churn with unrelated edits, so grandfathered
+        findings are identified by (rule, file, message) instead.
+        """
+        return "%s::%s::%s" % (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        """The canonical single-line text form."""
+        return "%s:%d: [%s] %s: %s" % (
+            self.path,
+            self.line,
+            self.severity,
+            self.rule,
+            self.message,
+        )
+
+
+class ModuleInfo:
+    """One parsed target file: source, AST, and inline suppressions."""
+
+    def __init__(self, path: Path, rel: str, source: str, tree: Optional[ast.Module]):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = tree  # None when the file failed to parse
+        self.lines = source.splitlines()
+        #: line number -> rule ids suppressed on that line ("*" = all)
+        self.suppressions: Dict[int, Set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                self.suppressions[number] = {i for i in ids if i}
+
+    @property
+    def parts(self) -> Sequence[str]:
+        """Path components of the repo-relative path."""
+        return tuple(self.rel.split("/"))
+
+    @property
+    def name(self) -> str:
+        """File basename (e.g. ``opt_edgecut.py``)."""
+        return self.parts[-1]
+
+    def exported_names(self) -> Set[str]:
+        """Names the module lists in a top-level ``__all__``."""
+        if self.tree is None:
+            return set()
+        exported: Set[str] = set()
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if "__all__" in targets and isinstance(
+                    node.value, (ast.List, ast.Tuple)
+                ):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            exported.add(element.value)
+        return exported
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when the finding's line carries a matching suppression."""
+        ids = self.suppressions.get(finding.line)
+        if not ids:
+            return False
+        return "*" in ids or finding.rule in ids
+
+
+@dataclass
+class ProjectIndex:
+    """Pass-1 product: every parsed module, addressable by relative path."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def add(self, info: ModuleInfo) -> None:
+        """Register one parsed module."""
+        self.modules[info.rel] = info
+
+    def __iter__(self):
+        return iter(self.modules.values())
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+
+class Rule:
+    """Base class for one analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        id: stable kebab-case identifier (used in suppressions/baseline).
+        severity: ``"error"`` or ``"warning"``.
+        lint_level: lint-level rules also run on ``tests/`` and
+            ``examples/``; semantic (solver-invariant) rules do not.
+        description: one-line catalog entry for ``--list-rules``.
+    """
+
+    id: str = ""
+    severity: str = "warning"
+    lint_level: bool = False
+    description: str = ""
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        """Whether this rule runs on ``module`` (default: every module)."""
+        return True
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        """Analyze one module; return all violations found."""
+        raise NotImplementedError
+
+    # Convenience -------------------------------------------------------
+    def finding(self, module: ModuleInfo, line: int, message: str) -> Finding:
+        """Build a Finding for this rule at ``module``:``line``."""
+        return Finding(
+            rule=self.id,
+            path=module.rel,
+            line=line,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by instance) to the global registry."""
+    if not rule_cls.id:
+        raise ValueError("rule %r has no id" % (rule_cls,))
+    if rule_cls.severity not in SEVERITIES:
+        raise ValueError(
+            "rule %s has invalid severity %r" % (rule_cls.id, rule_cls.severity)
+        )
+    if rule_cls.id in _REGISTRY:
+        raise ValueError("duplicate rule id %r" % (rule_cls.id,))
+    _REGISTRY[rule_cls.id] = rule_cls()
+    return rule_cls
+
+
+def all_rules(lint_only: bool = False) -> List[Rule]:
+    """Every registered rule, sorted by id.
+
+    Args:
+        lint_only: restrict to lint-level rules (the ``tools/lint.py``
+            shim and the ``tests/``/``examples/`` targets).
+    """
+    # Importing the rules package triggers registration on first use.
+    from tools.analyzer import rules  # noqa: F401
+
+    selected: Iterable[Rule] = _REGISTRY.values()
+    if lint_only:
+        selected = (rule for rule in selected if rule.lint_level)
+    return sorted(selected, key=lambda rule: rule.id)

@@ -1,0 +1,62 @@
+"""Output formats for analysis runs: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from tools.analyzer.core import Finding
+
+__all__ = ["text_report", "json_report"]
+
+
+def text_report(
+    findings: List[Finding],
+    files_analyzed: int,
+    baselined: int = 0,
+    stale_keys: List[str] | None = None,
+) -> str:
+    """The ``path:line: [severity] rule: message`` listing plus a summary."""
+    lines = [finding.render() for finding in findings]
+    for key in stale_keys or []:
+        lines.append("stale baseline entry (fix was landed): %s" % key)
+    if findings:
+        errors = sum(1 for f in findings if f.severity == "error")
+        lines.append(
+            "analyze: %d finding(s) (%d error(s)) in %d file(s)%s"
+            % (
+                len(findings),
+                errors,
+                files_analyzed,
+                ", %d baselined" % baselined if baselined else "",
+            )
+        )
+    else:
+        suffix = ", %d baselined" % baselined if baselined else ""
+        lines.append("analyze: OK (%d files%s)" % (files_analyzed, suffix))
+    return "\n".join(lines)
+
+
+def json_report(
+    findings: List[Finding],
+    files_analyzed: int,
+    baselined: int = 0,
+    stale_keys: List[str] | None = None,
+) -> str:
+    """A stable JSON document for CI consumers and editor integrations."""
+    payload: Dict[str, object] = {
+        "files_analyzed": files_analyzed,
+        "baselined": baselined,
+        "stale_baseline_keys": list(stale_keys or []),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "severity": f.severity,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,24 @@
+"""Rule modules; importing this package registers every rule.
+
+Lint-level rules (run everywhere, including ``tests/`` and
+``examples/``): ``syntax-error``, ``unused-import``, ``duplicate-import``,
+``star-import``, ``mutable-default``, ``shadowed-builtin``,
+``bare-except``.
+
+Semantic rules (guard solver invariants in ``src/repro``):
+``determinism``, ``no-recursion``, ``float-equality``, ``bitmask-bounds``,
+``missing-hints``.
+"""
+
+from __future__ import annotations
+
+from tools.analyzer.rules import (  # noqa: F401  - imported for registration
+    bitmask,
+    determinism,
+    floats,
+    generic,
+    imports,
+    recursion,
+)
+
+__all__ = ["bitmask", "determinism", "floats", "generic", "imports", "recursion"]

@@ -1,0 +1,113 @@
+"""Bitmask-bounds rule for the Opt-EdgeCut engine.
+
+``opt_edgecut.py`` keys every memo on integer bitmasks whose width is
+bounded by :data:`repro.core.opt_edgecut.MAX_OPT_NODES` — the solver
+refuses larger trees precisely so masks stay machine-word sized and the
+per-node ``1 << index`` shifts stay in range.  Hard-coding a width
+(``x << 16``, ``0xFFFF`` masks, ``len(tree) > 16`` caps) re-introduces
+the magic number in a place the constant no longer controls; bumping
+``MAX_OPT_NODES`` would then corrupt masks silently.
+
+Flagged, anywhere in a module named ``opt_edgecut.py``:
+
+* a shift whose amount is a literal integer (bit positions must come
+  from node indices, which the ``MAX_OPT_NODES`` cap bounds);
+* an integer literal wider than ``MAX_OPT_NODES`` bits used in a bitwise
+  operation (a hand-written mask);
+* a size-cap comparison against a literal (``len(...) > 16``) instead of
+  the constant / a parameter defaulting to it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+__all__ = ["BitmaskBoundsRule"]
+
+# Mirrors repro.core.opt_edgecut.MAX_OPT_NODES; the analyzer must not
+# import solver code (it runs on broken trees too), so the width is
+# pinned here and cross-checked by tests/test_analyzer.py.
+MAX_OPT_NODES = 16
+
+_BITWISE_OPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.LShift, ast.RShift)
+
+
+def _literal_int(node: ast.expr):
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    return None
+
+
+@register
+class BitmaskBoundsRule(Rule):
+    """Hard-coded widths/masks bypassing the MAX_OPT_NODES constant."""
+
+    id = "bitmask-bounds"
+    severity = "error"
+    lint_level = False
+    description = "bit width or mask not routed through MAX_OPT_NODES"
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.name == "opt_edgecut.py"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.LShift, ast.RShift)
+            ):
+                amount = _literal_int(node.right)
+                if amount is not None:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "shift by literal %d; bit positions must be node "
+                            "indices bounded by MAX_OPT_NODES" % amount,
+                        )
+                    )
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _BITWISE_OPS):
+                for side in (node.left, node.right):
+                    value = _literal_int(side)
+                    if value is not None and abs(value) >= (1 << MAX_OPT_NODES):
+                        findings.append(
+                            self.finding(
+                                module,
+                                side.lineno,
+                                "hand-written mask literal %#x; derive masks "
+                                "from MAX_OPT_NODES" % value,
+                            )
+                        )
+            if isinstance(node, ast.Compare):
+                left_is_len = (
+                    isinstance(node.left, ast.Call)
+                    and isinstance(node.left.func, ast.Name)
+                    and node.left.func.id == "len"
+                )
+                if left_is_len:
+                    for op, comparator in zip(node.ops, node.comparators):
+                        if not isinstance(op, (ast.Gt, ast.GtE, ast.Lt, ast.LtE)):
+                            continue
+                        value = _literal_int(comparator)
+                        if value is not None and value > 1:
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    node.lineno,
+                                    "size cap compared against literal %d; route "
+                                    "it through MAX_OPT_NODES" % value,
+                                )
+                            )
+        return findings

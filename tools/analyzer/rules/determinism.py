@@ -1,0 +1,216 @@
+"""Determinism rule: unordered set iteration on solver-facing paths.
+
+The Opt-EdgeCut engines must be bit-identical to each other and
+run-to-run reproducible; the cost model's optimality argument (and the
+tree-search literature it builds on) assumes a fixed enumeration order.
+Iterating a ``set``/``frozenset`` breaks that: CPython's set order is a
+hashing accident, so any float summation, list construction, or memo
+insertion driven by it can differ between equal inputs.  The fix is
+``sorted(...)`` at the iteration site.
+
+Scope: modules under ``core``/``complexity`` directories (the solver and
+the complexity reductions).  Order-*insensitive* consumptions — feeding a
+``set``/``frozenset``/``sorted``/``len``/``min``/``max``/``any``/``all``
+— are not flagged; set- and dict-comprehensions are likewise exempt
+because their results are themselves unordered or used as mappings.
+Genuinely order-free loops (pure set unions, bitmask ORs) carry a
+``# repro: ignore[determinism]`` suppression at the site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+__all__ = ["DeterminismRule"]
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_ANNOTATIONS = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+}
+# Consuming a set through these builtins is order-insensitive.
+_ORDER_FREE_CALLS = {"set", "frozenset", "sorted", "len", "min", "max", "any", "all"}
+# These materialize or fold the iteration order into the result.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "sum", "enumerate"}
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """True when an annotation names a set type (possibly subscripted)."""
+    if annotation is None:
+        return False
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id in _SET_ANNOTATIONS
+    if isinstance(target, ast.Attribute):
+        return target.attr in _SET_ANNOTATIONS
+    if isinstance(target, ast.Constant) and isinstance(target.value, str):
+        # Quoted annotation: "FrozenSet[int]" etc.
+        head = target.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+    return False
+
+
+class _ScopeTracker(ast.NodeVisitor):
+    """Walks the module tracking which local names are set-typed."""
+
+    def __init__(self, rule: "DeterminismRule", module: ModuleInfo) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+        # Stack of per-scope sets of set-typed names; module scope first.
+        self.scopes: List[Set[str]] = [set()]
+
+    # -- scope bookkeeping ---------------------------------------------
+    def _is_set_name(self, name: str) -> bool:
+        return any(name in scope for scope in reversed(self.scopes))
+
+    def _bind(self, name: str) -> None:
+        self.scopes[-1].add(name)
+
+    def _unbind(self, name: str) -> None:
+        self.scopes[-1].discard(name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node) -> None:
+        self.scopes.append(set())
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if _annotation_is_set(arg.annotation):
+                self._bind(arg.arg)
+        for child in node.body:
+            self.visit(child)
+        self.scopes.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        setlike = self._is_setlike(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if setlike:
+                    self._bind(target.id)
+                else:
+                    self._unbind(target.id)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None and self._is_setlike(node.value)
+            ):
+                self._bind(node.target.id)
+            else:
+                self._unbind(node.target.id)
+        if node.value is not None:
+            self.visit(node.value)
+
+    # -- set-likeness --------------------------------------------------
+    def _is_setlike(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in _SET_CONSTRUCTORS:
+                return True
+        if isinstance(node, ast.Name):
+            return self._is_set_name(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_setlike(node.left) or self._is_setlike(node.right)
+        return False
+
+    # -- flagged contexts ----------------------------------------------
+    def _flag(self, node: ast.expr, context: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.module,
+                node.lineno,
+                "unordered set iteration feeds %s; wrap it in sorted(...)" % context,
+            )
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_setlike(node.iter):
+            self._flag(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node, context: str) -> None:
+        for generator in node.generators:
+            if self._is_setlike(generator.iter):
+                self._flag(generator.iter, context)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, "a list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node, "a generator expression")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # The result is itself unordered; only recurse for nested cases.
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # Dict results are consumed as mappings here; key order unused.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        if func_name in _ORDER_FREE_CALLS:
+            # sorted(s)/len(s)/... — skip the argument expressions
+            # themselves, but still visit nested lambdas/keys.
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    # sorted(f(x) for x in s): result order is imposed by
+                    # the wrapper, so the inner set iteration is fine.
+                    continue
+                self.visit(arg)
+            for keyword in node.keywords:
+                self.visit(keyword.value)
+            return
+        if func_name in _ORDER_SENSITIVE_CALLS:
+            for arg in node.args:
+                if self._is_setlike(arg):
+                    self._flag(arg, "%s(...)" % func_name)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and self._is_setlike(node.args[0])
+        ):
+            self._flag(node.args[0], "str.join")
+        self.generic_visit(node)
+
+
+@register
+class DeterminismRule(Rule):
+    """Unordered set iteration on enumeration/memo/output paths."""
+
+    id = "determinism"
+    severity = "error"
+    lint_level = False
+    description = "set iteration order leaks into solver output"
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return "core" in module.parts or "complexity" in module.parts
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        tracker = _ScopeTracker(self, module)
+        tracker.visit(module.tree)
+        return tracker.findings

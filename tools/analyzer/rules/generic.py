@@ -1,0 +1,252 @@
+"""Generic hygiene rules: mutable defaults, shadowed builtins, bare
+``except``, and missing type hints on the public ``repro`` API."""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import List, Set
+
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+__all__ = [
+    "MutableDefaultRule",
+    "ShadowedBuiltinRule",
+    "BareExceptRule",
+    "MissingHintsRule",
+]
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _function_defs(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, _FunctionNode):
+            yield node
+
+
+@register
+class MutableDefaultRule(Rule):
+    """A mutable literal (or ``list``/``dict``/``set`` call) as a default.
+
+    Default values are evaluated once at definition time and shared
+    across every call — mutating one silently leaks state between calls.
+    """
+
+    id = "mutable-default"
+    severity = "error"
+    lint_level = True
+    description = "mutable default argument shared across calls"
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"list", "dict", "set", "bytearray"}
+        return False
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        findings = []
+        for func in _function_defs(module.tree):
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    findings.append(
+                        self.finding(
+                            module,
+                            default.lineno,
+                            "mutable default argument in '%s'" % func.name,
+                        )
+                    )
+        return findings
+
+
+@register
+class ShadowedBuiltinRule(Rule):
+    """A parameter, assignment, or definition reusing a builtin name.
+
+    Shadowing ``list``/``id``/``type`` makes later code in the scope
+    subtly wrong and defeats readers' expectations.  Class attributes
+    are exempt: ``Foo.id`` lives in the class namespace and does not
+    shadow the builtin for any lookup outside the class body.
+    """
+
+    id = "shadowed-builtin"
+    severity = "warning"
+    lint_level = True
+    description = "name shadows a Python builtin"
+
+    # Only the builtins that realistically get shadowed by accident;
+    # flagging every builtin (e.g. ``license``) would be noise.
+    _WATCHED: Set[str] = {
+        "list", "dict", "set", "tuple", "str", "int", "float", "bool",
+        "bytes", "id", "type", "input", "filter", "map", "sum", "min",
+        "max", "len", "hash", "next", "iter", "range", "all", "any",
+        "object", "format", "vars", "sorted", "print", "open",
+    }
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        findings: List[Finding] = []
+        watched = self._WATCHED & set(dir(builtins))
+        # Target Name nodes of direct class-body assignments (by identity):
+        # those are class attributes, not scope shadows.
+        class_attrs = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for statement in node.body:
+                if isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            class_attrs.add(id(target))
+                elif isinstance(statement, ast.AnnAssign):
+                    if isinstance(statement.target, ast.Name):
+                        class_attrs.add(id(statement.target))
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FunctionNode + (ast.ClassDef,)):
+                if node.name in watched:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "definition '%s' shadows a builtin" % node.name,
+                        )
+                    )
+                if isinstance(node, _FunctionNode):
+                    args = node.args
+                    every = (
+                        args.posonlyargs + args.args + args.kwonlyargs
+                        + ([args.vararg] if args.vararg else [])
+                        + ([args.kwarg] if args.kwarg else [])
+                    )
+                    for arg in every:
+                        if arg.arg in watched:
+                            findings.append(
+                                self.finding(
+                                    module,
+                                    arg.lineno,
+                                    "parameter '%s' shadows a builtin" % arg.arg,
+                                )
+                            )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in watched and id(node) not in class_attrs:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.lineno,
+                            "assignment to '%s' shadows a builtin" % node.id,
+                        )
+                    )
+        return findings
+
+
+@register
+class BareExceptRule(Rule):
+    """``except:`` catches ``KeyboardInterrupt``/``SystemExit`` too.
+
+    Catch ``Exception`` (or something narrower) so operator interrupts
+    and deliberate exits still propagate.
+    """
+
+    id = "bare-except"
+    severity = "error"
+    lint_level = True
+    description = "bare except swallows interrupts and exits"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        return [
+            self.finding(module, node.lineno, "bare 'except:' clause")
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+@register
+class MissingHintsRule(Rule):
+    """Public ``repro`` API without complete type annotations.
+
+    Applies to top-level functions listed in a module's ``__all__`` and
+    the public methods of ``__all__``-exported classes: every parameter
+    (self/cls aside) must be annotated, and — except ``__init__`` —
+    so must the return type.  Typed signatures are what lets the other
+    semantic rules (and readers) reason about set-typed values.
+    """
+
+    id = "missing-hints"
+    severity = "warning"
+    lint_level = False
+    description = "public API function missing type hints"
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return "repro" in module.parts
+
+    def _check_signature(
+        self, module: ModuleInfo, func, owner: str, skip_first: bool
+    ) -> List[Finding]:
+        findings = []
+        args = func.args
+        positional = args.posonlyargs + args.args
+        if skip_first and positional:
+            positional = positional[1:]
+        for arg in positional + args.kwonlyargs:
+            if arg.annotation is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        func.lineno,
+                        "parameter '%s' of %s lacks a type hint" % (arg.arg, owner),
+                    )
+                )
+        if func.returns is None and func.name != "__init__":
+            findings.append(
+                self.finding(
+                    module, func.lineno, "%s lacks a return type hint" % owner
+                )
+            )
+        return findings
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        exported = module.exported_names()
+        if not exported:
+            return []
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, _FunctionNode) and node.name in exported:
+                findings.extend(
+                    self._check_signature(module, node, node.name, skip_first=False)
+                )
+            elif isinstance(node, ast.ClassDef) and node.name in exported:
+                for member in node.body:
+                    if not isinstance(member, _FunctionNode):
+                        continue
+                    if member.name.startswith("_") and member.name != "__init__":
+                        continue
+                    decorators = {
+                        d.id for d in member.decorator_list if isinstance(d, ast.Name)
+                    }
+                    skip_first = "staticmethod" not in decorators
+                    owner = "%s.%s" % (node.name, member.name)
+                    if "property" in decorators and member.returns is None:
+                        findings.append(
+                            self.finding(
+                                module,
+                                member.lineno,
+                                "%s lacks a return type hint" % owner,
+                            )
+                        )
+                        continue
+                    findings.extend(
+                        self._check_signature(module, member, owner, skip_first)
+                    )
+        return findings

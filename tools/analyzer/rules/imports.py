@@ -1,0 +1,193 @@
+"""Import hygiene rules, ported from the original ``tools/lint.py``.
+
+These are the defect classes this repo has actually shipped: unused
+imports, duplicate module-level imports, and ``import *``.  A
+``syntax-error`` pseudo-rule reports files the index pass could not
+parse (every other rule skips those).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+__all__ = ["SyntaxErrorRule", "UnusedImportRule", "DuplicateImportRule", "StarImportRule"]
+
+
+@register
+class SyntaxErrorRule(Rule):
+    """Report files that do not parse (recorded by the index pass)."""
+
+    id = "syntax-error"
+    severity = "error"
+    lint_level = True
+    description = "file does not parse as Python"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is not None:
+            return []
+        # The index pass stores the SyntaxError message on the module.
+        line, message = getattr(module, "syntax_error", (0, "invalid syntax"))
+        return [self.finding(module, line, "syntax error: %s" % message)]
+
+
+class _ImportScan(ast.NodeVisitor):
+    """Collects imported bindings and every name the module loads."""
+
+    def __init__(self) -> None:
+        # (binding, line, display name) in source order.
+        self.imports: List[Tuple[str, int, str]] = []
+        self.used: Set[str] = set()
+        self.star_imports: List[int] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            binding = alias.asname or alias.name.split(".")[0]
+            self.imports.append((binding, node.lineno, alias.name))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return  # future statements are directives, not bindings
+        for alias in node.names:
+            if alias.name == "*":
+                self.star_imports.append(node.lineno)
+                continue
+            binding = alias.asname or alias.name
+            self.imports.append((binding, node.lineno, alias.name))
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+
+def _string_uses(tree: ast.Module) -> Set[str]:
+    """Identifier-shaped tokens inside string constants.
+
+    With ``from __future__ import annotations`` every annotation is a
+    string at runtime; conservatively scanning all string constants keeps
+    typing-only imports (TYPE_CHECKING blocks, quoted annotations) from
+    being flagged.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            cleaned = node.value
+            for char in "[],.\"'()|":
+                cleaned = cleaned.replace(char, " ")
+            for token in cleaned.split():
+                if token.isidentifier():
+                    names.add(token)
+    return names
+
+
+def _annotation_uses(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        annotation = getattr(node, "annotation", None)
+        if annotation is not None:
+            for sub in ast.walk(annotation):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        returns = getattr(node, "returns", None)
+        if returns is not None:
+            for sub in ast.walk(returns):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+def _scan(module: ModuleInfo) -> Tuple[_ImportScan, Set[str]]:
+    scanner = _ImportScan()
+    scanner.visit(module.tree)
+    used = (
+        scanner.used
+        | _annotation_uses(module.tree)
+        | _string_uses(module.tree)
+        | module.exported_names()
+    )
+    return scanner, used
+
+
+@register
+class UnusedImportRule(Rule):
+    """An import binding never loaded anywhere in the module."""
+
+    id = "unused-import"
+    severity = "warning"
+    lint_level = True
+    description = "imported name is never used"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        if module.name == "__init__.py":
+            # Packages import to re-export; presence is the point.
+            return []
+        scanner, used = _scan(module)
+        findings = []
+        for binding, line, display in scanner.imports:
+            if binding == "_" or binding.startswith("__"):
+                continue
+            if binding not in used:
+                findings.append(
+                    self.finding(module, line, "unused import '%s'" % display)
+                )
+        return findings
+
+
+@register
+class DuplicateImportRule(Rule):
+    """The same binding imported twice at module level.
+
+    Function-local re-imports are the standard lazy-import pattern and
+    are not flagged.
+    """
+
+    id = "duplicate-import"
+    severity = "warning"
+    lint_level = True
+    description = "same name imported twice at module level"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        findings = []
+        top_level: Set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                names = [a.asname or a.name.split(".")[0] for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module != "__future__":
+                names = [a.asname or a.name for a in node.names if a.name != "*"]
+            else:
+                continue
+            for name in names:
+                if name in top_level:
+                    findings.append(
+                        self.finding(
+                            module, node.lineno, "duplicate import '%s'" % name
+                        )
+                    )
+                top_level.add(name)
+        return findings
+
+
+@register
+class StarImportRule(Rule):
+    """``from x import *`` defeats the unused-import analysis entirely."""
+
+    id = "star-import"
+    severity = "warning"
+    lint_level = True
+    description = "star import hides unused names"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        scanner = _ImportScan()
+        scanner.visit(module.tree)
+        return [
+            self.finding(module, line, "star import hides unused names")
+            for line in scanner.star_imports
+        ]

@@ -1,0 +1,199 @@
+"""Analysis driver: file collection, the multi-pass loop, and the CLI.
+
+Pass 1 parses every target file into the :class:`ProjectIndex`; pass 2
+runs each registered rule over the modules its scope matches; pass 3
+drops suppressed findings and subtracts the committed baseline.  The
+process exits non-zero when any unbaselined finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from tools.analyzer.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, all_rules
+from tools.analyzer.reporters import json_report, text_report
+
+__all__ = ["REPO_ROOT", "DEFAULT_TARGETS", "LINT_ONLY_DIRS", "analyze", "main"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Everything the gate watches.  ``tests``/``examples`` get lint-level
+#: rules only (see LINT_ONLY_DIRS); the rest gets the full rule set.
+DEFAULT_TARGETS = ("src/repro", "tools", "benchmarks", "tests", "examples")
+
+#: Directory names whose files only receive lint-level rules — test and
+#: example code may legitimately recurse, compare floats, etc.
+LINT_ONLY_DIRS = {"tests", "examples", "benchmarks"}
+
+
+def _python_files(targets: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for target in targets:
+        if target.is_file() and target.suffix == ".py":
+            files.append(target)
+        elif target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+    return files
+
+
+def _relative(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:  # explicit targets outside the repo (tests, CI)
+        return path.resolve().as_posix()
+
+
+def _index(files: List[Path]) -> ProjectIndex:
+    """Pass 1: parse every file once; record syntax errors on the module."""
+    index = ProjectIndex()
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        rel = _relative(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+            info = ModuleInfo(path, rel, source, tree)
+        except SyntaxError as exc:
+            info = ModuleInfo(path, rel, source, None)
+            info.syntax_error = (exc.lineno or 0, exc.msg or "invalid syntax")
+        index.add(info)
+    return index
+
+
+def _lint_only_module(info: ModuleInfo) -> bool:
+    return any(part in LINT_ONLY_DIRS for part in info.parts[:-1])
+
+
+def analyze(
+    paths: Optional[Iterable[str]] = None,
+    lint_only: bool = False,
+    baseline_path: Optional[Path] = None,
+) -> Tuple[List[Finding], ProjectIndex, int, List[str]]:
+    """Run the full pipeline over ``paths`` (default: the repo targets).
+
+    Args:
+        paths: files/directories to analyze; relative paths resolve
+            against the repo root.
+        lint_only: restrict to lint-level rules (the ``tools/lint.py``
+            compatibility surface).
+        baseline_path: baseline file to subtract; ``None`` uses the
+            committed default, and a missing file means an empty baseline.
+
+    Returns:
+        (new findings, project index, baselined-finding count,
+        stale baseline keys).
+    """
+    targets = [
+        (REPO_ROOT / p) if not Path(p).is_absolute() else Path(p)
+        for p in (list(paths) if paths else list(DEFAULT_TARGETS))
+    ]
+    index = _index(_python_files(targets))
+    rules = all_rules(lint_only=lint_only)
+    findings: List[Finding] = []
+    for info in index:
+        for rule in rules:
+            if not rule.lint_level and _lint_only_module(info):
+                continue
+            if not rule.applies_to(info):
+                continue
+            for finding in rule.check(info, index):
+                if not info.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    baseline = load_baseline(baseline_path or DEFAULT_BASELINE)
+    fresh, stale = apply_baseline(findings, baseline)
+    return fresh, index, len(findings) - len(fresh), stale
+
+
+def _list_rules() -> str:
+    lines = ["rule catalog:"]
+    for rule in all_rules():
+        level = "lint" if rule.lint_level else "semantic"
+        lines.append(
+            "  %-18s %-8s %-9s %s" % (rule.id, rule.severity, level, rule.description)
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Rule-based static analysis gate for this repository.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files/directories (default: repo targets)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--lint-only",
+        action="store_true",
+        help="run only the lint-level rules (tools/lint.py surface)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: tools/analyzer/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    baseline_path = options.baseline or DEFAULT_BASELINE
+    if options.no_baseline:
+        # Point the subtraction at a guaranteed-missing file.
+        baseline_path = baseline_path.with_suffix(".disabled.json")
+
+    fresh, index, baselined, stale = analyze(
+        paths=options.paths or None,
+        lint_only=options.lint_only,
+        baseline_path=baseline_path,
+    )
+    if len(index) == 0:
+        print("analyze: no python files matched the targets", file=sys.stderr)
+        return 1
+
+    if options.write_baseline:
+        # Re-run unbaselined so the file captures the complete picture.
+        everything, _, _, _ = analyze(
+            paths=options.paths or None,
+            lint_only=options.lint_only,
+            baseline_path=baseline_path.with_suffix(".disabled.json"),
+        )
+        write_baseline(options.baseline or DEFAULT_BASELINE, everything)
+        print(
+            "analyze: baseline written with %d finding(s) to %s"
+            % (len(everything), options.baseline or DEFAULT_BASELINE)
+        )
+        return 0
+
+    reporter = json_report if options.fmt == "json" else text_report
+    print(reporter(fresh, len(index), baselined, stale))
+    return 1 if fresh else 0

@@ -1,212 +1,47 @@
 #!/usr/bin/env python
-"""Static lint for the repro source tree.
+"""Compatibility shim: the legacy lint CLI over ``tools.analyzer``.
 
-Prefers ``pyflakes`` (or ``ruff``) when installed; otherwise falls back to
-a built-in AST pass that catches the defect classes this repo has actually
-shipped: unused imports, duplicate imports, and ``import *``.  The
-fallback keeps ``make lint`` meaningful in the hermetic CI container,
-where neither external linter is available.
-
-Usage:
-    python tools/lint.py [paths...]     # default: src/repro tools benchmarks
+Historically this file carried its own AST checks (unused imports,
+duplicate imports, ``import *``).  Those checks now live in the
+``tools/analyzer`` rule framework alongside the repo's semantic solver
+rules; this shim keeps the old entry point (``python tools/lint.py
+[paths...]``, ``make lint``) working by running the lint-level rule
+subset.  Use ``python -m tools.analyzer`` (``make analyze``) for the
+full gate including the determinism/recursion/float/bitmask rules.
 
 Exit status is non-zero when any finding is reported.
 """
 
 from __future__ import annotations
 
-import ast
-import subprocess
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_TARGETS = ("src/repro", "tools", "benchmarks")
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analyzer import DEFAULT_TARGETS, analyze  # noqa: E402
+from tools.analyzer.runner import main as _analyzer_main  # noqa: E402
 
 Finding = Tuple[Path, int, str]
 
 
-def _python_files(targets: Iterable[Path]) -> List[Path]:
-    files: List[Path] = []
-    for target in targets:
-        if target.is_file() and target.suffix == ".py":
-            files.append(target)
-        elif target.is_dir():
-            files.extend(sorted(target.rglob("*.py")))
-    return files
-
-
-class _ImportChecker(ast.NodeVisitor):
-    """Collects imported names and every name the module actually uses."""
-
-    def __init__(self) -> None:
-        # binding name -> (line, display name), first occurrence wins
-        self.imports: List[Tuple[str, int, str]] = []
-        self.used: set = set()
-        self.star_imports: List[int] = []
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            binding = alias.asname or alias.name.split(".")[0]
-            self.imports.append((binding, node.lineno, alias.name))
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "__future__":
-            return  # future statements are directives, not bindings
-        for alias in node.names:
-            if alias.name == "*":
-                self.star_imports.append(node.lineno)
-                continue
-            binding = alias.asname or alias.name
-            self.imports.append((binding, node.lineno, alias.name))
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if isinstance(node.ctx, ast.Load):
-            self.used.add(node.id)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        self.generic_visit(node)
-
-
-def _string_uses(tree: ast.Module) -> set:
-    """Names referenced from string annotations/docstring-free strings.
-
-    With ``from __future__ import annotations`` every annotation is a
-    string at runtime; a conservative scan of every string constant keeps
-    typing-only imports (``TYPE_CHECKING`` blocks, quoted annotations)
-    from being flagged.
-    """
-    names: set = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            for token in (
-                node.value.replace("[", " ")
-                .replace("]", " ")
-                .replace(",", " ")
-                .replace(".", " ")
-                .replace('"', " ")
-                .replace("'", " ")
-                .split()
-            ):
-                if token.isidentifier():
-                    names.add(token)
-    return names
-
-
-def _annotation_uses(tree: ast.Module) -> set:
-    names: set = set()
-    for node in ast.walk(tree):
-        annotation = getattr(node, "annotation", None)
-        if annotation is not None:
-            for sub in ast.walk(annotation):
-                if isinstance(sub, ast.Name):
-                    names.add(sub.id)
-        returns = getattr(node, "returns", None)
-        if returns is not None:
-            for sub in ast.walk(returns):
-                if isinstance(sub, ast.Name):
-                    names.add(sub.id)
-    return names
-
-
 def check_file(path: Path) -> List[Finding]:
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [(path, exc.lineno or 0, "syntax error: %s" % exc.msg)]
-    checker = _ImportChecker()
-    checker.visit(tree)
-    findings: List[Finding] = []
-    for line in checker.star_imports:
-        findings.append((path, line, "star import hides unused names"))
-    # __all__ re-exports count as uses (package __init__ modules).
-    exported: set = set()
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
-                for element in node.value.elts:
-                    if isinstance(element, ast.Constant) and isinstance(
-                        element.value, str
-                    ):
-                        exported.add(element.value)
-    used = checker.used | _annotation_uses(tree) | _string_uses(tree) | exported
-    # Duplicate detection covers module level only — re-importing inside a
-    # function is the standard lazy-import pattern, not a defect.
-    top_level: set = set()
-    for node in tree.body:
-        if isinstance(node, ast.Import):
-            names = [a.asname or a.name.split(".")[0] for a in node.names]
-        elif isinstance(node, ast.ImportFrom) and node.module != "__future__":
-            names = [a.asname or a.name for a in node.names if a.name != "*"]
-        else:
-            continue
-        for name in names:
-            if name in top_level:
-                findings.append(
-                    (path, node.lineno, "duplicate import '%s'" % name)
-                )
-            top_level.add(name)
-    for binding, line, display in checker.imports:
-        if binding == "_" or binding.startswith("__"):
-            continue
-        if path.name == "__init__.py":
-            # Packages import to re-export; presence is the point.
-            continue
-        if binding not in used:
-            findings.append((path, line, "unused import '%s'" % display))
-    return findings
+    """Legacy API: lint-level findings for one file as (path, line, msg).
+
+    Retained for callers of the pre-framework module; new code should use
+    :func:`tools.analyzer.analyze` directly.
+    """
+    findings, _, _, _ = analyze(paths=[str(path)], lint_only=True)
+    return [(Path(f.path), f.line, f.message) for f in findings]
 
 
-def _external_linter(files: List[Path]) -> "int | None":
-    """Run pyflakes (or ruff) when installed; None when neither is."""
-    try:
-        import pyflakes  # noqa: F401 - availability probe
-
-        proc = subprocess.run(
-            [sys.executable, "-m", "pyflakes"] + [str(f) for f in files],
-            cwd=REPO_ROOT,
-        )
-        return proc.returncode
-    except ImportError:
-        pass
-    try:
-        proc = subprocess.run(
-            ["ruff", "check"] + [str(f) for f in files], cwd=REPO_ROOT
-        )
-        return proc.returncode
-    except OSError:
-        return None
-
-
-def main(argv: List[str]) -> int:
-    targets = [
-        (REPO_ROOT / arg) if not Path(arg).is_absolute() else Path(arg)
-        for arg in (argv or list(DEFAULT_TARGETS))
-    ]
-    files = _python_files(targets)
-    if not files:
-        print("lint: no python files under %s" % ", ".join(map(str, targets)))
-        return 1
-    external = _external_linter(files)
-    if external is not None:
-        return external
-    findings: List[Finding] = []
-    for path in files:
-        findings.extend(check_file(path))
-    for path, line, message in findings:
-        try:
-            shown = path.relative_to(REPO_ROOT)
-        except ValueError:  # explicit targets outside the repo
-            shown = path
-        print("%s:%d: %s" % (shown, line, message))
-    if findings:
-        print("lint: %d finding(s) in %d files" % (len(findings), len(files)))
-        return 1
-    print("lint: OK (%d files)" % len(files))
-    return 0
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the lint-level rules over ``argv`` paths (default: repo targets)."""
+    paths = list(argv) if argv else list(DEFAULT_TARGETS)
+    return _analyzer_main(["--lint-only"] + paths)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze baseline bench bench-tables bench-smoke examples docs demo clean
+.PHONY: install test lint analyze baseline bench bench-tables bench-smoke serve-bench bench-serving examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,16 @@ bench-tables:
 # the opt-engine speedup gate (writes BENCH_opt_engine.json).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py -q
+
+# Serving-runtime load smoke for CI: reduced client fleet, asserts the
+# no-shed / no-lost-session invariants (skips the throughput gate).
+serve-bench:
+	SERVE_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_serving.py -q
+
+# Full serving load bench: gates 1 -> 4 worker throughput scaling and
+# rewrites BENCH_serving.json.
+bench-serving:
+	$(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
 examples:
 	@for script in examples/*.py; do \

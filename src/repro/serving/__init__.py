@@ -1,0 +1,63 @@
+"""Concurrent serving runtime for the BioNav web deployment (paper §VII).
+
+The paper's system is a multi-user web application, but the substrate
+modules (`repro.web.app`, `repro.storage.cache`, the shared
+Heuristic-ReducedOpt decision cache, `repro.analysis.runtime.SolverProfile`)
+are single-threaded shared state.  This package supplies the runtime that
+makes them safe to drive from many threads at once:
+
+* :mod:`repro.serving.concurrency` — a locked LRU cache whose
+  ``get_or_create`` is **single-flight** (concurrent misses on one query
+  build the navigation tree exactly once) and an atomic wrapper around
+  :class:`~repro.analysis.runtime.SolverProfile`.
+* :mod:`repro.serving.sessions` — a bounded session registry handing out
+  per-session locks, so interleaved EXPAND/BACKTRACK on one session stay
+  serializable, and distinguishing *expired* sessions from unknown ones.
+* :mod:`repro.serving.admission` — bounded admission with load shedding
+  (503 + ``Retry-After`` instead of an unbounded queue) and per-request
+  deadlines.
+* :mod:`repro.serving.dispatcher` — the ``ThreadPoolExecutor``-backed
+  worker pool the admission controller guards.
+* :mod:`repro.serving.runtime` — the :class:`ServingRuntime` facade the
+  web layer mounts; every user action becomes a dispatched, lock-correct
+  operation returning plain view data.
+
+Locking discipline in this package is machine-checked by the
+``lock-discipline`` analyzer rule (``tools/analyzer/rules/locking.py``).
+"""
+
+from __future__ import annotations
+
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionStats,
+    DeadlineExceeded,
+    RetryLater,
+)
+from repro.serving.concurrency import AtomicSolverProfile, SingleFlightCache
+from repro.serving.dispatcher import WorkerPoolDispatcher
+from repro.serving.runtime import (
+    CostView,
+    ResultsView,
+    SearchResult,
+    ServingRuntime,
+    SessionView,
+)
+from repro.serving.sessions import SessionExpired, SessionRegistry
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AtomicSolverProfile",
+    "CostView",
+    "DeadlineExceeded",
+    "ResultsView",
+    "RetryLater",
+    "SearchResult",
+    "ServingRuntime",
+    "SessionExpired",
+    "SessionRegistry",
+    "SessionView",
+    "SingleFlightCache",
+    "WorkerPoolDispatcher",
+]

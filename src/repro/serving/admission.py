@@ -1,0 +1,151 @@
+"""Admission control: bounded queueing, deadlines, and load shedding.
+
+An unbounded executor queue converts overload into unbounded latency —
+every queued request eventually runs, long after its user gave up.  The
+:class:`AdmissionController` instead caps how many admitted requests may
+wait for a worker; past the cap it *sheds* the request immediately with
+:class:`RetryLater` (the web layer answers ``503`` with a
+``Retry-After`` header).  Admitted requests carry an optional deadline:
+if one is still queued when its deadline passes, the worker drops it
+with :class:`DeadlineExceeded` instead of doing work nobody is waiting
+for.  Running requests are never preempted — deadlines bound *queueing*
+delay, which is the component overload actually inflates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["RetryLater", "DeadlineExceeded", "AdmissionStats", "AdmissionController"]
+
+
+class RetryLater(Exception):
+    """The request was shed at admission because the queue is full.
+
+    Attributes:
+        retry_after: suggested client back-off in seconds (the value of
+            the HTTP ``Retry-After`` header).
+    """
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            "serving queue is full; retry in %.0f second(s)" % retry_after
+        )
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline passed while it waited for a worker."""
+
+    def __init__(self, waited: float):
+        super().__init__(
+            "request deadline exceeded after %.3fs in the queue" % waited
+        )
+        self.waited = waited
+
+
+@dataclass(frozen=True)
+class AdmissionStats:
+    """One consistent snapshot of the controller's counters.
+
+    Attributes:
+        queue_depth: admitted requests not yet running.
+        in_flight: requests currently executing on a worker.
+        admitted: total requests accepted past admission.
+        completed: total requests that finished executing.
+        shed_overload: requests rejected because the queue was full.
+        shed_deadline: requests dropped because their deadline passed
+            while queued.
+    """
+
+    queue_depth: int
+    in_flight: int
+    admitted: int
+    completed: int
+    shed_overload: int
+    shed_deadline: int
+
+    @property
+    def shed_total(self) -> int:
+        """Every request shed for any reason."""
+        return self.shed_overload + self.shed_deadline
+
+
+class AdmissionController:
+    """Bounded admission gate shared by one worker pool.
+
+    Args:
+        max_queue: how many admitted requests may wait for a worker at
+            once (requests already running do not count).
+        retry_after: back-off hint attached to shed requests.
+    """
+
+    def __init__(self, max_queue: int, retry_after: float = 1.0):
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._running = 0
+        self._admitted = 0
+        self._completed = 0
+        self._shed_overload = 0
+        self._shed_deadline = 0
+
+    def admit(self) -> None:
+        """Accept one request into the queue, or shed it.
+
+        Raises:
+            RetryLater: the queue is at capacity.
+        """
+        with self._lock:
+            if self._queued >= self.max_queue:
+                self._shed_overload += 1
+                raise RetryLater(self.retry_after)
+            self._queued += 1
+            self._admitted += 1
+
+    def start(self, waited: float, expired: bool) -> None:
+        """Move one admitted request from queued to running.
+
+        Args:
+            waited: seconds the request spent queued (for the error).
+            expired: True when the request's deadline already passed —
+                it is then dropped instead of started.
+
+        Raises:
+            DeadlineExceeded: the deadline passed while queued.
+        """
+        with self._lock:
+            self._queued -= 1
+            if expired:
+                self._shed_deadline += 1
+                raise DeadlineExceeded(waited)
+            self._running += 1
+
+    def finish(self) -> None:
+        """Mark one running request as complete."""
+        with self._lock:
+            self._running -= 1
+            self._completed += 1
+
+    def abandon(self) -> None:
+        """Return one queued slot without running (executor rejected it)."""
+        with self._lock:
+            self._queued -= 1
+
+    def stats(self) -> AdmissionStats:
+        """Snapshot every counter under the lock."""
+        with self._lock:
+            return AdmissionStats(
+                queue_depth=self._queued,
+                in_flight=self._running,
+                admitted=self._admitted,
+                completed=self._completed,
+                shed_overload=self._shed_overload,
+                shed_deadline=self._shed_deadline,
+            )

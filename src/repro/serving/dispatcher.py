@@ -1,0 +1,91 @@
+"""The worker pool: a ThreadPoolExecutor behind admission control.
+
+Requests enter through :meth:`WorkerPoolDispatcher.call`, which blocks
+the calling (WSGI) thread until its request ran — the pool's job is not
+asynchrony but *capping concurrency*: at most ``workers`` requests
+execute at once, at most ``max_queue`` wait, and everything beyond that
+is shed immediately.  ``queue_depth`` in a request's accounting means
+"admitted, not yet picked up by a worker", which is exactly the latency
+component deadlines bound.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional, TypeVar
+
+from repro.serving.admission import AdmissionController, AdmissionStats, RetryLater
+
+__all__ = ["WorkerPoolDispatcher"]
+
+T = TypeVar("T")
+
+
+class WorkerPoolDispatcher:
+    """Bounded synchronous dispatch onto a thread pool.
+
+    Args:
+        workers: worker-thread count (the concurrency cap).
+        max_queue: admitted requests allowed to wait for a worker.
+        retry_after: back-off hint attached to shed requests.
+    """
+
+    def __init__(self, workers: int, max_queue: int = 64, retry_after: float = 1.0):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.admission = AdmissionController(max_queue, retry_after=retry_after)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serving"
+        )
+
+    def call(self, fn: Callable[[], T], deadline: Optional[float] = None) -> T:
+        """Run ``fn`` on the pool and return its result (or raise).
+
+        Args:
+            fn: the request body.
+            deadline: optional per-request budget in seconds, measured
+                from admission; a request still queued when it expires
+                is dropped instead of executed.
+
+        Raises:
+            RetryLater: shed at admission (queue full).
+            DeadlineExceeded: deadline passed while queued.
+            Exception: whatever ``fn`` raised, unchanged.
+        """
+        self.admission.admit()
+        admitted_at = time.monotonic()
+        expires_at = None if deadline is None else admitted_at + deadline
+        try:
+            future = self._pool.submit(self._run, fn, admitted_at, expires_at)
+        except RuntimeError:
+            # The pool is shut down; give the queued slot back and shed.
+            self.admission.abandon()
+            raise RetryLater(self.admission.retry_after)
+        return future.result()
+
+    def _run(self, fn: Callable[[], T], admitted_at: float, expires_at: Optional[float]) -> T:
+        now = time.monotonic()
+        expired = expires_at is not None and now > expires_at
+        self.admission.start(waited=now - admitted_at, expired=expired)
+        try:
+            return fn()
+        finally:
+            self.admission.finish()
+
+    def stats(self) -> AdmissionStats:
+        """The admission controller's counter snapshot."""
+        return self.admission.stats()
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for running requests."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPoolDispatcher":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()

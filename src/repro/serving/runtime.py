@@ -1,0 +1,367 @@
+"""The :class:`ServingRuntime` facade the web layer mounts.
+
+Every user action (search / view / EXPAND / SHOWRESULTS / BACKTRACK)
+becomes one dispatched operation: admitted through the bounded queue,
+executed on the worker pool, and returned as an immutable view object
+the renderer (HTML or JSON) consumes without touching shared state.
+The runtime owns all cross-request state and its locking:
+
+* the per-query cache (tree + probability model + shared decision
+  cache) behind a single-flight lock, so a hot query's navigation tree
+  is built once no matter how many users issue it concurrently;
+* the session registry, whose per-session locks serialize interleaved
+  EXPAND/BACKTRACK on one session;
+* one atomic solver profile collecting per-EXPAND latency for
+  ``/api/stats``.
+
+``backend_latency`` models the per-request backend round-trip of the
+deployed system (the paper's server calls NCBI Entrez over the network
+on the user's behalf); the simulated corpus answers from memory, so the
+bench sets this to a few milliseconds to reproduce the I/O-bound
+request profile a real deployment schedules around.  The sleep runs on
+the worker, outside every lock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.bionav import BioNav
+from repro.core.active_tree import VisNode
+from repro.core.heuristic import HeuristicReducedOpt
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.core.relevance import ranked_visualization
+from repro.core.session import NavigationSession
+from repro.core.strategy import CutDecision
+from repro.corpus.citation import DocSummary
+from repro.serving.concurrency import AtomicSolverProfile, SingleFlightCache
+from repro.serving.dispatcher import WorkerPoolDispatcher
+from repro.serving.sessions import SessionEntry, SessionRegistry
+
+__all__ = [
+    "QueryState",
+    "CostView",
+    "SearchResult",
+    "SessionView",
+    "ResultsView",
+    "ServingRuntime",
+]
+
+
+class QueryState:
+    """Shared per-query artifacts: tree, probability model, decisions.
+
+    ``decisions`` is the Heuristic-ReducedOpt decision cache every
+    session of this query shares — EdgeCut decisions are deterministic
+    per query, so one session's EXPAND work serves all of them.  The
+    dict is only ever read/written by a strategy running under its
+    session's lock; distinct sessions of one query may interleave, but
+    each write is an idempotent "same key, same deterministic value",
+    so sharing stays safe.
+    """
+
+    def __init__(self, tree: NavigationTree, probs: ProbabilityModel):
+        self.tree = tree
+        self.probs = probs
+        self.decisions: Dict[FrozenSet[int], CutDecision] = {}
+
+
+@dataclass(frozen=True)
+class CostView:
+    """The cost ledger of one session at one point in time.
+
+    Attributes:
+        total: navigation cost plus SHOWRESULTS citation cost.
+        navigation: concepts revealed + EXPAND actions (Fig. 8 metric).
+        expands: EXPAND actions charged.
+        revealed: concepts revealed.
+        citations: citations displayed by SHOWRESULTS.
+    """
+
+    total: float
+    navigation: float
+    expands: int
+    revealed: int
+    citations: int
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one search request: a fresh session over the query.
+
+    Attributes:
+        session: the new session id.
+        query: the keyword query.
+        count: citations in the query result.
+    """
+
+    session: str
+    query: str
+    count: int
+
+
+@dataclass(frozen=True)
+class SessionView:
+    """One session's visible interface state.
+
+    Attributes:
+        session: session id.
+        query: the session's keyword query.
+        rows: the ranked visualization rows.
+        cost: the session's cost ledger snapshot.
+    """
+
+    session: str
+    query: str
+    rows: Tuple[VisNode, ...]
+    cost: CostView
+
+
+@dataclass(frozen=True)
+class ResultsView:
+    """One SHOWRESULTS answer.
+
+    Attributes:
+        session: session id.
+        query: the session's keyword query.
+        node: the concept whose component was listed.
+        label: the concept's label.
+        pmids: every citation id in the component (sorted).
+        summaries: display records for the first 50 citations.
+        cost: the session's cost ledger snapshot after charging.
+    """
+
+    session: str
+    query: str
+    node: int
+    label: str
+    pmids: Tuple[int, ...]
+    summaries: Tuple[DocSummary, ...]
+    cost: CostView
+
+
+class ServingRuntime:
+    """Thread-safe serving facade over a :class:`~repro.bionav.BioNav`.
+
+    Args:
+        bionav: the system to serve.
+        tree_cache_size: bound on cached per-query states.
+        max_sessions: bound on live sessions.
+        workers: worker-pool size (the request concurrency cap).
+        max_queue: admitted requests allowed to wait for a worker;
+            beyond it requests are shed with ``Retry-After``.
+        deadline: optional per-request budget in seconds; requests still
+            queued past it are dropped.
+        retry_after: client back-off hint attached to shed requests.
+        backend_latency: simulated per-request backend round-trip in
+            seconds (see the module docstring); 0 disables it.
+    """
+
+    def __init__(
+        self,
+        bionav: BioNav,
+        tree_cache_size: int = 32,
+        max_sessions: int = 256,
+        workers: int = 4,
+        max_queue: int = 64,
+        deadline: Optional[float] = None,
+        retry_after: float = 1.0,
+        backend_latency: float = 0.0,
+    ):
+        self.bionav = bionav
+        self.deadline = deadline
+        self.backend_latency = backend_latency
+        self.queries: SingleFlightCache[str, QueryState] = SingleFlightCache(
+            tree_cache_size
+        )
+        self.sessions = SessionRegistry(max_sessions)
+        self.profile = AtomicSolverProfile()
+        self.dispatcher = WorkerPoolDispatcher(
+            workers, max_queue=max_queue, retry_after=retry_after
+        )
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Dispatched operations (the request surface)
+    # ------------------------------------------------------------------
+    def search(self, query: str) -> SearchResult:
+        """Resolve ``query`` (single-flight) and open a new session."""
+        return self.dispatcher.call(lambda: self._do_search(query), self.deadline)
+
+    def view(self, sid: str) -> SessionView:
+        """The session's current interface rows and cost ledger."""
+        return self.dispatcher.call(lambda: self._do_view(sid), self.deadline)
+
+    def expand(self, sid: str, node: int) -> SessionView:
+        """EXPAND ``node`` in the session; returns the new state."""
+        return self.dispatcher.call(lambda: self._do_expand(sid, node), self.deadline)
+
+    def results(self, sid: str, node: int) -> ResultsView:
+        """SHOWRESULTS for ``node``'s component in the session."""
+        return self.dispatcher.call(lambda: self._do_results(sid, node), self.deadline)
+
+    def backtrack(self, sid: str) -> SessionView:
+        """Undo the session's most recent EXPAND; returns the state."""
+        return self.dispatcher.call(lambda: self._do_backtrack(sid), self.deadline)
+
+    # ------------------------------------------------------------------
+    # Operation bodies (run on the worker pool)
+    # ------------------------------------------------------------------
+    def _do_search(self, query: str) -> SearchResult:
+        self._simulate_backend()
+        state = self.queries.get_or_create(query, lambda: self._build_query(query))
+        strategy = HeuristicReducedOpt(
+            state.tree, state.probs, decision_cache=state.decisions
+        )
+        session = NavigationSession(state.tree, strategy, profiler=self.profile)
+        sid = self.sessions.create(query, session, state)
+        return SearchResult(
+            session=sid, query=query, count=len(state.tree.all_results())
+        )
+
+    def _do_view(self, sid: str) -> SessionView:
+        self._simulate_backend()
+        with self.sessions.checkout(sid) as entry:
+            return self._view_locked(sid, entry)
+
+    def _do_expand(self, sid: str, node: int) -> SessionView:
+        self._simulate_backend()
+        with self.sessions.checkout(sid) as entry:
+            if not entry.session.active.is_expandable(node):
+                raise ValueError("node %d has nothing hidden to reveal" % node)
+            entry.session.expand(node)
+            return self._view_locked(sid, entry)
+
+    def _do_results(self, sid: str, node: int) -> ResultsView:
+        self._simulate_backend()
+        with self.sessions.checkout(sid) as entry:
+            if not entry.session.active.is_visible(node):
+                raise ValueError("node %d is not visible" % node)
+            pmids = tuple(entry.session.show_results(node))
+            label = entry.session.tree.label(node)
+            query = entry.query
+            cost = self._cost_locked(entry)
+        # ESummary fetch happens outside the session lock: it reads the
+        # immutable corpus, not the session.
+        summaries = tuple(self.bionav.summaries(list(pmids[:50])))
+        return ResultsView(
+            session=sid,
+            query=query,
+            node=node,
+            label=label,
+            pmids=pmids,
+            summaries=summaries,
+            cost=cost,
+        )
+
+    def _do_backtrack(self, sid: str) -> SessionView:
+        self._simulate_backend()
+        with self.sessions.checkout(sid) as entry:
+            entry.session.backtrack()
+            return self._view_locked(sid, entry)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _build_query(self, query: str) -> QueryState:
+        result = self.bionav.search(query)
+        return QueryState(tree=result.tree, probs=result.probs)
+
+    def _simulate_backend(self) -> None:
+        if self.backend_latency > 0:
+            time.sleep(self.backend_latency)
+
+    def _view_locked(self, sid: str, entry: SessionEntry) -> SessionView:
+        """Render a session view; caller holds the session's lock."""
+        state = entry.state
+        rows = tuple(ranked_visualization(entry.session.active, state.probs))
+        return SessionView(
+            session=sid, query=entry.query, rows=rows, cost=self._cost_locked(entry)
+        )
+
+    @staticmethod
+    def _cost_locked(entry: SessionEntry) -> CostView:
+        """Snapshot the ledger; caller holds the session's lock."""
+        session = entry.session
+        return CostView(
+            total=session.total_cost,
+            navigation=session.navigation_cost,
+            expands=session.ledger.expand_actions,
+            revealed=session.ledger.concepts_revealed,
+            citations=session.ledger.citations_displayed,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability (never dispatched: must answer even under overload)
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """Liveness/saturation summary for ``GET /api/health``."""
+        admission = self.dispatcher.stats()
+        status = "ok"
+        if admission.queue_depth >= self.dispatcher.admission.max_queue:
+            status = "overloaded"
+        return {
+            "status": status,
+            "workers": self.dispatcher.workers,
+            "queue_depth": admission.queue_depth,
+            "queue_capacity": self.dispatcher.admission.max_queue,
+            "in_flight": admission.in_flight,
+            "sessions_active": len(self.sessions),
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Operational statistics for ``GET /api/stats``."""
+        admission = self.dispatcher.stats()
+        cache = self.queries.snapshot()
+        query_rows = [
+            {
+                "query": query,
+                "tree_size": len(state.tree),
+                "decision_cache_size": len(state.decisions),
+            }
+            for query, state in self.queries.items()
+        ]
+        return {
+            "query_cache": {
+                "size": cache["size"],
+                "capacity": cache["capacity"],
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "evictions": cache["evictions"],
+                "hit_rate": cache["hit_ratio"],
+                "hit_ratio": cache["hit_ratio"],
+                "single_flight_coalesced": cache["coalesced"],
+            },
+            "sessions": self.sessions.snapshot(),
+            "serving": {
+                "workers": self.dispatcher.workers,
+                "queue_depth": admission.queue_depth,
+                "queue_capacity": self.dispatcher.admission.max_queue,
+                "in_flight": admission.in_flight,
+                "admitted": admission.admitted,
+                "completed": admission.completed,
+                "shed": {
+                    "overload": admission.shed_overload,
+                    "deadline": admission.shed_deadline,
+                    "total": admission.shed_total,
+                },
+            },
+            "queries": query_rows,
+            "solver": self.profile.summary(),
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down, waiting for running requests."""
+        self.dispatcher.close()
+
+    def __enter__(self) -> "ServingRuntime":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the worker pool."""
+        self.close()

@@ -4,8 +4,17 @@ The deployed BioNav constructs each query's navigation tree once and then
 serves every EXPAND/SHOWRESULTS of that user session from it (paper §VII:
 "this process is done once for each user query").  A multi-user deployment
 additionally wants to share that work across users issuing the same query;
-:class:`LRUCache` provides the bounded store the web layer uses for that,
-with hit/miss statistics for capacity planning.
+:class:`LRUCache` provides the bounded store for that, with hit/miss
+statistics for capacity planning.
+
+This cache is **single-threaded**: the hit/miss counters update
+non-atomically with entry access (``self.hits += 1`` is a read-modify-
+write, and ``move_to_end`` is a second step), so two threads sharing it
+can lose counts or corrupt recency order.  The web layer therefore uses
+:class:`repro.serving.concurrency.SingleFlightCache`, which performs
+entry access and counter updates under one lock and adds single-flight
+``get_or_create``; this class remains the cheap in-process variant for
+offline/batch callers.
 """
 
 from __future__ import annotations
@@ -83,3 +92,8 @@ class LRUCache(Generic[K, V]):
         """Fraction of lookups served from the cache."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Alias of :attr:`hit_rate`, matching the serving cache's name."""
+        return self.hit_rate

@@ -2,36 +2,70 @@
 
 Run with::
 
-    python -m repro.web [--port 8080] [--hierarchy-size 2000]
+    python -m repro.web [--port 8080] [--hierarchy-size 2000] [--workers 4]
 
 Builds the Table I workload and serves the interface with the standard
-library's ``wsgiref`` server (development use only, as with the paper's
-original deployment notes).
+library's ``wsgiref`` server, upgraded to a threading server: each HTTP
+connection gets its own thread, and the app's
+:class:`~repro.serving.runtime.ServingRuntime` caps actual request
+concurrency at ``--workers``, sheds overload past ``--queue`` with
+``503 + Retry-After``, and drops requests still queued after
+``--deadline`` seconds.  Development use only, as with the paper's
+original deployment notes.
 """
 
 from __future__ import annotations
 
 import argparse
-from wsgiref.simple_server import make_server
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIServer, make_server
 
 from repro.bionav import BioNav
 from repro.web.app import BioNavWebApp
 from repro.workload.builder import build_workload
 
 
+class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """wsgiref's server with one thread per connection."""
+
+    daemon_threads = True
+
+
 def main() -> None:
+    """Build the workload and serve the interface."""
     parser = argparse.ArgumentParser(prog="python -m repro.web")
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--hierarchy-size", type=int, default=2000)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue", type=int, default=64)
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request queueing budget in seconds (default: none)",
+    )
     args = parser.parse_args()
 
     print("Building the workload (hierarchy size %d)..." % args.hierarchy_size)
     workload = build_workload(hierarchy_size=args.hierarchy_size, seed=args.seed)
-    app = BioNavWebApp(BioNav(workload.database, workload.entrez))
-    print("Serving BioNav on http://127.0.0.1:%d/ — try a Table I keyword." % args.port)
-    with make_server("127.0.0.1", args.port, app) as server:
-        server.serve_forever()
+    app = BioNavWebApp(
+        BioNav(workload.database, workload.entrez),
+        workers=args.workers,
+        max_queue=args.queue,
+        deadline=args.deadline,
+    )
+    print(
+        "Serving BioNav on http://127.0.0.1:%d/ (%d workers) — try a "
+        "Table I keyword." % (args.port, args.workers)
+    )
+    with make_server(
+        "127.0.0.1", args.port, app, server_class=_ThreadingWSGIServer
+    ) as server:
+        try:
+            server.serve_forever()
+        finally:
+            app.close()
 
 
 if __name__ == "__main__":

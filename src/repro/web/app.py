@@ -19,35 +19,36 @@ plus a JSON API for programmatic clients:
     GET /api/nav/<sid>                  the visible rows + cost ledger
     GET /api/nav/<sid>/expand?node=N    expand, then the new state
     GET /api/nav/<sid>/results?node=N   the component's PMIDs
-    GET /api/stats                      cache + solver-latency statistics
+    GET /api/stats                      cache/admission/solver statistics
+    GET /api/health                     liveness + saturation summary
 
-Navigation trees are shared across sessions of the same query through an
-LRU cache, and sessions themselves live in a bounded LRU store (evicted
-sessions 404, as in any stateful web app).  Sessions of the same cached
-query also share one Heuristic-ReducedOpt decision cache, so an EXPAND any
-of them has already optimized is answered from cache for all of them; a
-single :class:`~repro.analysis.runtime.SolverProfile` collects per-EXPAND
-solver latency across every session for ``/api/stats``.  Serve it with
-``python -m repro.web`` or mount the :class:`BioNavWebApp` callable under
-any WSGI server; tests drive the callable directly.
+All cross-request state lives in a
+:class:`~repro.serving.runtime.ServingRuntime`: navigation trees are
+shared across sessions of the same query through a single-flight LRU
+cache, sessions live in a bounded registry with per-session locks, and
+every action runs on an admission-controlled worker pool.  The WSGI
+callable itself is therefore safe under any multi-threaded server.
+Overload answers ``503`` with a ``Retry-After`` header instead of
+queueing unboundedly, and a session evicted from the bounded store
+answers ``410 Gone`` with the machine-readable error code
+``session_expired`` (re-run the search), distinct from the ``404`` an
+unknown id gets.  Serve it with ``python -m repro.web`` or mount the
+:class:`BioNavWebApp` callable under any WSGI server; tests drive the
+callable directly.
 """
 
 from __future__ import annotations
 
 import html
 import json
-from typing import Callable, Dict, FrozenSet, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
 from urllib.parse import parse_qs
 
-from repro.analysis.runtime import SolverProfile
 from repro.bionav import BioNav
-from repro.core.heuristic import HeuristicReducedOpt
-from repro.core.navigation_tree import NavigationTree
-from repro.core.probabilities import ProbabilityModel
-from repro.core.relevance import ranked_visualization
-from repro.core.session import NavigationSession
-from repro.core.strategy import CutDecision
-from repro.storage.cache import LRUCache
+from repro.serving.admission import DeadlineExceeded, RetryLater
+from repro.serving.runtime import ResultsView, ServingRuntime, SessionView
+from repro.serving.sessions import SessionExpired
 
 __all__ = ["BioNavWebApp"]
 
@@ -68,36 +69,38 @@ p.cost { color: #333; background: #f2f2f2; padding: 0.4em; }
 """
 
 
-class _QueryState:
-    """Shared per-query artifacts: tree, probability model, decisions.
-
-    ``decisions`` is the Heuristic-ReducedOpt decision cache every session
-    of this query shares — EdgeCut decisions are deterministic per query,
-    so one session's EXPAND work serves all of them.
-    """
-
-    def __init__(self, tree: NavigationTree, probs: ProbabilityModel):
-        self.tree = tree
-        self.probs = probs
-        self.decisions: Dict[FrozenSet[int], CutDecision] = {}
-
-
 class BioNavWebApp:
-    """A WSGI callable serving the BioNav interface."""
+    """A WSGI callable serving the BioNav interface.
+
+    Holds no mutable state of its own — every shared structure lives in
+    the :class:`ServingRuntime`, which is what makes the callable safe
+    to mount under a threaded WSGI server.
+    """
 
     def __init__(
         self,
         bionav: BioNav,
         tree_cache_size: int = 32,
         max_sessions: int = 256,
+        workers: int = 4,
+        max_queue: int = 64,
+        deadline: Optional[float] = None,
+        backend_latency: float = 0.0,
     ):
-        self.bionav = bionav
-        self._queries: LRUCache[str, _QueryState] = LRUCache(tree_cache_size)
-        self._sessions: LRUCache[str, Tuple[str, NavigationSession]] = LRUCache(
-            max_sessions
+        self.runtime = ServingRuntime(
+            bionav,
+            tree_cache_size=tree_cache_size,
+            max_sessions=max_sessions,
+            workers=workers,
+            max_queue=max_queue,
+            deadline=deadline,
+            backend_latency=backend_latency,
         )
-        self._session_counter = 0
-        self.profile = SolverProfile()
+        self.bionav = bionav
+
+    def close(self) -> None:
+        """Shut the runtime's worker pool down."""
+        self.runtime.close()
 
     # ------------------------------------------------------------------
     # WSGI entry point
@@ -106,15 +109,32 @@ class BioNavWebApp:
         path = environ.get("PATH_INFO", "/")
         params = parse_qs(environ.get("QUERY_STRING", ""))
         is_api = path.startswith("/api/")
+        extra_headers: List[Tuple[str, str]] = []
         try:
             if is_api:
                 status, body = self._route_api(path[len("/api") :], params)
             else:
                 status, body = self._route(path, params)
+        except SessionExpired as exc:
+            status = "410 Gone"
+            if is_api:
+                body = json.dumps(
+                    {
+                        "error": "session %s expired; re-run the search" % exc.sid,
+                        "error_code": "session_expired",
+                    }
+                )
+            else:
+                body = self._page(
+                    "Session expired",
+                    "<p>Session %s expired (the session store is bounded). "
+                    '<a href="/">Re-run your search</a>.</p>'
+                    % html.escape(exc.sid),
+                )
         except KeyError as exc:
             if is_api:
                 status, body = "404 Not Found", json.dumps(
-                    {"error": "unknown resource: %s" % exc}
+                    {"error": "unknown resource: %s" % exc, "error_code": "not_found"}
                 )
             else:
                 status, body = "404 Not Found", self._page(
@@ -122,10 +142,46 @@ class BioNavWebApp:
                 )
         except ValueError as exc:
             if is_api:
-                status, body = "400 Bad Request", json.dumps({"error": str(exc)})
+                status, body = "400 Bad Request", json.dumps(
+                    {"error": str(exc), "error_code": "bad_request"}
+                )
             else:
                 status, body = "400 Bad Request", self._page(
                     "Bad request", "<p>%s</p>" % html.escape(str(exc))
+                )
+        except RetryLater as exc:
+            status = "503 Service Unavailable"
+            retry_after = max(1, int(round(exc.retry_after)))
+            extra_headers.append(("Retry-After", str(retry_after)))
+            if is_api:
+                body = json.dumps(
+                    {
+                        "error": str(exc),
+                        "error_code": "overloaded",
+                        "retry_after": retry_after,
+                    }
+                )
+            else:
+                body = self._page(
+                    "Overloaded",
+                    "<p>The server is overloaded; retry in %d second(s).</p>"
+                    % retry_after,
+                )
+        except DeadlineExceeded as exc:
+            status = "503 Service Unavailable"
+            extra_headers.append(("Retry-After", "1"))
+            if is_api:
+                body = json.dumps(
+                    {
+                        "error": str(exc),
+                        "error_code": "deadline_exceeded",
+                        "retry_after": 1,
+                    }
+                )
+            else:
+                body = self._page(
+                    "Timed out",
+                    "<p>The request waited too long in the queue; retry.</p>",
                 )
         payload = body.encode("utf-8")
         content_type = (
@@ -138,7 +194,8 @@ class BioNavWebApp:
             [
                 ("Content-Type", content_type),
                 ("Content-Length", str(len(payload))),
-            ],
+            ]
+            + extra_headers,
         )
         return [payload]
 
@@ -157,23 +214,23 @@ class BioNavWebApp:
             parts = path[len("/nav/") :].split("/")
             sid = parts[0]
             action = parts[1] if len(parts) > 1 else ""
-            if sid not in self._sessions:
-                raise KeyError("session %s" % sid)
             if action == "":
-                return "200 OK", self._render_session(sid)
+                return "200 OK", self._render_view(self.runtime.view(sid))
             if action == "expand":
                 node = self._node_param(params)
-                return "200 OK", self._do_expand(sid, node)
+                return "200 OK", self._render_view(self.runtime.expand(sid, node))
             if action == "results":
                 node = self._node_param(params)
-                return "200 OK", self._do_results(sid, node)
+                return "200 OK", self._render_results(
+                    self.runtime.results(sid, node)
+                )
             if action == "backtrack":
-                return "200 OK", self._do_backtrack(sid)
+                return "200 OK", self._render_view(self.runtime.backtrack(sid))
             raise KeyError("action %s" % action)
         raise KeyError(path)
 
     # ------------------------------------------------------------------
-    # Handlers
+    # HTML rendering (pure functions of runtime view objects)
     # ------------------------------------------------------------------
     def _render_home(self) -> str:
         body = (
@@ -184,28 +241,14 @@ class BioNavWebApp:
         return self._page("Search", body)
 
     def _render_search(self, query: str) -> str:
-        state = self._queries.get_or_create(query, lambda: self._build_query(query))
-        sid = self._new_session(query, state)
-        count = len(state.tree.all_results())
-        if count == 0:
+        result = self.runtime.search(query)
+        if result.count == 0:
             return self._page(
                 "No results", "<p>No citations match %s.</p>" % html.escape(repr(query))
             )
-        return self._render_session(sid)
+        return self._render_view(self.runtime.view(result.session))
 
-    def _do_expand(self, sid: str, node: int) -> str:
-        _, session = self._session(sid)
-        if not session.active.is_expandable(node):
-            raise ValueError("node %d has nothing hidden to reveal" % node)
-        session.expand(node)
-        return self._render_session(sid)
-
-    def _do_results(self, sid: str, node: int) -> str:
-        query, session = self._session(sid)
-        if not session.active.is_visible(node):
-            raise ValueError("node %d is not visible" % node)
-        pmids = session.show_results(node)
-        summaries = self.bionav.summaries(pmids[:50])
+    def _render_results(self, view: ResultsView) -> str:
         rows = "".join(
             "<li>[%d] %s <em>(%s, %d)</em></li>"
             % (
@@ -214,36 +257,32 @@ class BioNavWebApp:
                 html.escape("; ".join(s.authors[:3])),
                 s.year,
             )
-            for s in summaries
+            for s in view.summaries
         )
         more = (
-            "<p>(showing first 50 of %d)</p>" % len(pmids) if len(pmids) > 50 else ""
+            "<p>(showing first 50 of %d)</p>" % len(view.pmids)
+            if len(view.pmids) > 50
+            else ""
         )
         body = (
             '<p><a href="/nav/%s">&larr; back to the navigation</a></p>'
             "<h2>%s — %d citations under %s</h2><ul>%s</ul>%s"
             % (
-                sid,
-                html.escape(query),
-                len(pmids),
-                html.escape(session.tree.label(node)),
+                view.session,
+                html.escape(view.query),
+                len(view.pmids),
+                html.escape(view.label),
                 rows,
                 more,
             )
         )
-        return self._page("Results", body + self._cost_footer(session))
+        return self._page("Results", body + self._cost_footer(view))
 
-    def _do_backtrack(self, sid: str) -> str:
-        _, session = self._session(sid)
-        session.backtrack()
-        return self._render_session(sid)
-
-    def _render_session(self, sid: str) -> str:
-        query, session = self._session(sid)
-        rows = ranked_visualization(session.active, self._probs_of(query))
+    def _render_view(self, view: SessionView) -> str:
+        sid = view.session
         parts: List[str] = []
         depth = -1
-        for row in rows:
+        for row in view.rows:
             while depth >= row.depth:
                 parts.append("</ul>")
                 depth -= 1
@@ -266,98 +305,61 @@ class BioNavWebApp:
         body = (
             "<h2>%s</h2>%s"
             '<p><a href="/nav/%s/backtrack">Backtrack</a></p>'
-            % (html.escape(query), "\n".join(parts), sid)
+            % (html.escape(view.query), "\n".join(parts), sid)
         )
-        return self._page(query, body + self._cost_footer(session))
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _build_query(self, query: str) -> _QueryState:
-        result = self.bionav.search(query)
-        return _QueryState(tree=result.tree, probs=result.probs)
-
-    def _probs_of(self, query: str) -> ProbabilityModel:
-        state = self._queries.get(query)
-        if state is None:  # pragma: no cover - cache evicted mid-session
-            state = self._build_query(query)
-            self._queries.put(query, state)
-        return state.probs
-
-    def _new_session(self, query: str, state: _QueryState) -> str:
-        self._session_counter += 1
-        sid = "s%06d" % self._session_counter
-        strategy = HeuristicReducedOpt(
-            state.tree, state.probs, decision_cache=state.decisions
-        )
-        session = NavigationSession(state.tree, strategy, profiler=self.profile)
-        self._sessions.put(sid, (query, session))
-        return sid
-
-    def _session(self, sid: str) -> Tuple[str, NavigationSession]:
-        entry = self._sessions.get(sid)
-        if entry is None:
-            raise KeyError("session %s" % sid)
-        return entry
+        return self._page(view.query, body + self._cost_footer(view))
 
     # ------------------------------------------------------------------
     # JSON API
     # ------------------------------------------------------------------
     def _route_api(self, path: str, params: Dict[str, List[str]]) -> Tuple[str, str]:
         if path == "/stats":
-            return "200 OK", self._json_stats()
+            return "200 OK", json.dumps(self.runtime.stats())
+        if path == "/health":
+            return "200 OK", json.dumps(self.runtime.health())
         if path == "/search":
             query = params.get("q", [""])[0].strip()
             if not query:
                 raise ValueError("missing query parameter q")
-            state = self._queries.get_or_create(query, lambda: self._build_query(query))
-            sid = self._new_session(query, state)
+            result = self.runtime.search(query)
             return "200 OK", json.dumps(
-                {"session": sid, "query": query, "count": len(state.tree.all_results())}
+                {
+                    "session": result.session,
+                    "query": result.query,
+                    "count": result.count,
+                }
             )
         if path.startswith("/nav/"):
             parts = path[len("/nav/") :].split("/")
             sid = parts[0]
             action = parts[1] if len(parts) > 1 else ""
-            if sid not in self._sessions:
-                raise KeyError("session %s" % sid)
             if action == "":
-                return "200 OK", self._json_state(sid)
+                return "200 OK", self._json_view(self.runtime.view(sid))
             if action == "expand":
                 node = self._node_param(params)
-                _, session = self._session(sid)
-                if not session.active.is_expandable(node):
-                    raise ValueError("node %d has nothing hidden to reveal" % node)
-                session.expand(node)
-                return "200 OK", self._json_state(sid)
+                return "200 OK", self._json_view(self.runtime.expand(sid, node))
             if action == "results":
                 node = self._node_param(params)
-                query, session = self._session(sid)
-                if not session.active.is_visible(node):
-                    raise ValueError("node %d is not visible" % node)
-                pmids = session.show_results(node)
+                view = self.runtime.results(sid, node)
                 return "200 OK", json.dumps(
                     {
-                        "session": sid,
-                        "node": node,
-                        "label": session.tree.label(node),
-                        "pmids": pmids,
+                        "session": view.session,
+                        "node": view.node,
+                        "label": view.label,
+                        "pmids": list(view.pmids),
                     }
                 )
             if action == "backtrack":
-                _, session = self._session(sid)
-                session.backtrack()
-                return "200 OK", self._json_state(sid)
+                return "200 OK", self._json_view(self.runtime.backtrack(sid))
             raise KeyError("action %s" % action)
         raise KeyError(path)
 
-    def _json_state(self, sid: str) -> str:
-        query, session = self._session(sid)
-        rows = ranked_visualization(session.active, self._probs_of(query))
+    @staticmethod
+    def _json_view(view: SessionView) -> str:
         return json.dumps(
             {
-                "session": sid,
-                "query": query,
+                "session": view.session,
+                "query": view.query,
                 "rows": [
                     {
                         "node": row.node,
@@ -367,56 +369,31 @@ class BioNavWebApp:
                         "parent": row.parent,
                         "expandable": row.expandable,
                     }
-                    for row in rows
+                    for row in view.rows
                 ],
                 "cost": {
-                    "total": session.total_cost,
-                    "navigation": session.navigation_cost,
-                    "expands": session.ledger.expand_actions,
-                    "revealed": session.ledger.concepts_revealed,
-                    "citations": session.ledger.citations_displayed,
+                    "total": view.cost.total,
+                    "navigation": view.cost.navigation,
+                    "expands": view.cost.expands,
+                    "revealed": view.cost.revealed,
+                    "citations": view.cost.citations,
                 },
             }
         )
 
-    def _json_stats(self) -> str:
-        """Operational statistics: caches plus per-EXPAND solver latency."""
-        queries = [
-            {
-                "query": query,
-                "tree_size": len(state.tree),
-                "decision_cache_size": len(state.decisions),
-            }
-            for query, state in self._queries.items()
-        ]
-        return json.dumps(
-            {
-                "query_cache": {
-                    "size": len(self._queries),
-                    "capacity": self._queries.capacity,
-                    "hits": self._queries.hits,
-                    "misses": self._queries.misses,
-                    "evictions": self._queries.evictions,
-                    "hit_rate": self._queries.hit_rate,
-                },
-                "sessions": {
-                    "active": len(self._sessions),
-                    "created": self._session_counter,
-                },
-                "queries": queries,
-                "solver": self.profile.summary(),
-            }
-        )
-
-    def _cost_footer(self, session: NavigationSession) -> str:
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cost_footer(view: "SessionView | ResultsView") -> str:
         return (
             '<p class="cost">Session effort: %.0f '
             "(%d concepts examined + %d EXPANDs + %d citations listed)</p>"
             % (
-                session.total_cost,
-                session.ledger.concepts_revealed,
-                session.ledger.expand_actions,
-                session.ledger.citations_displayed,
+                view.cost.total,
+                view.cost.revealed,
+                view.cost.expands,
+                view.cost.citations,
             )
         )
 

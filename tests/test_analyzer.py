@@ -64,6 +64,7 @@ class TestRegistry:
             "no-recursion",
             "float-equality",
             "bitmask-bounds",
+            "lock-discipline",
         } <= ids
 
     def test_lint_only_subset_excludes_semantic_rules(self):
@@ -262,6 +263,87 @@ class TestBitmaskBoundsRule:
             "def f(x):\n    return x << 16\n",
         )
         assert "bitmask-bounds" not in rule_ids(findings)
+
+
+_LOCKED_CLASS_HEADER = (
+    "import threading\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.hits = 0\n"
+    "        self._entries = {}\n"
+)
+
+
+class TestLockDisciplineRule:
+    def test_flags_unlocked_counter_update(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/cache.py",
+            _LOCKED_CLASS_HEADER + "    def bump(self):\n        self.hits += 1\n",
+        )
+        assert "lock-discipline" in rule_ids(findings)
+
+    def test_flags_unlocked_subscript_write(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/cache.py",
+            _LOCKED_CLASS_HEADER
+            + "    def put(self, k, v):\n        self._entries[k] = v\n",
+        )
+        assert "lock-discipline" in rule_ids(findings)
+
+    def test_locked_mutation_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/cache.py",
+            _LOCKED_CLASS_HEADER
+            + "    def bump(self):\n"
+            + "        with self._lock:\n"
+            + "            self.hits += 1\n"
+            + "            self._entries['k'] = 1\n",
+        )
+        assert "lock-discipline" not in rule_ids(findings)
+
+    def test_init_and_locked_helpers_are_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/cache.py",
+            _LOCKED_CLASS_HEADER
+            + "    def _insert_locked(self, k, v):\n"
+            + "        self._entries[k] = v\n",
+        )
+        assert "lock-discipline" not in rule_ids(findings)
+
+    def test_class_without_lock_not_checked(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/views.py",
+            "class Renderer:\n"
+            "    def __init__(self):\n"
+            "        self.pages = 0\n"
+            "    def bump(self):\n"
+            "        self.pages += 1\n",
+        )
+        assert "lock-discipline" not in rule_ids(findings)
+
+    def test_outside_serving_and_web_not_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/cache.py",
+            _LOCKED_CLASS_HEADER + "    def bump(self):\n        self.hits += 1\n",
+        )
+        assert "lock-discipline" not in rule_ids(findings)
+
+    def test_suppression_comment(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/cache.py",
+            _LOCKED_CLASS_HEADER
+            + "    def bump(self):\n"
+            + "        self.hits += 1  # repro: ignore[lock-discipline]\n",
+        )
+        assert "lock-discipline" not in rule_ids(findings)
 
 
 class TestGenericRules:
@@ -476,6 +558,15 @@ class TestAcceptanceFixtures:
         )
         assert status == 1
         assert "float-equality" in capsys.readouterr().out
+
+    def test_unlocked_mutation_in_serving_fails(self, tmp_path, capsys):
+        status = self._main_exit(
+            tmp_path,
+            "serving/cache.py",
+            _LOCKED_CLASS_HEADER + "    def bump(self):\n        self.hits += 1\n",
+        )
+        assert status == 1
+        assert "lock-discipline" in capsys.readouterr().out
 
     def test_repo_head_is_clean(self):
         assert main([]) == 0

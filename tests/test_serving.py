@@ -1,0 +1,387 @@
+"""Concurrency tests for the ``repro.serving`` runtime.
+
+The suite hammers the primitives from many threads: single-flight cache
+builds must collapse to one factory call, overload and deadline misses
+must shed cleanly (503 + Retry-After at the web layer), and a session's
+expand log must stay consistent under interleaved EXPAND/BACKTRACK.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.bionav import BioNav
+from repro.serving.admission import DeadlineExceeded, RetryLater
+from repro.serving.concurrency import AtomicSolverProfile, SingleFlightCache
+from repro.serving.dispatcher import WorkerPoolDispatcher
+from repro.serving.runtime import ServingRuntime
+from repro.serving.sessions import SessionExpired, SessionRegistry
+from repro.web.app import BioNavWebApp
+
+
+def run_threads(count: int, target, timeout: float = 30.0) -> List[object]:
+    """Run ``target(i)`` on ``count`` threads; return results or raise."""
+    results: List[object] = [None] * count
+    errors: List[BaseException] = []
+
+    def runner(i: int) -> None:
+        try:
+            results[i] = target(i)
+        except BaseException as exc:  # propagated after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,), daemon=True)
+        for i in range(count)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        assert not t.is_alive(), "worker thread did not finish"
+    if errors:
+        raise errors[0]
+    return results
+
+
+def request_page(
+    app: BioNavWebApp, path: str, query: Optional[Dict[str, str]] = None
+) -> Tuple[str, Dict[str, str], str]:
+    """Drive the WSGI callable; returns (status, headers, body)."""
+    environ = {
+        "REQUEST_METHOD": "GET",
+        "PATH_INFO": path,
+        "QUERY_STRING": urlencode(query or {}),
+    }
+    captured: List[Tuple[str, List[Tuple[str, str]]]] = []
+
+    def start_response(status: str, headers: List[Tuple[str, str]]) -> None:
+        captured.append((status, headers))
+
+    body = b"".join(app(environ, start_response)).decode("utf-8")
+    status, headers = captured[0]
+    return status, dict(headers), body
+
+
+class TestSingleFlightCache:
+    def test_concurrent_misses_build_once(self):
+        cache: SingleFlightCache = SingleFlightCache(4)
+        calls: List[int] = []
+        barrier = threading.Barrier(16)
+
+        def factory() -> str:
+            calls.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        def worker(i: int) -> str:
+            barrier.wait()
+            return cache.get_or_create("key", factory)
+
+        results = run_threads(16, worker)
+        assert results == ["value"] * 16
+        assert len(calls) == 1
+        assert cache.misses == 1
+        assert cache.coalesced == 15
+        assert cache.hits == 0
+        # A later lookup is a plain hit.
+        assert cache.get_or_create("key", factory) == "value"
+        assert cache.hits == 1
+        assert len(calls) == 1
+
+    def test_factory_error_reaches_waiters_and_caches_nothing(self):
+        cache: SingleFlightCache = SingleFlightCache(4)
+        barrier = threading.Barrier(4)
+
+        def failing() -> str:
+            time.sleep(0.05)
+            raise RuntimeError("backend down")
+
+        def worker(i: int) -> str:
+            barrier.wait()
+            return cache.get_or_create("key", failing)
+
+        with pytest.raises(RuntimeError):
+            run_threads(4, worker)
+        assert "key" not in cache
+        # The next call retries the factory rather than caching the error.
+        assert cache.get_or_create("key", lambda: "recovered") == "recovered"
+
+    def test_lru_eviction_and_counters_stay_consistent(self):
+        cache: SingleFlightCache = SingleFlightCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts b
+        assert "b" not in cache
+        assert cache.evictions == 1
+        snapshot = cache.snapshot()
+        assert snapshot["size"] == 2
+        assert snapshot["hits"] == 1
+        assert 0.0 <= snapshot["hit_ratio"] <= 1.0
+        assert cache.hit_ratio == snapshot["hit_ratio"]
+
+    def test_counters_exact_under_contention(self):
+        cache: SingleFlightCache = SingleFlightCache(8)
+        cache.put("k", 0)
+
+        def worker(i: int) -> None:
+            for _ in range(500):
+                cache.get("k")
+
+        run_threads(8, worker)
+        # 8 threads x 500 locked lookups: nothing lost to races.
+        assert cache.hits == 8 * 500
+
+
+class TestAtomicSolverProfile:
+    def test_concurrent_records_all_land(self):
+        profile = AtomicSolverProfile()
+
+        def worker(i: int) -> None:
+            for j in range(200):
+                profile.record(node=i, seconds=0.001, reduced_size=5)
+
+        run_threads(8, worker)
+        assert len(profile) == 1600
+        summary = profile.summary()
+        assert summary["expands"] == 1600
+        assert summary["p95_ms"] >= summary["p50_ms"] >= 0.0
+
+
+class TestSessionRegistry:
+    def test_expired_vs_unknown_classification(self):
+        registry = SessionRegistry(1)
+        first = registry.create("q", object(), object())  # type: ignore[arg-type]
+        second = registry.create("q", object(), object())  # type: ignore[arg-type]
+        with pytest.raises(SessionExpired):
+            with registry.checkout(first):
+                pass
+        with pytest.raises(KeyError):
+            with registry.checkout("s999999"):
+                pass
+        with registry.checkout(second) as entry:
+            assert entry.query == "q"
+        snapshot = registry.snapshot()
+        assert snapshot["created"] == 2
+        assert snapshot["evicted"] == 1
+        assert snapshot["expired_lookups"] == 1
+
+
+class TestDispatcher:
+    def test_results_and_exceptions_propagate(self):
+        with WorkerPoolDispatcher(2, max_queue=4) as pool:
+            assert pool.call(lambda: 42) == 42
+            with pytest.raises(ZeroDivisionError):
+                pool.call(lambda: 1 // 0)
+            stats = pool.stats()
+            assert stats.completed == 2
+            assert stats.in_flight == 0
+
+    def test_overload_sheds_with_retry_after(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def occupy() -> None:
+            started.set()
+            release.wait(10)
+
+        with WorkerPoolDispatcher(1, max_queue=1, retry_after=2.0) as pool:
+            first = threading.Thread(target=lambda: pool.call(occupy), daemon=True)
+            first.start()
+            assert started.wait(5)
+            # Fill the single queue slot.
+            second = threading.Thread(
+                target=lambda: pool.call(lambda: None), daemon=True
+            )
+            second.start()
+            deadline = time.monotonic() + 5
+            while pool.stats().queue_depth < 1:
+                assert time.monotonic() < deadline, "queue never filled"
+                time.sleep(0.005)
+            with pytest.raises(RetryLater) as excinfo:
+                pool.call(lambda: None)
+            assert excinfo.value.retry_after == 2.0
+            release.set()
+            first.join(5)
+            second.join(5)
+            stats = pool.stats()
+            assert stats.shed_overload == 1
+            assert stats.queue_depth == 0
+
+    def test_deadline_exceeded_while_queued(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def occupy() -> None:
+            started.set()
+            release.wait(10)
+
+        with WorkerPoolDispatcher(1, max_queue=4) as pool:
+            first = threading.Thread(target=lambda: pool.call(occupy), daemon=True)
+            first.start()
+            assert started.wait(5)
+            holder: List[BaseException] = []
+
+            def doomed() -> None:
+                try:
+                    pool.call(lambda: None, deadline=0.05)
+                except BaseException as exc:
+                    holder.append(exc)
+
+            second = threading.Thread(target=doomed, daemon=True)
+            second.start()
+            time.sleep(0.2)  # let the deadline lapse while queued
+            release.set()
+            first.join(5)
+            second.join(5)
+            assert holder and isinstance(holder[0], DeadlineExceeded)
+            stats = pool.stats()
+            assert stats.shed_deadline == 1
+            assert stats.completed == 1  # only the occupier ran
+
+
+@pytest.fixture()
+def bionav(small_workload) -> BioNav:
+    return BioNav(small_workload.database, small_workload.entrez)
+
+
+class TestRuntimeSingleFlight:
+    def test_16_concurrent_identical_searches_build_one_tree(self, bionav):
+        builds: List[str] = []
+        original = bionav.search
+
+        def counting_search(keyword: str, strategy: str = "heuristic"):
+            builds.append(keyword)
+            time.sleep(0.05)  # widen the race window
+            return original(keyword, strategy)
+
+        bionav.search = counting_search  # type: ignore[method-assign]
+        with ServingRuntime(bionav, workers=16, max_queue=32) as runtime:
+            barrier = threading.Barrier(16)
+
+            def worker(i: int) -> str:
+                barrier.wait()
+                return runtime.search("prothymosin").session
+
+            sids = run_threads(16, worker)
+            assert len(builds) == 1, "tree must be built exactly once"
+            assert len(set(sids)) == 16
+            assert runtime.queries.misses == 1
+            assert runtime.queries.coalesced == 15
+            # Zero lost sessions: every issued id still answers.
+            for sid in sids:
+                assert runtime.view(sid).rows
+
+
+class TestRuntimeSessionSerialization:
+    def test_interleaved_expand_backtrack_stays_consistent(self, bionav):
+        with ServingRuntime(bionav, workers=8, max_queue=64) as runtime:
+            sid = runtime.search("prothymosin").session
+            root = runtime.view(sid).rows[0].node
+            conflicts: List[int] = []
+
+            def worker(i: int) -> None:
+                for step in range(25):
+                    try:
+                        if (i + step) % 2 == 0:
+                            runtime.expand(sid, root)
+                        else:
+                            runtime.backtrack(sid)
+                    except ValueError:
+                        # Another thread expanded first; a legitimate
+                        # 400 for this request, not corruption.
+                        conflicts.append(i)
+
+            run_threads(8, worker)
+            # The per-session lock kept the log and the tree in step.
+            with runtime.sessions.checkout(sid) as entry:
+                session = entry.session
+                assert session.active.expansions_performed == len(
+                    session.expand_log
+                )
+                assert session.visualize()
+            # Drain every expansion; the session must return to the root.
+            for _ in range(300):
+                with runtime.sessions.checkout(sid) as entry:
+                    if entry.session.active.expansions_performed == 0:
+                        break
+                runtime.backtrack(sid)
+            final = runtime.view(sid)
+            assert len(final.rows) == 1
+            with runtime.sessions.checkout(sid) as entry:
+                assert entry.session.expand_log == []
+
+
+class TestWebShedding:
+    def test_deadline_exceeded_returns_503(self, bionav):
+        app = BioNavWebApp(
+            bionav, workers=1, max_queue=4, deadline=0.05, backend_latency=0.3
+        )
+        try:
+            outcome: List[Tuple[str, Dict[str, str], str]] = []
+
+            def occupier() -> None:
+                outcome.append(request_page(app, "/api/search", {"q": "a"}))
+
+            first = threading.Thread(target=occupier, daemon=True)
+            first.start()
+            deadline = time.monotonic() + 5
+            while app.runtime.dispatcher.stats().in_flight < 1:
+                assert time.monotonic() < deadline, "occupier never started"
+                time.sleep(0.005)
+            status, headers, body = request_page(
+                app, "/api/search", {"q": "prothymosin"}
+            )
+            first.join(5)
+            assert status == "503 Service Unavailable"
+            assert headers["Retry-After"] == "1"
+            assert json.loads(body)["error_code"] == "deadline_exceeded"
+            assert app.runtime.dispatcher.stats().shed_deadline == 1
+            # The occupying request itself completed fine.
+            assert outcome[0][0] == "200 OK"
+        finally:
+            app.close()
+
+    def test_overload_returns_503_with_retry_after(self, bionav):
+        app = BioNavWebApp(bionav, workers=1, max_queue=1, backend_latency=0.6)
+        try:
+            threads = [
+                threading.Thread(
+                    target=lambda: request_page(app, "/api/search", {"q": "a"}),
+                    daemon=True,
+                )
+                for _ in range(2)
+            ]
+            # Occupy the single worker, then fill the single queue slot;
+            # sequencing against observed state keeps the test determinate.
+            threads[0].start()
+            deadline = time.monotonic() + 5
+            while app.runtime.dispatcher.stats().in_flight < 1:
+                assert time.monotonic() < deadline, "occupier never started"
+                time.sleep(0.005)
+            threads[1].start()
+            while app.runtime.dispatcher.stats().queue_depth < 1:
+                assert time.monotonic() < deadline, "queue never filled"
+                time.sleep(0.005)
+            status, headers, body = request_page(
+                app, "/api/search", {"q": "prothymosin"}
+            )
+            for t in threads:
+                t.join(5)
+            assert status == "503 Service Unavailable"
+            assert int(headers["Retry-After"]) >= 1
+            payload = json.loads(body)
+            assert payload["error_code"] == "overloaded"
+            assert payload["retry_after"] >= 1
+            stats = app.runtime.stats()
+            assert stats["serving"]["shed"]["overload"] == 1
+            assert app.runtime.health()["status"] in ("ok", "overloaded")
+        finally:
+            app.close()

@@ -203,11 +203,32 @@ class TestSessionBounds:
         for _ in range(3):
             _, body = request_page(bounded, "/api/search", {"q": "prothymosin"})
             sids.append(json.loads(body)["session"])
-        # The oldest session was evicted.
-        status, _ = request_page(bounded, "/api/nav/%s" % sids[0])
-        assert status == "404 Not Found"
+        # The oldest session was evicted: the API answers 410 with a
+        # machine-readable code, distinct from an unknown id's 404.
+        status, body = request_page(bounded, "/api/nav/%s" % sids[0])
+        assert status == "410 Gone"
+        error = json.loads(body)
+        assert error["error_code"] == "session_expired"
+        assert "re-run" in error["error"]
         status, _ = request_page(bounded, "/api/nav/%s" % sids[-1])
         assert status == "200 OK"
+        # An id the registry never issued is still a plain 404.
+        status, _ = request_page(bounded, "/api/nav/s999999")
+        assert status == "404 Not Found"
+
+    def test_expired_session_html_page_links_home(self, small_workload):
+        from repro.bionav import BioNav
+
+        bounded = BioNavWebApp(
+            BioNav(small_workload.database, small_workload.entrez), max_sessions=1
+        )
+        _, body = request_page(bounded, "/search", {"q": "prothymosin"})
+        sid = session_id_of(body)
+        request_page(bounded, "/search", {"q": "varenicline"})  # evicts sid
+        status, page = request_page(bounded, "/nav/%s" % sid)
+        assert status == "410 Gone"
+        assert "expired" in page
+        assert 'href="/"' in page
 
 
 class TestRouterFuzz:
@@ -238,10 +259,10 @@ class TestRouterFuzz:
 
 class TestCaching:
     def test_tree_shared_across_sessions(self, app):
-        before = app._queries.hits
+        before = app.runtime.queries.hits
         request_page(app, "/search", {"q": "dyslexia genetics"})
         request_page(app, "/search", {"q": "dyslexia genetics"})
-        assert app._queries.hits > before
+        assert app.runtime.queries.hits > before
 
     def test_sessions_are_independent(self, app):
         _, body_a = request_page(app, "/search", {"q": "LbetaT2"})
@@ -271,14 +292,39 @@ class TestStatsEndpoint:
         assert status == "200 OK"
         stats = json.loads(body)
         assert stats["query_cache"]["size"] == 1
-        assert stats["sessions"] == {"active": 1, "created": 1}
+        assert 0.0 <= stats["query_cache"]["hit_ratio"] <= 1.0
+        assert stats["query_cache"]["single_flight_coalesced"] == 0
+        assert stats["sessions"]["active"] == 1
+        assert stats["sessions"]["created"] == 1
+        assert stats["sessions"]["evicted"] == 0
+        serving = stats["serving"]
+        assert serving["workers"] >= 1
+        assert serving["queue_depth"] == 0
+        assert serving["in_flight"] == 0
+        assert serving["completed"] == serving["admitted"]
+        assert serving["shed"] == {"overload": 0, "deadline": 0, "total": 0}
         (entry,) = stats["queries"]
         assert entry["query"] == "prothymosin"
         assert entry["decision_cache_size"] > 0
         solver = stats["solver"]
         assert solver["expands"] == 1
         assert solver["mean_ms"] >= 0.0
+        assert solver["p50_ms"] >= 0.0
+        assert solver["p95_ms"] >= solver["p50_ms"]
         assert solver["mean_reduced_size"] > 0
+
+    def test_api_health_reports_saturation(self, app):
+        import json
+
+        status, body = request_page(app, "/api/health")
+        assert status == "200 OK"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["workers"] >= 1
+        assert health["queue_depth"] == 0
+        assert health["in_flight"] == 0
+        assert health["queue_capacity"] > 0
+        assert health["uptime_seconds"] >= 0.0
 
     def test_sessions_of_same_query_share_decisions(self, request):
         import json

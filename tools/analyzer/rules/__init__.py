@@ -7,7 +7,7 @@ Lint-level rules (run everywhere, including ``tests/`` and
 
 Semantic rules (guard solver invariants in ``src/repro``):
 ``determinism``, ``no-recursion``, ``float-equality``, ``bitmask-bounds``,
-``missing-hints``.
+``missing-hints``, ``lock-discipline``.
 """
 
 from __future__ import annotations
@@ -18,7 +18,16 @@ from tools.analyzer.rules import (  # noqa: F401  - imported for registration
     floats,
     generic,
     imports,
+    locking,
     recursion,
 )
 
-__all__ = ["bitmask", "determinism", "floats", "generic", "imports", "recursion"]
+__all__ = [
+    "bitmask",
+    "determinism",
+    "floats",
+    "generic",
+    "imports",
+    "locking",
+    "recursion",
+]

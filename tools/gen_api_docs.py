@@ -66,6 +66,51 @@ speedup floor (≥3× on a 12-node exact solve) and emits
 `BENCH_opt_engine.json`.
 """
 
+SERVING_HTTP = """\
+## Serving runtime and HTTP observability
+
+`repro.serving.ServingRuntime` is the thread-safe facade the web layer
+mounts (see DESIGN.md "Serving runtime" for the threading model).  Its
+two observability surfaces are served by `repro.web.app.BioNavWebApp`
+without passing through the worker pool, so they answer even when the
+pool is saturated:
+
+### `GET /api/health`
+
+| field            | meaning                                              |
+|------------------|------------------------------------------------------|
+| `status`         | `ok`, or `overloaded` when the admission queue is full |
+| `workers`        | worker-pool size (request concurrency cap)           |
+| `queue_depth`    | admitted requests currently waiting for a worker     |
+| `queue_capacity` | admission-queue bound; beyond it requests are shed   |
+| `in_flight`      | requests currently executing on workers              |
+| `sessions_active`| live navigation sessions in the registry             |
+| `uptime_seconds` | seconds since the runtime was constructed            |
+
+### `GET /api/stats`
+
+Extends the per-query rows and solver summary with serving counters:
+
+- `query_cache` — `size`, `capacity`, `hits`, `misses`, `evictions`,
+  `hit_ratio` (same value as the legacy `hit_rate` key), and
+  `single_flight_coalesced`: requests that waited on another thread's
+  in-progress tree build instead of duplicating it.
+- `sessions` — `active`, `capacity`, `created`, `evicted`, and
+  `expired_lookups` (requests that named an evicted session and were
+  answered `410 Gone` / `session_expired`).
+- `serving` — `workers`, `queue_depth`, `queue_capacity`, `in_flight`,
+  `admitted`, `completed`, and `shed.overload` / `shed.deadline` /
+  `shed.total` (requests rejected `503` with a `Retry-After` hint).
+- `solver` — per-EXPAND latency aggregates including `p50_ms` and
+  `p95_ms`, collected by the shared `AtomicSolverProfile`.
+
+Shed responses use HTTP 503 with `Retry-After`; requests naming an
+evicted session get HTTP 410 with `error_code: "session_expired"`
+(distinct from 404 `not_found` for ids that never existed).
+`benchmarks/bench_serving.py` load-tests the runtime (1 → 4 worker
+scaling, zero shed, zero lost sessions) and emits `BENCH_serving.json`.
+"""
+
 
 def iter_module_names() -> List[str]:
     names = ["repro"]
@@ -153,6 +198,8 @@ def render() -> str:
                 out.append("- **`%s`** — constant" % name)
         out.append("")
     out.append(ENGINE_INTERNALS)
+    out.append("")
+    out.append(SERVING_HTTP)
     return "\n".join(out)
 
 

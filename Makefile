@@ -30,10 +30,11 @@ bench:
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
-# Fast benchmark subset for CI: the Figure 10 heuristic-latency curve plus
-# the opt-engine speedup gate (writes BENCH_opt_engine.json).
+# Fast benchmark subset for CI: the Figure 10 heuristic-latency curve, the
+# opt-engine speedup gate (writes BENCH_opt_engine.json), and the staged
+# pipeline's cache-hit gate (writes BENCH_pipeline.json).
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py -q
+	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py benchmarks/bench_pipeline.py -q
 
 # Serving-runtime load smoke for CI: reduced client fleet, asserts the
 # no-shed / no-lost-session invariants (skips the throughput gate).

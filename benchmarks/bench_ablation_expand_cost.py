@@ -15,14 +15,14 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import make_solver
 from repro.core.cost_model import CostParams
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import navigate_to_target
 
 
 def sweep(prepared, expand_cost: float):
     params = CostParams(expand_cost=expand_cost)
-    strategy = HeuristicReducedOpt(prepared.tree, prepared.probs, params=params)
+    strategy = make_solver(prepared, "heuristic", params=params)
     return navigate_to_target(
         prepared.tree, strategy, prepared.target_node, params=params, show_results=False
     )

@@ -12,16 +12,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.probabilities import ProbabilityModel
 from repro.core.simulator import navigate_to_target
+from repro.pipeline.registry import default_registry
 
 
 def navigate(workload, prepared, use_idf: bool):
     probs = ProbabilityModel(
         prepared.tree, workload.database.medline_count, use_idf=use_idf
     )
-    strategy = HeuristicReducedOpt(prepared.tree, probs)
+    strategy = default_registry().create("heuristic", prepared.tree, probs)
     return navigate_to_target(
         prepared.tree, strategy, prepared.target_node, show_results=False
     )

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.probabilities import ProbabilityModel
 from repro.core.simulator import navigate_to_target
+from repro.pipeline.registry import default_registry
 
 SWEEP = [
     (50, 10),   # paper default
@@ -32,7 +32,7 @@ def navigate_with_thresholds(workload, prepared, upper, lower):
         upper_threshold=upper,
         lower_threshold=lower,
     )
-    strategy = HeuristicReducedOpt(prepared.tree, probs)
+    strategy = default_registry().create("heuristic", prepared.tree, probs)
     return navigate_to_target(
         prepared.tree, strategy, prepared.target_node, show_results=False
     )

@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import pytest
 
+from conftest import make_solver
 from repro.core.evaluation import expected_strategy_cost
-from repro.core.heuristic import HeuristicReducedOpt
-from repro.core.paged_static import PagedStaticNavigation
-from repro.core.static_nav import StaticNavigation
 
 KEYWORDS = ("LbetaT2", "prothymosin", "vardenafil")
 
@@ -26,17 +24,17 @@ def test_expected_cost_comparison(prepared_queries, report, benchmark):
             prepared = prepared_queries[keyword]
             results[keyword] = {
                 "static": expected_strategy_cost(
-                    prepared.tree, prepared.probs, StaticNavigation(prepared.tree)
+                    prepared.tree, prepared.probs, make_solver(prepared, "static_nav")
                 ),
                 "paged": expected_strategy_cost(
                     prepared.tree,
                     prepared.probs,
-                    PagedStaticNavigation(prepared.tree, page_size=5),
+                    make_solver(prepared, "paged_static", page_size=5),
                 ),
                 "bionav": expected_strategy_cost(
                     prepared.tree,
                     prepared.probs,
-                    HeuristicReducedOpt(prepared.tree, prepared.probs),
+                    make_solver(prepared, "heuristic"),
                 ),
             }
         return results
@@ -70,7 +68,7 @@ def test_bench_expected_cost_evaluation(benchmark, prepared_queries, keyword):
         return expected_strategy_cost(
             prepared.tree,
             prepared.probs,
-            HeuristicReducedOpt(prepared.tree, prepared.probs),
+            make_solver(prepared, "heuristic"),
         )
 
     cost = benchmark.pedantic(evaluate, rounds=2, iterations=1)

@@ -19,8 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_heuristic
-from repro.core.heuristic import HeuristicReducedOpt
+from conftest import make_solver, run_heuristic
 
 
 def test_fig10_average_expand_time(prepared_queries, report, benchmark):
@@ -77,7 +76,7 @@ def test_bench_root_expand_decision(benchmark, prepared_queries, keyword):
     component = frozenset(prepared.tree.iter_dfs())
 
     def decide():
-        strategy = HeuristicReducedOpt(prepared.tree, prepared.probs)
+        strategy = make_solver(prepared, "heuristic")
         return strategy.best_cut(component, prepared.tree.root)
 
     decision = benchmark(decide)

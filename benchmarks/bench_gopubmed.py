@@ -14,13 +14,12 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_heuristic, run_static
-from repro.core.gopubmed import GoPubMedNavigation
+from conftest import make_solver, run_heuristic, run_static
 from repro.core.simulator import navigate_to_target
 
 
 def run_gopubmed(prepared, top_k: int = 10):
-    strategy = GoPubMedNavigation(prepared.tree, top_k=top_k)
+    strategy = make_solver(prepared, "gopubmed", top_k=top_k)
     return navigate_to_target(
         prepared.tree, strategy, prepared.target_node, show_results=False
     )

@@ -14,9 +14,8 @@ import random
 
 import pytest
 
-from repro.core.heuristic import HeuristicReducedOpt
+from conftest import make_solver
 from repro.core.imperfect import navigate_with_errors
-from repro.core.static_nav import StaticNavigation
 
 ERROR_RATES = (0.0, 0.2, 0.4)
 TRIALS = 5
@@ -47,11 +46,11 @@ def test_imperfect_user_sweep(prepared_queries, report, benchmark):
             rows = []
             for rate in ERROR_RATES:
                 static = mean_cost(
-                    prepared, lambda p: StaticNavigation(p.tree), rate
+                    prepared, lambda p: make_solver(p, "static_nav"), rate
                 )
                 bionav = mean_cost(
                     prepared,
-                    lambda p: HeuristicReducedOpt(p.tree, p.probs),
+                    lambda p: make_solver(p, "heuristic"),
                     rate,
                 )
                 rows.append((rate, static, bionav))
@@ -91,7 +90,7 @@ def test_bench_imperfect_navigation(benchmark, prepared_queries, error_rate):
     def run():
         return navigate_with_errors(
             prepared.tree,
-            HeuristicReducedOpt(prepared.tree, prepared.probs),
+            make_solver(prepared, "heuristic"),
             prepared.target_node,
             error_rate=error_rate,
             rng=random.Random(7),

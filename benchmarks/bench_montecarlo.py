@@ -10,10 +10,9 @@ user population.
 
 from __future__ import annotations
 
+from conftest import make_solver
 from repro.core.evaluation import expected_strategy_cost
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.montecarlo import estimate_expected_cost
-from repro.core.static_nav import StaticNavigation
 
 KEYWORDS = ("LbetaT2", "varenicline")
 N_WALKS = 120
@@ -24,10 +23,8 @@ def test_monte_carlo_agreement(prepared_queries, report, benchmark):
         results = []
         for keyword in KEYWORDS:
             prepared = prepared_queries[keyword]
-            for make in (
-                lambda p: StaticNavigation(p.tree),
-                lambda p: HeuristicReducedOpt(p.tree, p.probs),
-            ):
+            for solver in ("static_nav", "heuristic"):
+                make = lambda p, s=solver: make_solver(p, s)
                 strategy = make(prepared)
                 analytic = expected_strategy_cost(
                     prepared.tree, prepared.probs, make(prepared)
@@ -78,7 +75,7 @@ def test_bench_one_walk(benchmark, prepared_queries):
     from repro.core.montecarlo import sample_walk
 
     prepared = prepared_queries["LbetaT2"]
-    strategy = HeuristicReducedOpt(prepared.tree, prepared.probs)
+    strategy = make_solver(prepared, "heuristic")
     rng = random.Random(1)
 
     outcome = benchmark(

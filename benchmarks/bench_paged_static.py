@@ -15,13 +15,12 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import run_heuristic, run_static
-from repro.core.paged_static import PagedStaticNavigation
+from conftest import make_solver, run_heuristic, run_static
 from repro.core.simulator import navigate_to_target
 
 
 def run_paged(prepared, page_size: int):
-    strategy = PagedStaticNavigation(prepared.tree, page_size=page_size)
+    strategy = make_solver(prepared, "paged_static", page_size=page_size)
     return navigate_to_target(
         prepared.tree, strategy, prepared.target_node, show_results=False
     )

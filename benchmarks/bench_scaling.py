@@ -10,9 +10,8 @@ persists across the sweep.
 
 from __future__ import annotations
 
-from repro.core.heuristic import HeuristicReducedOpt
+from conftest import make_solver
 from repro.core.simulator import navigate_to_target
-from repro.core.static_nav import StaticNavigation
 from repro.workload.builder import build_workload
 from repro.workload.queries import WorkloadQuery
 
@@ -38,12 +37,12 @@ def improvement_for(hierarchy_size: int, n_citations: int) -> tuple:
     )
     prepared = workload.prepare("scaling probe")
     static = navigate_to_target(
-        prepared.tree, StaticNavigation(prepared.tree), prepared.target_node,
+        prepared.tree, make_solver(prepared, "static_nav"), prepared.target_node,
         show_results=False,
     )
     bionav = navigate_to_target(
         prepared.tree,
-        HeuristicReducedOpt(prepared.tree, prepared.probs),
+        make_solver(prepared, "heuristic"),
         prepared.target_node,
         show_results=False,
     )

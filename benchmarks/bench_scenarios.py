@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.heuristic import HeuristicReducedOpt
+from conftest import make_solver
 from repro.core.simulator import navigate_to_target
-from repro.core.static_nav import StaticNavigation
 from repro.workload.scenarios import build_scenario, scenario_names
 
 
@@ -24,13 +23,13 @@ def run_scenario(name: str):
     prepared = workload.prepare(built.spec.keyword)
     static = navigate_to_target(
         prepared.tree,
-        StaticNavigation(prepared.tree),
+        make_solver(prepared, "static_nav"),
         prepared.target_node,
         show_results=False,
     )
     bionav = navigate_to_target(
         prepared.tree,
-        HeuristicReducedOpt(prepared.tree, prepared.probs),
+        make_solver(prepared, "heuristic"),
         prepared.target_node,
         show_results=False,
     )

@@ -16,9 +16,8 @@ from typing import Callable, Dict
 
 import pytest
 
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import NavigationOutcome, navigate_to_target
-from repro.core.static_nav import StaticNavigation
+from repro.pipeline.registry import default_registry
 from repro.workload.builder import PreparedQuery, Workload, build_workload
 
 BENCH_HIERARCHY_SIZE = 2500
@@ -47,21 +46,33 @@ def report(capsys) -> Callable[[str], None]:
     return _report
 
 
-def run_static(prepared: PreparedQuery) -> NavigationOutcome:
+def make_solver(prepared: PreparedQuery, name: str, params=None, **options) -> object:
+    """Registry-build a bare solver for one prepared query's tree.
+
+    Benchmarks construct solvers fresh per measured iteration (no
+    pipeline cut cache) so the timings cover the actual solve.
+    """
+    return default_registry().create(
+        name, prepared.tree, prepared.probs, params=params, **options
+    )
+
+
+def run_solver(
+    prepared: PreparedQuery, name: str, **options
+) -> NavigationOutcome:
     return navigate_to_target(
         prepared.tree,
-        StaticNavigation(prepared.tree),
+        make_solver(prepared, name, **options),
         prepared.target_node,
         show_results=False,
     )
 
 
+def run_static(prepared: PreparedQuery) -> NavigationOutcome:
+    return run_solver(prepared, "static_nav")
+
+
 def run_heuristic(
     prepared: PreparedQuery, max_reduced_nodes: int = 10
 ) -> NavigationOutcome:
-    strategy = HeuristicReducedOpt(
-        prepared.tree, prepared.probs, max_reduced_nodes=max_reduced_nodes
-    )
-    return navigate_to_target(
-        prepared.tree, strategy, prepared.target_node, show_results=False
-    )
+    return run_solver(prepared, "heuristic", max_reduced_nodes=max_reduced_nodes)

@@ -19,26 +19,39 @@ Quickstart::
 """
 
 from repro.bionav import BioNav, BioNavQuery
-from repro.core.active_tree import ActiveTree, VisNode
-from repro.core.cost_model import CostLedger, CostParams
-from repro.core.evaluation import expected_strategy_cost
-from repro.core.heuristic import HeuristicReducedOpt
-from repro.core.navigation_tree import NavigationTree
-from repro.core.opt_edgecut import BestCut, CutTree, OptEdgeCut
-from repro.core.paged_static import PagedStaticNavigation
-from repro.core.probabilities import ProbabilityModel
-from repro.core.relevance import ranked_visualization
-from repro.core.replay import SessionLog, record_session, replay_session
-from repro.core.session import NavigationSession
-from repro.core.simulator import NavigationOutcome, navigate_to_target
-from repro.core.static_nav import StaticNavigation
-from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.core import (
+    ActiveTree,
+    BestCut,
+    CostLedger,
+    CostParams,
+    CutDecision,
+    CutTree,
+    ExpansionStrategy,
+    HeuristicReducedOpt,
+    NavigationOutcome,
+    NavigationSession,
+    NavigationTree,
+    OptEdgeCut,
+    PagedStaticNavigation,
+    ProbabilityModel,
+    SessionLog,
+    SolverCapabilities,
+    StaticNavigation,
+    VisNode,
+    expected_strategy_cost,
+    navigate_to_target,
+    ranked_visualization,
+    record_session,
+    replay_session,
+)
 from repro.corpus.citation import Citation, DocSummary
 from repro.corpus.medline import MedlineDatabase
 from repro.eutils.client import EntrezClient
 from repro.hierarchy.concept import Concept, ConceptHierarchy
 from repro.hierarchy.generator import generate_hierarchy
 from repro.hierarchy.mesh import paper_fragment
+from repro.pipeline.pipeline import NavigationPipeline, PipelineStrategy
+from repro.pipeline.registry import SolverRegistry, default_registry
 from repro.storage.database import BioNavDatabase
 from repro.workload.builder import Workload, build_workload
 from repro.workload.queries import TABLE_I_QUERIES, WorkloadQuery
@@ -64,18 +77,23 @@ __all__ = [
     "HeuristicReducedOpt",
     "MedlineDatabase",
     "NavigationOutcome",
+    "NavigationPipeline",
     "NavigationSession",
     "NavigationTree",
     "OptEdgeCut",
     "PagedStaticNavigation",
+    "PipelineStrategy",
     "ProbabilityModel",
     "SessionLog",
+    "SolverCapabilities",
+    "SolverRegistry",
     "StaticNavigation",
     "TABLE_I_QUERIES",
     "VisNode",
     "Workload",
     "WorkloadQuery",
     "build_workload",
+    "default_registry",
     "expected_strategy_cost",
     "generate_hierarchy",
     "navigate_to_target",

@@ -6,11 +6,12 @@ Ties the off-line and on-line halves together:
   concept hierarchy and a MEDLINE snapshot (associations, denormalized
   table, MEDLINE-wide concept counts, keyword index).
 * **On-line**: :meth:`BioNav.search` resolves a keyword query through the
-  (simulated) Entrez ESearch to citation IDs, constructs the navigation
-  tree from the stored associations, and returns a
-  :class:`~repro.core.session.NavigationSession` driven by the requested
-  expansion strategy — ``Heuristic-ReducedOpt`` by default, exactly as the
-  deployed system's Navigation Subsystem.
+  staged :class:`~repro.pipeline.NavigationPipeline` — ESearch result
+  set, navigation tree, probability model, live session — with every
+  stage cached by content key and the expansion strategy selected by
+  name from the :class:`~repro.pipeline.SolverRegistry`
+  (``Heuristic-ReducedOpt`` by default, exactly as the deployed
+  system's Navigation Subsystem).
 """
 
 from __future__ import annotations
@@ -18,22 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.corpus.citation import DocSummary
-from repro.corpus.medline import MedlineDatabase
 from repro.core.cost_model import CostParams
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.navigation_tree import NavigationTree
 from repro.core.probabilities import ProbabilityModel
 from repro.core.session import NavigationSession
-from repro.core.static_nav import StaticNavigation
-from repro.core.strategy import ExpansionStrategy
+from repro.corpus.citation import DocSummary
+from repro.corpus.medline import MedlineDatabase
 from repro.eutils.client import EntrezClient
 from repro.hierarchy.concept import ConceptHierarchy
+from repro.pipeline.pipeline import NavigationPipeline
+from repro.pipeline.registry import SolverRegistry, default_registry
 from repro.storage.database import BioNavDatabase
 
 __all__ = ["BioNavQuery", "BioNav"]
-
-STRATEGY_NAMES = ("heuristic", "static")
 
 
 @dataclass
@@ -53,7 +51,12 @@ class BioNavQuery:
 
 
 class BioNav:
-    """End-to-end BioNav: database + eutils + navigation subsystem."""
+    """End-to-end BioNav: database + eutils + navigation subsystem.
+
+    All on-line work flows through :attr:`pipeline`; repeated searches
+    of one keyword share the cached result set, navigation tree, and
+    EdgeCut plans, and distinct keywords share the hierarchy snapshot.
+    """
 
     def __init__(
         self,
@@ -61,11 +64,21 @@ class BioNav:
         entrez: EntrezClient,
         max_reduced_nodes: int = 10,
         params: Optional[CostParams] = None,
+        registry: Optional[SolverRegistry] = None,
+        pipeline: Optional[NavigationPipeline] = None,
     ):
         self.database = database
         self.entrez = entrez
         self.max_reduced_nodes = max_reduced_nodes
         self.params = params or CostParams()
+        self.registry = registry or default_registry()
+        self.pipeline = pipeline or NavigationPipeline(
+            database,
+            entrez,
+            registry=self.registry,
+            params=self.params,
+            max_reduced_nodes=max_reduced_nodes,
+        )
 
     @classmethod
     def build(
@@ -88,19 +101,23 @@ class BioNav:
 
         Args:
             keyword: the user's query.
-            strategy: ``"heuristic"`` (BioNav, the default) or ``"static"``
-                (the GoPubMed-style baseline).
+            strategy: a registered solver name — ``"heuristic"``
+                (BioNav, the default), ``"static"`` (the GoPubMed-style
+                baseline), or any other name in
+                :meth:`SolverRegistry.names`.
 
         Raises:
             ValueError: unknown strategy name.
         """
-        pmids = tuple(self.entrez.esearch_all(keyword))
-        tree = self._navigation_tree(pmids)
-        probs = ProbabilityModel(tree, self.database.medline_count)
-        chosen = self._make_strategy(strategy, tree, probs)
-        session = NavigationSession(tree, chosen, params=self.params)
+        artifact = self.pipeline.open_session(keyword, solver=strategy)
+        results = self.pipeline.results(keyword)
+        nav = artifact.nav
         return BioNavQuery(
-            keyword=keyword, pmids=pmids, tree=tree, probs=probs, session=session
+            keyword=keyword,
+            pmids=results.pmids,
+            tree=nav.tree,
+            probs=nav.probs,
+            session=artifact.session,
         )
 
     def summaries(self, pmids: Sequence[int]) -> List[DocSummary]:
@@ -108,21 +125,3 @@ class BioNav:
         if not pmids:
             return []
         return self.entrez.esummary(pmids)
-
-    # ------------------------------------------------------------------
-    def _navigation_tree(self, pmids: Sequence[int]) -> NavigationTree:
-        annotations = self.database.annotations_for_result(pmids)
-        return NavigationTree.build(self.database.hierarchy, annotations)
-
-    def _make_strategy(
-        self, name: str, tree: NavigationTree, probs: ProbabilityModel
-    ) -> ExpansionStrategy:
-        if name == "heuristic":
-            return HeuristicReducedOpt(
-                tree, probs, max_reduced_nodes=self.max_reduced_nodes, params=self.params
-            )
-        if name == "static":
-            return StaticNavigation(tree)
-        raise ValueError(
-            "unknown strategy %r (expected one of %s)" % (name, ", ".join(STRATEGY_NAMES))
-        )

@@ -19,9 +19,8 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import navigate_to_target
-from repro.core.static_nav import StaticNavigation
+from repro.pipeline.registry import default_registry
 from repro.viz.render import render_active_tree
 from repro.workload.builder import Workload, build_workload
 
@@ -49,9 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("keyword", help="a Table I keyword, e.g. 'prothymosin'")
     search.add_argument(
         "--strategy",
-        choices=("heuristic", "static"),
+        choices=default_registry().all_names(),
         default="heuristic",
-        help="expansion strategy (default heuristic)",
+        help="expansion strategy, by registry name or alias (default heuristic)",
     )
 
     subparsers.add_parser("workload", help="print measured Table I statistics")
@@ -109,10 +108,7 @@ def _cmd_demo(workload: Workload) -> int:
         "Navigation tree: %d nodes, %d with duplicates"
         % (prepared.tree.size(), prepared.tree.citations_with_duplicates())
     )
-    strategy = HeuristicReducedOpt(prepared.tree, prepared.probs)
-    from repro.core.session import NavigationSession
-
-    session = NavigationSession(prepared.tree, strategy)
+    session = workload.open_session("prothymosin").session
     print("\nInitial EXPAND of the root (BioNav reveals a few descendants):\n")
     session.expand(prepared.tree.root)
     print(render_active_tree(session.active))
@@ -133,10 +129,7 @@ def _cmd_search(workload: Workload, keyword: str, strategy_name: str) -> int:
     except KeyError:
         print("unknown workload keyword %r" % keyword, file=sys.stderr)
         return 2
-    if strategy_name == "heuristic":
-        strategy = HeuristicReducedOpt(prepared.tree, prepared.probs)
-    else:
-        strategy = StaticNavigation(prepared.tree)
+    strategy = workload.strategy(prepared, strategy_name)
     outcome = navigate_to_target(prepared.tree, strategy, prepared.target_node)
     print("Query: %s  (%d citations)" % (keyword, len(prepared.pmids)))
     print("Target concept: %s" % prepared.tree.label(prepared.target_node))
@@ -186,11 +179,11 @@ def _cmd_compare(workload: Workload) -> int:
     improvements: List[float] = []
     for prepared in workload.prepare_all():
         static = navigate_to_target(
-            prepared.tree, StaticNavigation(prepared.tree), prepared.target_node
+            prepared.tree, workload.strategy(prepared, "static_nav"), prepared.target_node
         )
         heuristic = navigate_to_target(
             prepared.tree,
-            HeuristicReducedOpt(prepared.tree, prepared.probs),
+            workload.strategy(prepared, "heuristic"),
             prepared.target_node,
         )
         improvement = 1.0 - heuristic.navigation_cost / max(static.navigation_cost, 1)
@@ -215,7 +208,6 @@ def _cmd_html(
     workload: Workload, keyword: str, output: str, expands: int, rank: str
 ) -> int:
     from repro.core.relevance import ranked_visualization
-    from repro.core.session import NavigationSession
     from repro.viz.html import active_tree_to_html
 
     try:
@@ -223,8 +215,7 @@ def _cmd_html(
     except KeyError:
         print("unknown workload keyword %r" % keyword, file=sys.stderr)
         return 2
-    strategy = HeuristicReducedOpt(prepared.tree, prepared.probs)
-    session = NavigationSession(prepared.tree, strategy)
+    session = workload.open_session(keyword).session
     for _ in range(max(expands, 0)):
         if not session.active.is_expandable(prepared.tree.root):
             break

@@ -11,6 +11,7 @@ from repro.core.duplication import (
     tree_duplication,
 )
 from repro.core.evaluation import expected_strategy_cost
+from repro.core.exact import OptEdgeCutStrategy, ReferenceOptEdgeCutStrategy
 from repro.core.explain import CutAlternative, ExpansionExplanation, explain_expansion
 from repro.core.gopubmed import GoPubMedNavigation
 from repro.core.heuristic import HeuristicReducedOpt
@@ -26,7 +27,7 @@ from repro.core.replay import SessionLog, record_session, replay_session
 from repro.core.session import ExpandOutcome, NavigationSession
 from repro.core.simulator import ExpandRecord, NavigationOutcome, navigate_to_target
 from repro.core.static_nav import StaticNavigation
-from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.core.strategy import CutDecision, ExpansionStrategy, SolverCapabilities
 
 __all__ = [
     "ActiveTree",
@@ -49,8 +50,11 @@ __all__ = [
     "NavigationTree",
     "PagedStaticNavigation",
     "OptEdgeCut",
+    "OptEdgeCutStrategy",
     "ProbabilityModel",
+    "ReferenceOptEdgeCutStrategy",
     "SessionLog",
+    "SolverCapabilities",
     "StaticNavigation",
     "VisNode",
     "WalkOutcome",

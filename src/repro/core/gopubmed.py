@@ -27,7 +27,7 @@ from typing import FrozenSet, Iterable, Optional, Tuple
 from repro.core.active_tree import ActiveTree
 from repro.core.edgecut import component_children
 from repro.core.navigation_tree import NavigationTree
-from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.core.strategy import CutDecision, ExpansionStrategy, SolverCapabilities
 
 __all__ = ["GoPubMedNavigation"]
 
@@ -36,6 +36,15 @@ class GoPubMedNavigation(ExpansionStrategy):
     """Fixed top-level categories + top-k children per expansion."""
 
     name = "gopubmed"
+    capabilities = SolverCapabilities(
+        name="gopubmed",
+        optimal=False,
+        exact_below=None,
+        max_nodes=None,
+        estimates_cost=False,
+        cost_bound=None,
+        description="fixed top-level categories + top-k children per expansion",
+    )
 
     def __init__(
         self,

@@ -26,7 +26,7 @@ from repro.core.navigation_tree import NavigationTree
 from repro.core.opt_edgecut import CutTree, OptEdgeCut
 from repro.core.partition import partition_with_limit
 from repro.core.probabilities import ProbabilityModel
-from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.core.strategy import CutDecision, ExpansionStrategy, SolverCapabilities
 
 __all__ = ["HeuristicReducedOpt"]
 
@@ -37,6 +37,18 @@ class HeuristicReducedOpt(ExpansionStrategy):
     """BioNav's production EXPAND strategy."""
 
     name = "heuristic-reducedopt"
+    capabilities = SolverCapabilities(
+        name="heuristic",
+        optimal=False,
+        exact_below=10,
+        max_nodes=None,
+        estimates_cost=True,
+        cost_bound=1.25,
+        description=(
+            "k-partition reduction + exact Opt-EdgeCut on the supernode "
+            "tree; exact at or below max_reduced_nodes (default 10)"
+        ),
+    )
 
     def __init__(
         self,

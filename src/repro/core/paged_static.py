@@ -19,7 +19,7 @@ from typing import FrozenSet, Tuple
 from repro.core.active_tree import ActiveTree
 from repro.core.edgecut import component_children
 from repro.core.navigation_tree import NavigationTree
-from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.core.strategy import CutDecision, ExpansionStrategy, SolverCapabilities
 
 __all__ = ["PagedStaticNavigation"]
 
@@ -28,6 +28,15 @@ class PagedStaticNavigation(ExpansionStrategy):
     """Static navigation that reveals children one fixed-size page at a time."""
 
     name = "paged-static"
+    capabilities = SolverCapabilities(
+        name="paged_static",
+        optimal=False,
+        exact_below=None,
+        max_nodes=None,
+        estimates_cost=False,
+        cost_bound=None,
+        description='static navigation paged through a fixed-size "more" button',
+    )
 
     def __init__(self, tree: NavigationTree, page_size: int = 5):
         if page_size < 1:

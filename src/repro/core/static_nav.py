@@ -19,7 +19,7 @@ from typing import FrozenSet, Tuple
 from repro.core.active_tree import ActiveTree
 from repro.core.edgecut import component_children
 from repro.core.navigation_tree import NavigationTree
-from repro.core.strategy import CutDecision, ExpansionStrategy
+from repro.core.strategy import CutDecision, ExpansionStrategy, SolverCapabilities
 
 __all__ = ["StaticNavigation"]
 
@@ -28,6 +28,15 @@ class StaticNavigation(ExpansionStrategy):
     """Expand = reveal all children of the expanded concept."""
 
     name = "static"
+    capabilities = SolverCapabilities(
+        name="static_nav",
+        optimal=False,
+        exact_below=None,
+        max_nodes=None,
+        estimates_cost=False,
+        cost_bound=None,
+        description="show-all-children baseline (GoPubMed-family static expansion)",
+    )
 
     def __init__(self, tree: NavigationTree):
         self.tree = tree

@@ -10,13 +10,52 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import ClassVar, Optional, Tuple
 
 from repro.core.active_tree import ActiveTree
 
-__all__ = ["CutDecision", "ExpansionStrategy"]
+__all__ = ["CutDecision", "SolverCapabilities", "ExpansionStrategy"]
 
 Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """Machine-readable capability metadata for one expansion strategy.
+
+    The solver registry (:mod:`repro.pipeline.registry`) selects and
+    validates strategies by this record instead of hard-coded imports.
+
+    Attributes:
+        name: canonical registry name of the solver.
+        optimal: True when every accepted component is solved to the
+            provable cost minimum (bit-identical to the reference
+            oracle).
+        exact_below: component size at or below which the solver's cut
+            is exact (``None`` when it never is).  For
+            Heuristic-ReducedOpt this is its ``max_reduced_nodes``
+            default: components that skip the reduction are solved with
+            Opt-EdgeCut directly.
+        max_nodes: largest component the solver accepts, or ``None``
+            when unbounded (Opt-EdgeCut refuses trees above the bitmask
+            engine's cap).
+        estimates_cost: True when :attr:`CutDecision.expected_cost` is
+            populated by a cost model rather than left ``None``.
+        cost_bound: documented upper bound on the ratio between the
+            solver's expected navigation cost and the optimum, on trees
+            the optimum can be computed for; ``None`` for exact solvers
+            and for baselines that make no cost claim.  Enforced by the
+            cross-solver equivalence suite (``tests/test_registry.py``).
+        description: one-line catalog entry.
+    """
+
+    name: str
+    optimal: bool
+    exact_below: Optional[int]
+    max_nodes: Optional[int]
+    estimates_cost: bool
+    cost_bound: Optional[float]
+    description: str
 
 
 @dataclass(frozen=True)
@@ -38,9 +77,16 @@ class CutDecision:
 
 
 class ExpansionStrategy(abc.ABC):
-    """Chooses the EdgeCut for an EXPAND on a given component."""
+    """Chooses the EdgeCut for an EXPAND on a given component.
+
+    Concrete strategies advertise a :class:`SolverCapabilities` record
+    as the ``capabilities`` class attribute; the solver registry reads
+    it to answer "which solvers are optimal / cost-modelled / size-
+    capped" without importing solver modules at call sites.
+    """
 
     name = "abstract"
+    capabilities: ClassVar[Optional[SolverCapabilities]] = None
 
     @abc.abstractmethod
     def choose_cut(self, active: ActiveTree, node: int) -> CutDecision:

@@ -1,0 +1,179 @@
+"""Typed, immutable stage artifacts with deterministic content keys.
+
+The paper's dataflow (§II–§VI) — concept hierarchy → query result →
+navigation tree → active tree → EdgeCut — becomes five artifact types,
+one per stage boundary.  Each artifact carries a ``content_key``: a
+deterministic digest of everything the artifact's content depends on, so
+equal keys mean interchangeable values.  The keys chain: a navigation
+tree's key folds in the hierarchy snapshot's key and the result set's
+key, which is what lets the serving layer cache *per stage* — the
+hierarchy snapshot is one entry shared by every query of a deployment,
+navigation trees are shared by every session of a query, and only the
+active-tree / cut stages re-run on EXPAND.
+
+Artifacts are frozen dataclasses: stages may only communicate through
+them, never through side channels, which is what makes per-stage caching
+sound.  The one deliberate exception is
+:attr:`NavTreeArtifact.decisions` — the query-scoped EdgeCut decision
+store — whose sharing contract is documented on the field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.core.session import NavigationSession
+from repro.core.strategy import CutDecision
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.storage.database import BioNavDatabase
+
+__all__ = [
+    "content_key",
+    "component_digest",
+    "HierarchySnapshot",
+    "ResultSet",
+    "NavTreeArtifact",
+    "ActiveTreeArtifact",
+    "CutPlan",
+]
+
+
+def content_key(*parts: str) -> str:
+    """Deterministic digest of ordered string parts (sha-256, 40 hex chars).
+
+    40 hex characters (160 bits) keep keys short enough for stats output
+    while leaving collisions out of practical reach.
+    """
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+    return digest[:40]
+
+
+def component_digest(component: Iterable[int]) -> str:
+    """Order-insensitive digest of a node-id set (sorted before hashing)."""
+    return content_key("component", ",".join(str(n) for n in sorted(component)))
+
+
+@dataclass(frozen=True)
+class HierarchySnapshot:
+    """Stage 1 — the deployment's concept hierarchy plus its database.
+
+    One snapshot serves every query and session of a deployment; its
+    content key fingerprints the hierarchy's full (uid, label, parent)
+    record stream, so two deployments of the same MeSH revision share
+    keys and a re-grafted hierarchy gets a new one.  Corpus revisions
+    surface downstream instead: they change each query's result set,
+    whose key every navigation-tree key folds in.
+
+    Attributes:
+        database: the off-line BioNav database (associations, counts).
+        hierarchy: the concept hierarchy the database was built over.
+        content_key: deterministic fingerprint of the hierarchy records.
+    """
+
+    database: BioNavDatabase
+    hierarchy: ConceptHierarchy
+    content_key: str
+
+    @staticmethod
+    def compute_key(hierarchy: ConceptHierarchy) -> str:
+        """Fingerprint the hierarchy's full record stream."""
+        hasher = hashlib.sha256()
+        hasher.update(("%d" % len(hierarchy)).encode("utf-8"))
+        for uid, label, parent in hierarchy.to_records():
+            hasher.update(("%s\x1f%s\x1f%d\x1e" % (uid, label, parent)).encode("utf-8"))
+        return hasher.hexdigest()[:40]
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """Stage 2 — one keyword query resolved to its citation ids.
+
+    Attributes:
+        query: the keyword query as issued.
+        pmids: the matching citation ids, in ESearch order.
+        content_key: digest chaining the hierarchy key and the query.
+    """
+
+    query: str
+    pmids: Tuple[int, ...]
+    content_key: str
+
+    @property
+    def count(self) -> int:
+        """Number of citations in the result."""
+        return len(self.pmids)
+
+
+@dataclass(frozen=True, eq=False)
+class NavTreeArtifact:
+    """Stage 3 — the query's navigation tree and probability model.
+
+    Shared by every session of the query: the tree and probability model
+    are immutable after construction, and ``decisions`` is the
+    query-scoped EdgeCut decision store.
+
+    Attributes:
+        query: the keyword query.
+        tree: the navigation tree embedded in the hierarchy.
+        probs: EXPLORE/EXPAND probability estimates over ``tree``.
+        decisions: component → cut decision, shared by every strategy
+            instance of this query.  EdgeCut decisions are deterministic
+            per (tree, probs, params), so concurrent sessions may write
+            the same key only with the same value — sharing is safe
+            under per-session locks (see DESIGN.md §10).
+        content_key: digest chaining the hierarchy and result-set keys.
+    """
+
+    query: str
+    tree: NavigationTree
+    probs: ProbabilityModel
+    content_key: str
+    decisions: Dict[FrozenSet[int], CutDecision] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, eq=False)
+class ActiveTreeArtifact:
+    """Stage 4 — one session's live active tree over a navigation tree.
+
+    Per-session and therefore never cached across sessions: the session
+    object mutates as the user EXPANDs and BACKTRACKs.  The artifact
+    pins the shared navigation-tree artifact it was activated from and
+    the solver driving its EXPANDs.
+
+    Attributes:
+        nav: the shared navigation-tree artifact.
+        solver: canonical registry name of the session's solver.
+        session: the live navigation session (active tree + cost ledger).
+        content_key: unique per activation (chains the nav key, the
+            solver, and an activation ordinal).
+    """
+
+    nav: NavTreeArtifact
+    solver: str
+    session: NavigationSession
+    content_key: str
+
+
+@dataclass(frozen=True)
+class CutPlan:
+    """Stage 5 — one EXPAND's chosen EdgeCut, addressable by content.
+
+    Cached per (navigation tree, component, root, solver, cost params):
+    the same component expanded in any session of the query — today or
+    after a BACKTRACK — replays the plan without re-solving.
+
+    Attributes:
+        solver: canonical registry name of the deciding solver.
+        root: root concept of the expanded component.
+        decision: the strategy's cut (with instrumentation).
+        content_key: digest identifying this plan's full input closure.
+    """
+
+    solver: str
+    root: int
+    decision: CutDecision
+    content_key: str

@@ -1,0 +1,198 @@
+"""Per-stage caching with hit/miss/latency accounting.
+
+:class:`StageCache` gives every pipeline stage its own
+:class:`~repro.pipeline.concurrency.SingleFlightCache` plus a latency
+ledger, under one façade: ``get_or_build(stage, key, builder)`` is the
+only way stage values come into existence, so hits, misses, coalesced
+lookups and build latency are measured at the exact point the work
+happens.  N concurrent requests missing on the same stage key still run
+the builder exactly once (the single-flight guarantee the serving layer
+relies on), and the per-stage counters feed ``GET /api/stats``.
+
+Stages that are deliberately uncached — activating a session's active
+tree is per-user state — still report through :meth:`record_run`, so
+the stats surface covers every stage of the dataflow, cached or not.
+
+Thread safety follows the serving layer's lock discipline: every
+counter mutation happens inside ``self._lock`` (the per-stage entry
+stores live in ``SingleFlightCache`` instances, which lock themselves).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+from repro.pipeline.concurrency import SingleFlightCache
+
+__all__ = ["DEFAULT_STAGE_CAPACITY", "StageCache"]
+
+V = TypeVar("V")
+
+#: Entries a stage's cache holds unless the capacity map says otherwise.
+DEFAULT_STAGE_CAPACITY = 64
+
+
+class _StageLedger:
+    """Mutable latency/run counters for one stage (guarded by StageCache)."""
+
+    __slots__ = ("builds", "build_seconds", "build_seconds_max", "runs")
+
+    def __init__(self) -> None:
+        self.builds = 0
+        self.build_seconds = 0.0
+        self.build_seconds_max = 0.0
+        self.runs = 0
+
+
+class StageCache:
+    """Named single-flight caches, one per pipeline stage.
+
+    Args:
+        capacities: stage name → entry bound; stages absent from the map
+            get ``default_capacity``.  The hierarchy stage holds one
+            entry per deployment, so even a capacity of 1 never evicts
+            it; result-set and navigation-tree stages typically share
+            the serving layer's tree-cache bound; the cut stage wants a
+            larger bound (one entry per distinct expanded component).
+        default_capacity: bound for unconfigured stages.
+    """
+
+    def __init__(
+        self,
+        capacities: Optional[Dict[str, int]] = None,
+        default_capacity: int = DEFAULT_STAGE_CAPACITY,
+    ):
+        if default_capacity < 1:
+            raise ValueError("default_capacity must be positive")
+        self._lock = threading.Lock()
+        self._capacities = dict(capacities or {})
+        self._default_capacity = default_capacity
+        self._caches: Dict[str, SingleFlightCache] = {}
+        self._ledgers: Dict[str, _StageLedger] = {}
+
+    # ------------------------------------------------------------------
+    def get_or_build(self, stage: str, key: str, builder: Callable[[], V]) -> V:
+        """Fetch ``key`` from ``stage``'s cache or build it exactly once.
+
+        The builder runs outside every lock; its wall-clock time is
+        recorded against the stage.  Concurrent misses on the same key
+        coalesce onto one build (see ``SingleFlightCache``).
+        """
+        cache = self._cache_for(stage)
+
+        def timed_builder() -> V:
+            started = time.perf_counter()
+            value = builder()
+            self._record_build(stage, time.perf_counter() - started)
+            return value
+
+        return cache.get_or_create(key, timed_builder)
+
+    def record_run(self, stage: str, seconds: float) -> None:
+        """Account one execution of an uncached stage."""
+        with self._lock:
+            ledger = self._ledger_locked(stage)
+            ledger.runs += 1
+            ledger.build_seconds += seconds
+            ledger.build_seconds_max = max(ledger.build_seconds_max, seconds)
+
+    def stage_cache(self, stage: str) -> SingleFlightCache:
+        """The stage's underlying single-flight cache (created on demand).
+
+        Exposed so the serving layer can keep its historical
+        ``runtime.queries`` counter surface pointed at the
+        navigation-tree stage; everything else should read
+        :meth:`snapshot` instead.
+        """
+        return self._cache_for(stage)
+
+    def items(self, stage: str) -> List[Tuple[str, object]]:
+        """Snapshot of one stage's (key, value) entries, LRU first.
+
+        Empty when the stage has no cache yet; never perturbs recency
+        or the hit/miss counters.
+        """
+        with self._lock:
+            cache = self._caches.get(stage)
+        return cache.items() if cache is not None else []
+
+    def clear(self) -> None:
+        """Drop every stage's entries (statistics are kept)."""
+        with self._lock:
+            caches = list(self._caches.values())
+        for cache in caches:
+            cache.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """stage name → one consistent reading of its counters.
+
+        Cached stages report ``hits``/``misses``/``coalesced``/
+        ``evictions``/``size``/``capacity``/``hit_ratio`` from their
+        single-flight cache plus the build-latency ledger; uncached
+        stages report ``runs`` and the same latency fields.
+        """
+        with self._lock:
+            caches = dict(self._caches)
+            ledgers = {name: self._ledger_row_locked(name) for name in self._ledgers}
+        stages: Dict[str, Dict[str, float]] = {}
+        for name, row in ledgers.items():
+            stages[name] = row
+        for name, cache in caches.items():
+            row = stages.setdefault(name, self._empty_ledger_row())
+            row.update(cache.snapshot())
+        return stages
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cache_for(self, stage: str) -> SingleFlightCache:
+        with self._lock:
+            cache = self._caches.get(stage)
+            if cache is None:
+                capacity = self._capacities.get(stage, self._default_capacity)
+                cache = SingleFlightCache(capacity)
+                self._caches[stage] = cache
+                self._ledger_locked(stage)
+            return cache
+
+    def _record_build(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            ledger = self._ledger_locked(stage)
+            ledger.builds += 1
+            ledger.build_seconds += seconds
+            ledger.build_seconds_max = max(ledger.build_seconds_max, seconds)
+
+    def _ledger_locked(self, stage: str) -> _StageLedger:
+        """Fetch/create a stage's ledger; caller holds the lock."""
+        ledger = self._ledgers.get(stage)
+        if ledger is None:
+            ledger = _StageLedger()
+            self._ledgers[stage] = ledger
+        return ledger
+
+    def _ledger_row_locked(self, stage: str) -> Dict[str, float]:
+        """Render one ledger as a stats row; caller holds the lock."""
+        ledger = self._ledgers[stage]
+        executed = ledger.builds + ledger.runs
+        return {
+            "builds": ledger.builds,
+            "runs": ledger.runs,
+            "build_seconds_total": ledger.build_seconds,
+            "build_ms_avg": (
+                1000.0 * ledger.build_seconds / executed if executed else 0.0
+            ),
+            "build_ms_max": 1000.0 * ledger.build_seconds_max,
+        }
+
+    @staticmethod
+    def _empty_ledger_row() -> Dict[str, float]:
+        return {
+            "builds": 0,
+            "runs": 0,
+            "build_seconds_total": 0.0,
+            "build_ms_avg": 0.0,
+            "build_ms_max": 0.0,
+        }

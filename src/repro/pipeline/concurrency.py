@@ -1,0 +1,182 @@
+"""The single-flight LRU cache backing every pipeline stage.
+
+:class:`SingleFlightCache` is the concurrent counterpart of
+:class:`repro.storage.cache.LRUCache`.  Entry access and the hit/miss
+counters mutate under one lock, so the statistics can never drift from
+the entries they describe (the single-threaded cache documents that it
+must not be shared across threads for exactly this reason).  Its
+``get_or_create`` adds *single-flight* semantics: when N threads miss on
+the same key at once, one runs the factory while the other N-1 block on
+a per-key event and receive the same value — the navigation tree for a
+hot query is built exactly once no matter how many users issue it
+concurrently.
+
+The class lives in the pipeline layer because the
+:class:`~repro.pipeline.cache.StageCache` is its primary holder; the
+serving layer re-exports it from :mod:`repro.serving.concurrency`
+alongside its own profiling primitives.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+__all__ = ["SingleFlightCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class _Flight:
+    """One in-progress factory call other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlightCache(Generic[K, V]):
+    """A locked LRU cache with single-flight ``get_or_create``.
+
+    All entry and counter mutation happens inside ``self._lock``; the
+    factory itself runs *outside* the lock so a slow build (a cold
+    navigation-tree construction) never blocks hits on other keys.
+
+    Counters:
+        ``hits``/``misses``/``evictions`` mirror the single-threaded
+        cache; ``coalesced`` counts lookups that piggy-backed on another
+        thread's in-flight build instead of running the factory again.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._flights: Dict[K, _Flight] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: K) -> Optional[V]:
+        """Value for ``key`` (refreshing its recency), or None."""
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh an entry, evicting the LRU one when full."""
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: K, value: V) -> None:
+        """Insert/refresh assuming ``self._lock`` is already held."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        """Fetch ``key``, or build it exactly once across all threads.
+
+        The first thread to miss runs ``factory`` and publishes the
+        value; concurrent missers block on a per-key event and return
+        the published value (counted in ``coalesced``).  A factory
+        exception propagates to the builder *and* every waiter, and
+        nothing is cached, so the next lookup retries.
+        """
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            flight = self._flights.get(key)
+            if flight is None:
+                self.misses += 1
+                flight = _Flight()
+                self._flights[key] = flight
+                building = True
+            else:
+                self.coalesced += 1
+                building = False
+        if not building:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value  # type: ignore[return-value]
+        try:
+            value = factory()
+        except BaseException as exc:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.error = exc
+            flight.event.set()
+            raise
+        with self._lock:
+            self._put_locked(key, value)
+            self._flights.pop(key, None)
+        flight.value = value
+        flight.event.set()
+        return value
+
+    def items(self) -> List[Tuple[K, V]]:
+        """Snapshot of (key, value) pairs, LRU first.
+
+        Neither refreshes recency nor touches the hit/miss counters —
+        stats endpoints observe the cache without perturbing it.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache.
+
+        Coalesced lookups count as neither hit nor miss: they did not
+        find a cached value, but they did not pay for a build either.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """One consistent reading of size and every counter."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "coalesced": self.coalesced,
+                "hit_ratio": self.hits / total if total else 0.0,
+            }

@@ -6,9 +6,11 @@ executed on the worker pool, and returned as an immutable view object
 the renderer (HTML or JSON) consumes without touching shared state.
 The runtime owns all cross-request state and its locking:
 
-* the per-query cache (tree + probability model + shared decision
-  cache) behind a single-flight lock, so a hot query's navigation tree
-  is built once no matter how many users issue it concurrently;
+* the staged :class:`~repro.pipeline.NavigationPipeline`, whose
+  per-stage single-flight caches mean the hierarchy snapshot is shared
+  by every query, a hot query's result set and navigation tree are
+  built once no matter how many users issue it concurrently, and
+  repeated EXPANDs replay cached cut plans;
 * the session registry, whose per-session locks serialize interleaved
   EXPAND/BACKTRACK on one session;
 * one atomic solver profile collecting per-EXPAND latency for
@@ -26,23 +28,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
-from repro.bionav import BioNav
+if TYPE_CHECKING:  # import cycle: repro.bionav builds on repro.pipeline,
+    # whose cache layer reuses this package's SingleFlightCache.
+    from repro.bionav import BioNav
+
 from repro.core.active_tree import VisNode
-from repro.core.heuristic import HeuristicReducedOpt
-from repro.core.navigation_tree import NavigationTree
-from repro.core.probabilities import ProbabilityModel
 from repro.core.relevance import ranked_visualization
-from repro.core.session import NavigationSession
-from repro.core.strategy import CutDecision
 from repro.corpus.citation import DocSummary
+from repro.pipeline.pipeline import NavigationPipeline
+from repro.pipeline.stages import NavTreeStage
 from repro.serving.concurrency import AtomicSolverProfile, SingleFlightCache
 from repro.serving.dispatcher import WorkerPoolDispatcher
 from repro.serving.sessions import SessionEntry, SessionRegistry
 
 __all__ = [
-    "QueryState",
+    "DEFAULT_RESULTS_PAGE_SIZE",
     "CostView",
     "SearchResult",
     "SessionView",
@@ -50,23 +52,11 @@ __all__ = [
     "ServingRuntime",
 ]
 
-
-class QueryState:
-    """Shared per-query artifacts: tree, probability model, decisions.
-
-    ``decisions`` is the Heuristic-ReducedOpt decision cache every
-    session of this query shares — EdgeCut decisions are deterministic
-    per query, so one session's EXPAND work serves all of them.  The
-    dict is only ever read/written by a strategy running under its
-    session's lock; distinct sessions of one query may interleave, but
-    each write is an idempotent "same key, same deterministic value",
-    so sharing stays safe.
-    """
-
-    def __init__(self, tree: NavigationTree, probs: ProbabilityModel):
-        self.tree = tree
-        self.probs = probs
-        self.decisions: Dict[FrozenSet[int], CutDecision] = {}
+#: Citations a SHOWRESULTS response materializes ESummary records for;
+#: the component's full pmid list is always returned, this only bounds
+#: the per-request display payload (paper §VII: the deployed interface
+#: pages the citation list).
+DEFAULT_RESULTS_PAGE_SIZE = 50
 
 
 @dataclass(frozen=True)
@@ -130,7 +120,8 @@ class ResultsView:
         node: the concept whose component was listed.
         label: the concept's label.
         pmids: every citation id in the component (sorted).
-        summaries: display records for the first 50 citations.
+        summaries: display records for the first ``results_page_size``
+            citations (see :class:`ServingRuntime`).
         cost: the session's cost ledger snapshot after charging.
     """
 
@@ -148,7 +139,8 @@ class ServingRuntime:
 
     Args:
         bionav: the system to serve.
-        tree_cache_size: bound on cached per-query states.
+        tree_cache_size: bound on cached result sets / navigation trees
+            (the pipeline's ``results`` and ``nav_tree`` stages).
         max_sessions: bound on live sessions.
         workers: worker-pool size (the request concurrency cap).
         max_queue: admitted requests allowed to wait for a worker;
@@ -158,6 +150,11 @@ class ServingRuntime:
         retry_after: client back-off hint attached to shed requests.
         backend_latency: simulated per-request backend round-trip in
             seconds (see the module docstring); 0 disables it.
+        solver: registry name of the expansion strategy new sessions
+            run (canonical or alias; resolved by the pipeline).
+        results_page_size: citations per SHOWRESULTS display page
+            (summaries materialized per request; the full pmid list is
+            unaffected).  Surfaced in ``/api/health``.
     """
 
     def __init__(
@@ -170,12 +167,26 @@ class ServingRuntime:
         deadline: Optional[float] = None,
         retry_after: float = 1.0,
         backend_latency: float = 0.0,
+        solver: str = "heuristic",
+        results_page_size: int = DEFAULT_RESULTS_PAGE_SIZE,
     ):
+        if results_page_size < 1:
+            raise ValueError("results_page_size must be positive")
         self.bionav = bionav
         self.deadline = deadline
         self.backend_latency = backend_latency
-        self.queries: SingleFlightCache[str, QueryState] = SingleFlightCache(
-            tree_cache_size
+        self.solver = bionav.registry.resolve(solver)
+        self.results_page_size = results_page_size
+        self.pipeline = NavigationPipeline(
+            bionav.database,
+            bionav.entrez,
+            registry=bionav.registry,
+            params=bionav.params,
+            max_reduced_nodes=bionav.max_reduced_nodes,
+            capacities={
+                "results": tree_cache_size,
+                "nav_tree": tree_cache_size,
+            },
         )
         self.sessions = SessionRegistry(max_sessions)
         self.profile = AtomicSolverProfile()
@@ -183,6 +194,11 @@ class ServingRuntime:
             workers, max_queue=max_queue, retry_after=retry_after
         )
         self._started = time.monotonic()
+
+    @property
+    def queries(self) -> SingleFlightCache:
+        """The navigation-tree stage's cache (historical counter surface)."""
+        return self.pipeline.cache.stage_cache(NavTreeStage.name)
 
     # ------------------------------------------------------------------
     # Dispatched operations (the request surface)
@@ -212,14 +228,13 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     def _do_search(self, query: str) -> SearchResult:
         self._simulate_backend()
-        state = self.queries.get_or_create(query, lambda: self._build_query(query))
-        strategy = HeuristicReducedOpt(
-            state.tree, state.probs, decision_cache=state.decisions
+        nav = self.pipeline.nav_tree(query)
+        artifact = self.pipeline.activate(
+            nav, solver=self.solver, profiler=self.profile
         )
-        session = NavigationSession(state.tree, strategy, profiler=self.profile)
-        sid = self.sessions.create(query, session, state)
+        sid = self.sessions.create(query, artifact.session, nav)
         return SearchResult(
-            session=sid, query=query, count=len(state.tree.all_results())
+            session=sid, query=query, count=len(nav.tree.all_results())
         )
 
     def _do_view(self, sid: str) -> SessionView:
@@ -246,7 +261,9 @@ class ServingRuntime:
             cost = self._cost_locked(entry)
         # ESummary fetch happens outside the session lock: it reads the
         # immutable corpus, not the session.
-        summaries = tuple(self.bionav.summaries(list(pmids[:50])))
+        summaries = tuple(
+            self.bionav.summaries(list(pmids[: self.results_page_size]))
+        )
         return ResultsView(
             session=sid,
             query=query,
@@ -266,10 +283,6 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _build_query(self, query: str) -> QueryState:
-        result = self.bionav.search(query)
-        return QueryState(tree=result.tree, probs=result.probs)
-
     def _simulate_backend(self) -> None:
         if self.backend_latency > 0:
             time.sleep(self.backend_latency)
@@ -310,22 +323,30 @@ class ServingRuntime:
             "queue_capacity": self.dispatcher.admission.max_queue,
             "in_flight": admission.in_flight,
             "sessions_active": len(self.sessions),
+            "solver": self.solver,
+            "results_page_size": self.results_page_size,
             "uptime_seconds": time.monotonic() - self._started,
         }
 
     def stats(self) -> Dict[str, object]:
-        """Operational statistics for ``GET /api/stats``."""
+        """Operational statistics for ``GET /api/stats``.
+
+        The ``pipeline`` block reports every stage's cache hit/miss/
+        latency counters; ``query_cache`` remains as the historical
+        alias of the navigation-tree stage's counters.
+        """
         admission = self.dispatcher.stats()
         cache = self.queries.snapshot()
         query_rows = [
             {
-                "query": query,
-                "tree_size": len(state.tree),
-                "decision_cache_size": len(state.decisions),
+                "query": nav.query,
+                "tree_size": len(nav.tree),
+                "decision_cache_size": len(nav.decisions),
             }
-            for query, state in self.queries.items()
+            for _, nav in self.pipeline.cache.items(NavTreeStage.name)
         ]
         return {
+            "pipeline": self.pipeline.stage_stats(),
             "query_cache": {
                 "size": cache["size"],
                 "capacity": cache["capacity"],

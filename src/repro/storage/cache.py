@@ -1,24 +1,20 @@
-"""LRU cache for per-query navigation state.
+"""DEPRECATED single-threaded LRU cache (superseded by the pipeline).
 
-The deployed BioNav constructs each query's navigation tree once and then
-serves every EXPAND/SHOWRESULTS of that user session from it (paper §VII:
-"this process is done once for each user query").  A multi-user deployment
-additionally wants to share that work across users issuing the same query;
-:class:`LRUCache` provides the bounded store for that, with hit/miss
-statistics for capacity planning.
-
-This cache is **single-threaded**: the hit/miss counters update
-non-atomically with entry access (``self.hits += 1`` is a read-modify-
-write, and ``move_to_end`` is a second step), so two threads sharing it
-can lose counts or corrupt recency order.  The web layer therefore uses
-:class:`repro.serving.concurrency.SingleFlightCache`, which performs
-entry access and counter updates under one lock and adds single-flight
-``get_or_create``; this class remains the cheap in-process variant for
-offline/batch callers.
+Historically this module held the per-query navigation-state cache for
+the single-threaded deployment.  The staged pipeline replaced it: every
+stage artifact now lives in a per-stage
+:class:`~repro.pipeline.concurrency.SingleFlightCache` inside a
+:class:`~repro.pipeline.cache.StageCache`, which keeps the same
+hit/miss/eviction counters *and* is safe under the multi-threaded
+serving runtime.  Nothing in ``src/repro`` uses :class:`LRUCache` any
+more; the class remains only so external callers get a
+:class:`DeprecationWarning` and a migration pointer instead of an
+``ImportError``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
 
@@ -29,9 +25,24 @@ V = TypeVar("V")
 
 
 class LRUCache(Generic[K, V]):
-    """A bounded mapping evicting the least-recently-used entry."""
+    """A bounded mapping evicting the least-recently-used entry.
+
+    .. deprecated::
+        Use :class:`repro.pipeline.concurrency.SingleFlightCache` (the
+        thread-safe equivalent with the same counter surface) or a
+        :class:`repro.pipeline.cache.StageCache` for keyed pipeline
+        artifacts.  This class is single-threaded and no longer used by
+        the reproduction itself.
+    """
 
     def __init__(self, capacity: int):
+        warnings.warn(
+            "repro.storage.cache.LRUCache is deprecated; use "
+            "repro.pipeline.concurrency.SingleFlightCache (thread-safe, "
+            "same counters) or repro.pipeline.cache.StageCache instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity

@@ -47,7 +47,12 @@ from urllib.parse import parse_qs
 
 from repro.bionav import BioNav
 from repro.serving.admission import DeadlineExceeded, RetryLater
-from repro.serving.runtime import ResultsView, ServingRuntime, SessionView
+from repro.serving.runtime import (
+    DEFAULT_RESULTS_PAGE_SIZE,
+    ResultsView,
+    ServingRuntime,
+    SessionView,
+)
 from repro.serving.sessions import SessionExpired
 
 __all__ = ["BioNavWebApp"]
@@ -86,6 +91,8 @@ class BioNavWebApp:
         max_queue: int = 64,
         deadline: Optional[float] = None,
         backend_latency: float = 0.0,
+        solver: str = "heuristic",
+        results_page_size: int = DEFAULT_RESULTS_PAGE_SIZE,
     ):
         self.runtime = ServingRuntime(
             bionav,
@@ -95,6 +102,8 @@ class BioNavWebApp:
             max_queue=max_queue,
             deadline=deadline,
             backend_latency=backend_latency,
+            solver=solver,
+            results_page_size=results_page_size,
         )
         self.bionav = bionav
 
@@ -259,9 +268,10 @@ class BioNavWebApp:
             )
             for s in view.summaries
         )
+        page_size = self.runtime.results_page_size
         more = (
-            "<p>(showing first 50 of %d)</p>" % len(view.pmids)
-            if len(view.pmids) > 50
+            "<p>(showing first %d of %d)</p>" % (page_size, len(view.pmids))
+            if len(view.pmids) > page_size
             else ""
         )
         body = (

@@ -21,9 +21,12 @@ from repro.corpus.generator import CorpusGenerator, TopicSpec
 from repro.corpus.medline import MedlineDatabase
 from repro.core.navigation_tree import NavigationTree
 from repro.core.probabilities import ProbabilityModel
+from repro.core.strategy import ExpansionStrategy
 from repro.eutils.client import EntrezClient
 from repro.hierarchy.concept import ConceptHierarchy
 from repro.hierarchy.generator import generate_hierarchy
+from repro.pipeline.artifacts import ActiveTreeArtifact
+from repro.pipeline.pipeline import NavigationPipeline
 from repro.storage.database import BioNavDatabase
 from repro.workload.queries import TABLE_I_QUERIES, WorkloadQuery
 
@@ -66,6 +69,7 @@ class Workload:
         self.database = database
         self.entrez = entrez
         self.queries = list(queries)
+        self.pipeline = NavigationPipeline(database, entrez)
 
     def built_query(self, keyword: str) -> BuiltQuery:
         """The materialized query for ``keyword`` (KeyError if absent)."""
@@ -75,23 +79,44 @@ class Workload:
         raise KeyError("no built query with keyword %r" % keyword)
 
     def prepare(self, keyword: str) -> PreparedQuery:
-        """Run the online phase: ESearch → navigation tree → probabilities."""
+        """Run the online phase: ESearch → navigation tree → probabilities.
+
+        Both stages run through :attr:`pipeline`, so repeated
+        preparations of one keyword (common in the experiment drivers)
+        share the cached result set and navigation tree.
+        """
         built = self.built_query(keyword)
-        pmids = tuple(self.entrez.esearch_all(keyword))
-        annotations = self.database.annotations_for_result(pmids)
-        tree = NavigationTree.build(self.hierarchy, annotations)
-        probs = ProbabilityModel(tree, self.database.medline_count)
+        results = self.pipeline.results(keyword)
+        nav = self.pipeline.nav_tree(keyword)
         return PreparedQuery(
             spec=built.spec,
             target_node=built.target_node,
-            pmids=pmids,
-            tree=tree,
-            probs=probs,
+            pmids=results.pmids,
+            tree=nav.tree,
+            probs=nav.probs,
         )
 
     def prepare_all(self) -> List[PreparedQuery]:
         """Run the online phase for every workload query."""
         return [self.prepare(built.spec.keyword) for built in self.queries]
+
+    def strategy(
+        self, prepared: PreparedQuery, name: str, **options: object
+    ) -> ExpansionStrategy:
+        """A registry-built strategy for one prepared query's tree.
+
+        The pipeline wraps it so EXPANDs route through the cut-stage
+        cache; pass solver options (``max_reduced_nodes``, ``top_k``,
+        ``page_size``, …) through ``options``.
+        """
+        nav = self.pipeline.nav_tree(prepared.spec.keyword)
+        return self.pipeline.strategy(nav, name, **options)
+
+    def open_session(
+        self, keyword: str, solver: str = "heuristic", **options: object
+    ) -> ActiveTreeArtifact:
+        """Stages 1–4 for one workload keyword (a live session)."""
+        return self.pipeline.open_session(keyword, solver=solver, **options)
 
 
 def build_workload(

@@ -9,13 +9,10 @@ sections of EXPERIMENTS.md, also exposed as ``bionav report``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.simulator import NavigationOutcome, navigate_to_target
-from repro.core.static_nav import StaticNavigation
 from repro.viz.figures import grouped_bar_chart
 from repro.workload.builder import PreparedQuery, Workload
 
@@ -47,16 +44,16 @@ class QueryReport:
 
 
 def run_comparison(workload: Workload, prepared: PreparedQuery) -> QueryReport:
-    """Measure one query end to end (both strategies)."""
+    """Measure one query end to end (both strategies, registry-built)."""
     static = navigate_to_target(
         prepared.tree,
-        StaticNavigation(prepared.tree),
+        workload.strategy(prepared, "static_nav"),
         prepared.target_node,
         show_results=False,
     )
     bionav = navigate_to_target(
         prepared.tree,
-        HeuristicReducedOpt(prepared.tree, prepared.probs),
+        workload.strategy(prepared, "heuristic"),
         prepared.target_node,
         show_results=False,
     )

@@ -65,6 +65,7 @@ class TestRegistry:
             "float-equality",
             "bitmask-bounds",
             "lock-discipline",
+            "solver-via-registry",
         } <= ids
 
     def test_lint_only_subset_excludes_semantic_rules(self):
@@ -344,6 +345,96 @@ class TestLockDisciplineRule:
             + "        self.hits += 1  # repro: ignore[lock-discipline]\n",
         )
         assert "lock-discipline" not in rule_ids(findings)
+
+
+class TestSolverViaRegistryRule:
+    def test_flags_from_import_of_solver_module(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/runtime.py",
+            "from repro.core.heuristic import HeuristicReducedOpt\n"
+            "print(HeuristicReducedOpt)\n",
+        )
+        assert "solver-via-registry" in rule_ids(findings)
+
+    def test_flags_plain_import_of_solver_module(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "workload/builder.py",
+            "import repro.core.static_nav\nprint(repro.core.static_nav)\n",
+        )
+        assert "solver-via-registry" in rule_ids(findings)
+
+    def test_flags_solver_module_via_core_package(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "workload/builder.py",
+            "from repro.core import gopubmed\nprint(gopubmed)\n",
+        )
+        assert "solver-via-registry" in rule_ids(findings)
+
+    def test_flags_relative_solver_import(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "src/repro/workload/builder.py",
+            "from ..core.opt_edgecut import OptEdgeCut\nprint(OptEdgeCut)\n",
+        )
+        assert "solver-via-registry" in rule_ids(findings)
+
+    def test_core_package_reexports_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/runtime.py",
+            "from repro.core import NavigationTree\nprint(NavigationTree)\n",
+        )
+        assert "solver-via-registry" not in rule_ids(findings)
+
+    def test_non_solver_core_modules_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/runtime.py",
+            "from repro.core.navigation_tree import NavigationTree\n"
+            "print(NavigationTree)\n",
+        )
+        assert "solver-via-registry" not in rule_ids(findings)
+
+    def test_core_modules_may_import_each_other(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/exact.py",
+            "from repro.core.opt_edgecut import OptEdgeCut\nprint(OptEdgeCut)\n",
+        )
+        assert "solver-via-registry" not in rule_ids(findings)
+
+    def test_registry_module_is_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "pipeline/registry.py",
+            "from repro.core.heuristic import HeuristicReducedOpt\n"
+            "print(HeuristicReducedOpt)\n",
+        )
+        assert "solver-via-registry" not in rule_ids(findings)
+
+    def test_tests_are_lint_only_and_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "tests/test_x.py",
+            "from repro.core.heuristic import HeuristicReducedOpt\n"
+            "print(HeuristicReducedOpt)\n",
+        )
+        assert "solver-via-registry" not in rule_ids(findings)
+
+    def test_rewired_call_sites_are_clean_in_repo(self):
+        findings, _, _, _ = analyze(
+            paths=[
+                "src/repro/bionav.py",
+                "src/repro/cli.py",
+                "src/repro/serving/runtime.py",
+                "src/repro/workload/builder.py",
+            ],
+            baseline_path=REPO_ROOT / "tools" / "analyzer" / "no-baseline.json",
+        )
+        assert "solver-via-registry" not in rule_ids(findings)
 
 
 class TestGenericRules:

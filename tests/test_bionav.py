@@ -7,6 +7,7 @@ import pytest
 from repro.bionav import BioNav
 from repro.core.heuristic import HeuristicReducedOpt
 from repro.core.static_nav import StaticNavigation
+from repro.pipeline.pipeline import PipelineStrategy
 
 
 @pytest.fixture(scope="module")
@@ -24,11 +25,15 @@ class TestSearch:
 
     def test_default_strategy_is_heuristic(self, bionav):
         query = bionav.search("prothymosin")
-        assert isinstance(query.session.strategy, HeuristicReducedOpt)
+        strategy = query.session.strategy
+        assert isinstance(strategy, PipelineStrategy)
+        assert isinstance(strategy.inner, HeuristicReducedOpt)
+        assert strategy.name == strategy.inner.name
 
     def test_static_strategy_selectable(self, bionav):
         query = bionav.search("prothymosin", strategy="static")
-        assert isinstance(query.session.strategy, StaticNavigation)
+        assert isinstance(query.session.strategy, PipelineStrategy)
+        assert isinstance(query.session.strategy.inner, StaticNavigation)
 
     def test_unknown_strategy_rejected(self, bionav):
         with pytest.raises(ValueError):

@@ -1,0 +1,185 @@
+"""The staged navigation pipeline: artifacts, keys, caching, strategies.
+
+Covers the refactor's load-bearing claims: content keys are
+deterministic and chain down the dataflow, the hierarchy snapshot is
+shared across queries, navigation trees are shared across sessions of a
+query, cut plans are replayed across sessions, the active-tree stage is
+deliberately uncached, and a pipeline-routed strategy is observationally
+identical to the bare registry-built solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.artifacts import component_digest, content_key
+from repro.pipeline.cache import StageCache
+from repro.pipeline.pipeline import NavigationPipeline, PipelineStrategy
+from repro.pipeline.stages import (
+    ALL_STAGES,
+    ActiveTreeStage,
+    CutStage,
+    HierarchyStage,
+    NavTreeStage,
+    SearchStage,
+    params_key,
+)
+from repro.core.cost_model import CostParams
+
+
+@pytest.fixture()
+def pipeline(small_workload) -> NavigationPipeline:
+    """A fresh pipeline (private cache) over the session-scoped workload."""
+    return NavigationPipeline(small_workload.database, small_workload.entrez)
+
+
+class TestContentKeys:
+    def test_content_key_is_deterministic_40_hex(self):
+        key = content_key("a", "b")
+        assert key == content_key("a", "b")
+        assert len(key) == 40
+        assert int(key, 16) >= 0
+
+    def test_content_key_sensitive_to_parts_and_order(self):
+        assert content_key("a", "b") != content_key("b", "a")
+        assert content_key("ab") != content_key("a", "b")
+
+    def test_component_digest_is_order_insensitive(self):
+        assert component_digest([3, 1, 2]) == component_digest((2, 3, 1))
+        assert component_digest([1, 2]) != component_digest([1, 2, 3])
+
+    def test_params_key_tracks_unit_costs(self):
+        assert params_key(CostParams()) == params_key(CostParams())
+        assert params_key(CostParams()) != params_key(CostParams(expand_cost=2.0))
+
+    def test_keys_chain_down_the_dataflow(self, pipeline):
+        snapshot = pipeline.snapshot()
+        first = pipeline.results("prothymosin")
+        second = pipeline.results("varenicline")
+        assert first.content_key != second.content_key
+        assert NavTreeStage.key(snapshot, first) != NavTreeStage.key(snapshot, second)
+        # Same inputs -> same key, on every stage of the chain.
+        assert SearchStage.key(snapshot, "prothymosin") == first.content_key
+        assert pipeline.nav_tree("prothymosin").content_key == NavTreeStage.key(
+            snapshot, first
+        )
+
+    def test_cut_keys_separate_solvers_and_components(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        cost = params_key(pipeline.params)
+        base = CutStage.key(nav, "heuristic", cost, {0, 1}, 0)
+        assert base == CutStage.key(nav, "heuristic", cost, {1, 0}, 0)
+        assert base != CutStage.key(nav, "static_nav", cost, {0, 1}, 0)
+        assert base != CutStage.key(nav, "heuristic", cost, {0, 1, 2}, 0)
+
+
+class TestStageSharing:
+    def test_hierarchy_snapshot_shared_across_queries(self, pipeline):
+        first = pipeline.snapshot()
+        pipeline.results("prothymosin")
+        pipeline.results("varenicline")
+        assert pipeline.snapshot() is first
+        stats = pipeline.stage_stats()[HierarchyStage.name]
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 2
+        assert stats["builds"] == 1
+
+    def test_nav_tree_shared_across_sessions_of_a_query(self, pipeline):
+        one = pipeline.open_session("prothymosin")
+        two = pipeline.open_session("prothymosin")
+        assert one.nav is two.nav
+        assert one.session is not two.session
+        assert pipeline.stage_stats()[NavTreeStage.name]["builds"] == 1
+
+    def test_distinct_queries_get_distinct_trees(self, pipeline):
+        first = pipeline.nav_tree("prothymosin")
+        second = pipeline.nav_tree("varenicline")
+        assert first is not second
+        assert first.content_key != second.content_key
+        assert pipeline.stage_stats()[NavTreeStage.name]["builds"] == 2
+
+    def test_active_tree_stage_is_uncached_but_timed(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        one = pipeline.activate(nav)
+        two = pipeline.activate(nav)
+        assert one.content_key != two.content_key  # per-activation ordinal
+        stats = pipeline.stage_stats()[ActiveTreeStage.name]
+        assert stats["runs"] == 2
+        assert "hits" not in stats  # no cache behind the stage
+        assert not ActiveTreeStage.cached
+
+    def test_cut_plans_replay_across_sessions(self, pipeline):
+        first = pipeline.open_session("prothymosin")
+        second = pipeline.open_session("prothymosin")
+        root = first.nav.tree.root
+        outcome_one = first.session.expand(root)
+        before = pipeline.stage_stats()[CutStage.name]
+        outcome_two = second.session.expand(root)
+        after = pipeline.stage_stats()[CutStage.name]
+        assert outcome_one.revealed == outcome_two.revealed
+        assert after["hits"] >= before["hits"] + 1
+        assert after["builds"] == before["builds"]
+
+    def test_shared_cache_shares_artifacts_across_pipelines(self, small_workload):
+        cache = StageCache()
+        a = NavigationPipeline(small_workload.database, small_workload.entrez, cache=cache)
+        b = NavigationPipeline(small_workload.database, small_workload.entrez, cache=cache)
+        assert a.nav_tree("prothymosin") is b.nav_tree("prothymosin")
+
+    def test_stage_stats_covers_the_whole_dataflow(self, pipeline):
+        pipeline.open_session("prothymosin").session.expand(
+            pipeline.nav_tree("prothymosin").tree.root
+        )
+        stats = pipeline.stage_stats()
+        for stage in ALL_STAGES:
+            assert stage.name in stats
+        for name in (HierarchyStage.name, NavTreeStage.name, CutStage.name):
+            assert stats[name]["build_seconds_total"] >= 0.0
+
+    def test_cached_trees_lists_nav_artifacts(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        assert pipeline.cached_trees() == [nav]
+
+
+class TestPipelineStrategy:
+    def test_wrapper_presents_as_the_inner_solver(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        strategy = pipeline.strategy(nav, "static")
+        assert isinstance(strategy, PipelineStrategy)
+        assert strategy.solver == "static_nav"
+        assert strategy.name == strategy.inner.name
+        assert strategy.capabilities is strategy.inner.capabilities
+
+    def test_equivalent_to_bare_registry_solver(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        wrapped = pipeline.strategy(nav, "heuristic")
+        bare = pipeline.registry.create(
+            "heuristic",
+            nav.tree,
+            nav.probs,
+            params=pipeline.params,
+            max_reduced_nodes=pipeline.max_reduced_nodes,
+        )
+        component = frozenset(nav.tree.iter_dfs())
+        root = nav.tree.root
+        assert wrapped.best_cut(component, root).cut == bare.best_cut(component, root).cut
+
+    def test_repeat_best_cut_hits_the_cut_cache(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        strategy = pipeline.strategy(nav, "heuristic")
+        component = frozenset(nav.tree.iter_dfs())
+        first = strategy.best_cut(component, nav.tree.root)
+        stats = pipeline.stage_stats()[CutStage.name]
+        assert stats["builds"] == 1
+        second = strategy.best_cut(component, nav.tree.root)
+        assert second == first
+        stats = pipeline.stage_stats()[CutStage.name]
+        assert stats["builds"] == 1
+        assert stats["hits"] == 1
+
+    def test_unknown_solver_rejected(self, pipeline):
+        nav = pipeline.nav_tree("prothymosin")
+        with pytest.raises(ValueError):
+            pipeline.strategy(nav, "magic")
+        with pytest.raises(ValueError):
+            pipeline.open_session("prothymosin", solver="magic")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -121,6 +122,7 @@ class TestMeshAsciiRoundTrip:
 # ---------------------------------------------------------------------------
 # LRU cache invariants
 # ---------------------------------------------------------------------------
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestLRUProperties:
     @given(
         st.integers(1, 5),

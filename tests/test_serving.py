@@ -253,16 +253,18 @@ def bionav(small_workload) -> BioNav:
 
 
 class TestRuntimeSingleFlight:
-    def test_16_concurrent_identical_searches_build_one_tree(self, bionav):
+    def test_16_concurrent_identical_searches_build_one_tree(self, bionav, monkeypatch):
+        from repro.pipeline.stages import NavTreeStage
+
         builds: List[str] = []
-        original = bionav.search
+        original = NavTreeStage.build
 
-        def counting_search(keyword: str, strategy: str = "heuristic"):
-            builds.append(keyword)
+        def counting_build(snapshot, results, key):
+            builds.append(results.query)
             time.sleep(0.05)  # widen the race window
-            return original(keyword, strategy)
+            return original(snapshot, results, key)
 
-        bionav.search = counting_search  # type: ignore[method-assign]
+        monkeypatch.setattr(NavTreeStage, "build", staticmethod(counting_build))
         with ServingRuntime(bionav, workers=16, max_queue=32) as runtime:
             barrier = threading.Barrier(16)
 
@@ -273,11 +275,42 @@ class TestRuntimeSingleFlight:
             sids = run_threads(16, worker)
             assert len(builds) == 1, "tree must be built exactly once"
             assert len(set(sids)) == 16
+            # The 15 losers either coalesced onto the in-flight build or
+            # (if scheduled late) hit the freshly cached tree.
             assert runtime.queries.misses == 1
-            assert runtime.queries.coalesced == 15
+            assert runtime.queries.hits + runtime.queries.coalesced == 15
+            assert runtime.pipeline.stage_stats()["nav_tree"]["builds"] == 1
             # Zero lost sessions: every issued id still answers.
             for sid in sids:
                 assert runtime.view(sid).rows
+
+
+class TestPipelineStatsAcrossQueries:
+    def test_hierarchy_stage_is_shared_across_distinct_queries(self, bionav):
+        """Two different keywords build two trees but one hierarchy
+        snapshot — the per-stage counters in ``stats()`` prove the
+        sharing (the acceptance criterion for the staged pipeline)."""
+        with ServingRuntime(bionav, workers=4, max_queue=16) as runtime:
+            runtime.search("prothymosin")
+            runtime.search("varenicline")
+            stages = runtime.stats()["pipeline"]
+            assert stages["hierarchy"]["misses"] == 1
+            assert stages["hierarchy"]["hits"] >= 1
+            assert stages["hierarchy"]["builds"] == 1
+            assert stages["results"]["misses"] == 2
+            assert stages["nav_tree"]["builds"] == 2
+            assert stages["active_tree"]["runs"] == 2
+            for stage in ("hierarchy", "results", "nav_tree"):
+                assert stages[stage]["build_seconds_total"] >= 0.0
+
+    def test_repeat_query_hits_every_shared_stage(self, bionav):
+        with ServingRuntime(bionav, workers=4, max_queue=16) as runtime:
+            runtime.search("prothymosin")
+            runtime.search("prothymosin")
+            stages = runtime.stats()["pipeline"]
+            assert stages["nav_tree"]["builds"] == 1
+            assert stages["nav_tree"]["hits"] == 1
+            assert stages["results"]["hits"] >= 1
 
 
 class TestRuntimeSessionSerialization:

@@ -1,10 +1,21 @@
-"""Unit tests for the LRU cache used by the web layer."""
+"""Unit tests for the deprecated single-threaded LRU cache."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.storage.cache import LRUCache
+
+# The class still has to *work* (it is kept for external callers), so the
+# behavioural tests silence the deprecation it now emits on construction.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+class TestDeprecation:
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_construction_warns_with_migration_pointer(self):
+        with pytest.warns(DeprecationWarning, match="SingleFlightCache"):
+            LRUCache(2)
 
 
 class TestLRUCache:

@@ -351,3 +351,50 @@ class TestStatsEndpoint:
         stats = json.loads(body)
         assert stats["queries"][0]["decision_cache_size"] == cached
         assert stats["sessions"]["created"] == 2
+
+
+class TestResultsPagination:
+    """The SHOWRESULTS page size is configuration, not a magic literal."""
+
+    def test_health_reports_default_page_size(self, app):
+        import json
+
+        from repro.serving.runtime import DEFAULT_RESULTS_PAGE_SIZE
+
+        _, body = request_page(app, "/api/health")
+        health = json.loads(body)
+        assert health["results_page_size"] == DEFAULT_RESULTS_PAGE_SIZE
+        assert health["results_page_size"] == 50
+        assert health["solver"] == "heuristic"
+
+    def test_custom_page_size_changes_rendering(self, request):
+        workload = request.getfixturevalue("small_workload")
+        app = BioNavWebApp(
+            BioNav(workload.database, workload.entrez), results_page_size=5
+        )
+        _, body = request_page(app, "/search", {"q": "prothymosin"})
+        sid = session_id_of(body)
+        node = re.search(r"/nav/%s/results\?node=(\d+)" % sid, body).group(1)
+        _, results = request_page(
+            app, "/nav/%s/results" % sid, {"node": node}
+        )
+        assert results.count("<li>[") == 5
+        assert re.search(r"\(showing first 5 of \d+\)", results)
+
+    def test_default_page_is_unannotated_when_results_fit(self, request):
+        workload = request.getfixturevalue("small_workload")
+        app = BioNavWebApp(
+            BioNav(workload.database, workload.entrez), results_page_size=400
+        )
+        _, body = request_page(app, "/search", {"q": "prothymosin"})
+        sid = session_id_of(body)
+        node = re.search(r"/nav/%s/results\?node=(\d+)" % sid, body).group(1)
+        _, results = request_page(app, "/nav/%s/results" % sid, {"node": node})
+        assert "showing first" not in results
+
+    def test_nonpositive_page_size_rejected(self, request):
+        workload = request.getfixturevalue("small_workload")
+        with pytest.raises(ValueError):
+            BioNavWebApp(
+                BioNav(workload.database, workload.entrez), results_page_size=0
+            )

@@ -7,7 +7,7 @@ Lint-level rules (run everywhere, including ``tests/`` and
 
 Semantic rules (guard solver invariants in ``src/repro``):
 ``determinism``, ``no-recursion``, ``float-equality``, ``bitmask-bounds``,
-``missing-hints``, ``lock-discipline``.
+``missing-hints``, ``lock-discipline``, ``solver-via-registry``.
 """
 
 from __future__ import annotations
@@ -18,6 +18,7 @@ from tools.analyzer.rules import (  # noqa: F401  - imported for registration
     floats,
     generic,
     imports,
+    layering,
     locking,
     recursion,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "floats",
     "generic",
     "imports",
+    "layering",
     "locking",
     "recursion",
 ]

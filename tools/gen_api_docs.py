@@ -85,16 +85,25 @@ pool is saturated:
 | `queue_capacity` | admission-queue bound; beyond it requests are shed   |
 | `in_flight`      | requests currently executing on workers              |
 | `sessions_active`| live navigation sessions in the registry             |
+| `solver`         | canonical registry name of the serving solver        |
+| `results_page_size` | citations per SHOWRESULTS page (serving config)   |
 | `uptime_seconds` | seconds since the runtime was constructed            |
 
 ### `GET /api/stats`
 
 Extends the per-query rows and solver summary with serving counters:
 
-- `query_cache` — `size`, `capacity`, `hits`, `misses`, `evictions`,
-  `hit_ratio` (same value as the legacy `hit_rate` key), and
-  `single_flight_coalesced`: requests that waited on another thread's
-  in-progress tree build instead of duplicating it.
+- `pipeline` — per-stage cache/latency counters from the staged
+  navigation pipeline (DESIGN.md §10): for each of `hierarchy`,
+  `results`, `nav_tree`, `active_tree`, and `cut`, the stage's
+  `hits` / `misses` / `coalesced` / `evictions` / `size` / `capacity`
+  (cached stages), `builds` / `runs`, and build-latency aggregates
+  (`build_seconds_total`, `build_ms_avg`, `build_ms_max`).
+- `query_cache` — the `nav_tree` stage's counters rendered on the
+  historical surface: `size`, `capacity`, `hits`, `misses`,
+  `evictions`, `hit_ratio` (same value as the legacy `hit_rate` key),
+  and `single_flight_coalesced`: requests that waited on another
+  thread's in-progress tree build instead of duplicating it.
 - `sessions` — `active`, `capacity`, `created`, `evicted`, and
   `expired_lookups` (requests that named an evicted session and were
   answered `410 Gone` / `session_expired`).

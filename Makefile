@@ -31,10 +31,12 @@ bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 # Fast benchmark subset for CI: the Figure 10 heuristic-latency curve, the
-# opt-engine speedup gate (writes BENCH_opt_engine.json), and the staged
-# pipeline's cache-hit gate (writes BENCH_pipeline.json).
+# opt-engine speedup gate (writes BENCH_opt_engine.json), the staged
+# pipeline's cache-hit gate (writes BENCH_pipeline.json), and the EXPAND
+# hot-path gate — batched cost model + warm serving p99 (writes
+# BENCH_expand_hotpath.json).
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py benchmarks/bench_pipeline.py -q
+	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py benchmarks/bench_pipeline.py benchmarks/bench_expand_hotpath.py -q
 
 # Serving-runtime load smoke for CI: reduced client fleet, asserts the
 # no-shed / no-lost-session invariants (skips the throughput gate).

@@ -1,0 +1,376 @@
+"""Vectorized array substrate for the §IV cost model.
+
+The scalar :class:`~repro.core.probabilities.ProbabilityModel` evaluates
+one component at a time with Python loops — fine for a single EXPAND,
+but the product p99 driver at MEDLINE scale is exactly that per-EXPAND
+evaluation, repeated over every candidate component a cut enumeration
+or a relevance ranking touches.  :class:`CostArrays` precomputes, once
+per navigation tree, contiguous per-concept arrays in **preorder**:
+
+* ``result_counts`` — ``|L(n)|`` per node;
+* ``log_lt`` — the clamped ``log LT(n)`` IDF denominators;
+* ``explore_mass`` — the unnormalized EXPLORE weights
+  ``|L(n)| / log LT(n)`` (or plain ``|L(n)|`` without IDF);
+* ``subtree_begin`` / ``subtree_size`` — the preorder interval indices
+  (PR 1's tree indices, lifted into arrays), so every subtree is one
+  contiguous slice;
+* packed **citation bitmaps** — one bit per distinct citation of the
+  tree, so distinct-result counting over any batch of components is a
+  byte-wise OR plus a popcount table lookup, with no Python set unions.
+
+On top of those it exposes batch kernels — :meth:`explore`,
+:meth:`expand`, :meth:`distinct_counts`, :meth:`normalized_entropy` —
+that evaluate **whole batches of candidate components in one shot**:
+components are flattened into one member array plus segment offsets,
+sums run as segmented reductions, the EXPAND thresholds become
+``np.where`` selections, and the entropy term is a masked ``p·log p``
+over the flattened member-count vector.
+
+Equivalence contract (the scalar model stays the reference oracle)
+------------------------------------------------------------------
+
+Per-node quantities (``explore_mass``, ``result_counts``, ``log_lt``)
+are elementwise and bit-identical to the scalar model, which now derives
+its own per-node mass from this substrate.  *Aggregates* — component
+EXPLORE sums and entropy terms — legitimately differ from the scalar
+loops in the last ulps: numpy's segmented reductions use pairwise
+summation, while the scalar oracle accumulates sequentially over sorted
+members.  Both orders are deterministic, and the property suite
+(``tests/test_cost_arrays.py``) pins the agreement to ≤ 1e-9 relative.
+Threshold comparisons (``distinct_count`` against the lower/upper
+bounds) are exact integer arithmetic on both sides, so batch and scalar
+EXPAND always agree on which branch of the threshold logic applies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.navigation_tree import NavigationTree
+
+__all__ = ["CostArrays", "segment_sums", "POPCOUNT_TABLE"]
+
+#: Bits set per byte value; ``POPCOUNT_TABLE[packed].sum()`` is the
+#: population count of a packed bitmap.
+POPCOUNT_TABLE = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.int64)
+
+
+def segment_sums(
+    values: np.ndarray, offsets: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Per-segment sums of a flattened batch (empty segments sum to 0).
+
+    ``values`` holds every segment back to back; segment ``i`` spans
+    ``values[offsets[i] : offsets[i] + lengths[i]]``.  Built on
+    ``np.add.reduceat``, whose empty-segment quirk (an empty segment
+    reports the element *at* its offset) is masked out explicitly.
+    """
+    out = np.zeros(len(offsets), dtype=np.float64)
+    if len(values) == 0 or len(offsets) == 0:
+        return out
+    # reduceat indices must stay inside the array; trailing empty
+    # segments may sit at len(values) and are masked below anyway.
+    safe = np.minimum(offsets, len(values) - 1)
+    sums = np.add.reduceat(values, safe)
+    nonempty = lengths > 0
+    out[nonempty] = sums[nonempty]
+    return out
+
+
+class CostArrays:
+    """Per-tree cost-model arrays plus batched evaluation kernels.
+
+    Built once per navigation tree (the nav-tree pipeline stage carries
+    it, content-keyed, so every session of a query shares one instance).
+    All kernels take a *batch* of components — any iterable of node-id
+    iterables — and return one numpy array with a value per component.
+
+    Attributes:
+        tree: the navigation tree the arrays describe.
+        preorder_ids: node ids in preorder (``int64``).
+        result_counts: ``|L(n)|`` per preorder position (``int64``).
+        log_lt: clamped ``log LT(n)`` per preorder position.
+        explore_mass: unnormalized EXPLORE weight per preorder position.
+        normalizer: the scalar model's EXPLORE normalizer ``Z`` (the
+            sequential preorder sum, kept bit-identical to the oracle).
+        subtree_begin: preorder position of each node's subtree slice.
+        subtree_size: node count of each node's subtree slice.
+        upper_threshold: result count above which EXPAND is certain.
+        lower_threshold: result count below which EXPAND never happens.
+        use_idf: whether ``explore_mass`` carries the IDF discount.
+        content_key: deterministic digest of the arrays (40 hex chars),
+            shared by every session of the same tree + thresholds.
+    """
+
+    def __init__(
+        self,
+        tree: NavigationTree,
+        medline_count: Callable[[int], int],
+        upper_threshold: int = 50,
+        lower_threshold: int = 10,
+        use_idf: bool = True,
+    ):
+        self.tree = tree
+        self.upper_threshold = upper_threshold
+        self.lower_threshold = lower_threshold
+        self.use_idf = use_idf
+
+        preorder: List[int] = list(tree.iter_dfs())
+        k = len(preorder)
+        self.preorder_ids = np.asarray(preorder, dtype=np.int64)
+        self._position: Dict[int, int] = {
+            node: index for index, node in enumerate(preorder)
+        }
+        self.result_counts = np.fromiter(
+            (len(tree.results(n)) for n in preorder), dtype=np.int64, count=k
+        )
+        lt = np.fromiter(
+            (max(2, medline_count(n)) for n in preorder), dtype=np.float64, count=k
+        )
+        self.log_lt = np.log(lt)
+        counts_f = self.result_counts.astype(np.float64)
+        if use_idf:
+            mass = counts_f / self.log_lt
+        else:
+            mass = counts_f
+        # Empty nodes carry zero mass regardless of the IDF denominator.
+        self.explore_mass = np.where(self.result_counts > 0, mass, 0.0)
+        # ``|L(n)|·log |L(n)|`` per node (0 for empty nodes): the entropy
+        # kernel's precomputed term — see :meth:`normalized_entropy`.
+        self._count_log_count = np.where(
+            self.result_counts > 0,
+            counts_f * np.log(np.maximum(counts_f, 1.0)),
+            0.0,
+        )
+
+        # The normalizer is accumulated sequentially in preorder — the
+        # exact float the scalar oracle computes — so pE values agree to
+        # the last bit wherever no other aggregation intervenes.
+        total = 0.0
+        for value in self.explore_mass.tolist():  # repro: ignore[vectorize]
+            total += value
+        self.normalizer = total if total > 0 else 1.0
+
+        # Preorder interval indices: the subtree of a node is one
+        # contiguous slice of the preorder (PR 1's positional indices).
+        self.subtree_begin = np.fromiter(
+            (self._position[n] for n in preorder), dtype=np.int64, count=k
+        )
+        self.subtree_size = np.fromiter(
+            (tree.subtree_size(n) for n in preorder), dtype=np.int64, count=k
+        )
+
+        # Packed citation bitmaps: bit j of row i set iff citation j is
+        # attached to preorder node i.  Citation bit order is the sorted
+        # citation-id order, so the layout is content-deterministic.
+        universe = sorted(tree.all_results())
+        self._citation_bit: Dict[int, int] = {
+            citation: bit for bit, citation in enumerate(universe)
+        }
+        self.universe_size = len(universe)
+        width = max(1, self.universe_size)
+        bitmap = np.zeros((k, width), dtype=np.uint8)
+        for index, node in enumerate(preorder):
+            bits = [self._citation_bit[c] for c in sorted(tree.results(node))]
+            if bits:
+                bitmap[index, bits] = 1
+        self.packed_results = np.packbits(bitmap, axis=1)
+
+        self.content_key = self._compute_key()
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def _compute_key(self) -> str:
+        """Digest the arrays and thresholds into a 40-hex content key."""
+        hasher = hashlib.sha256()
+        hasher.update(b"cost_arrays\x1e")
+        hasher.update(
+            ("%d|%d|%d" % (self.upper_threshold, self.lower_threshold, self.use_idf)).encode()
+        )
+        for array in (self.preorder_ids, self.result_counts, self.log_lt):
+            hasher.update(array.tobytes())
+        hasher.update(self.packed_results.tobytes())
+        return hasher.hexdigest()[:40]
+
+    def __len__(self) -> int:
+        return len(self.preorder_ids)
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def positions(self, nodes: Iterable[int]) -> np.ndarray:
+        """Preorder positions of ``nodes``, in the given order."""
+        position = self._position
+        return np.fromiter((position[n] for n in nodes), dtype=np.int64)
+
+    def subtree_interval(self, node: int) -> Tuple[int, int]:
+        """``(begin, size)`` of the node's contiguous preorder slice."""
+        index = self._position[node]
+        return int(self.subtree_begin[index]), int(self.subtree_size[index])
+
+    def flatten(
+        self, components: Sequence[Iterable[int]]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten a batch of components into (positions, offsets, lengths).
+
+        Members are taken in sorted node-id order — the scalar oracle's
+        documented accumulation order — so the flattening (and therefore
+        every kernel value) depends only on component contents.  One pass
+        builds a single flat index list (one array allocation total):
+        per-component numpy allocations would dominate the kernels at
+        production component sizes.
+        """
+        position = self._position
+        flat_list: List[int] = []
+        length_list: List[int] = []
+        for component in components:
+            members = sorted(component)
+            flat_list.extend(position[n] for n in members)
+            length_list.append(len(members))
+        lengths = np.asarray(length_list, dtype=np.int64)
+        offsets = np.zeros(len(length_list), dtype=np.int64)
+        if len(length_list) > 1:
+            np.cumsum(lengths[:-1], out=offsets[1:])
+        flat = np.asarray(flat_list, dtype=np.int64)
+        return flat, offsets, lengths
+
+    # ------------------------------------------------------------------
+    # EXPLORE kernels
+    # ------------------------------------------------------------------
+    def explore_mass_sums(self, components: Sequence[Iterable[int]]) -> np.ndarray:
+        """Unnormalized EXPLORE mass per component (batch)."""
+        flat, offsets, lengths = self.flatten(components)
+        return segment_sums(self.explore_mass[flat], offsets, lengths)
+
+    def explore(self, components: Sequence[Iterable[int]]) -> np.ndarray:
+        """``pE(I(n))`` per component (batch): mass sums over ``Z``."""
+        return self.explore_mass_sums(components) / self.normalizer
+
+    # ------------------------------------------------------------------
+    # Distinct-result kernel (exact integers)
+    # ------------------------------------------------------------------
+    def distinct_counts(self, components: Sequence[Iterable[int]]) -> np.ndarray:
+        """Distinct citations per component (batch, exact).
+
+        Byte-wise OR of the members' packed bitmaps per segment, then a
+        table popcount — integer arithmetic, so results equal
+        ``len(tree.distinct_results(component))`` bit for bit.
+        """
+        flat, offsets, lengths = self.flatten(components)
+        return self._distinct_from_flat(flat, offsets, lengths)
+
+    def _distinct_from_flat(
+        self, flat: np.ndarray, offsets: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        out = np.zeros(len(offsets), dtype=np.int64)
+        if len(flat) == 0 or len(offsets) == 0:
+            return out
+        safe = np.minimum(offsets, len(flat) - 1)
+        orred = np.bitwise_or.reduceat(self.packed_results[flat], safe, axis=0)
+        counts = POPCOUNT_TABLE[orred].sum(axis=1)
+        nonempty = lengths > 0
+        out[nonempty] = counts[nonempty]
+        return out
+
+    # ------------------------------------------------------------------
+    # EXPAND kernels
+    # ------------------------------------------------------------------
+    def normalized_entropy(
+        self,
+        member_counts: np.ndarray,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        """Normalized entropy per segment of a flattened count batch.
+
+        Mirrors the scalar ``_normalized_entropy``: the distribution is
+        each member's ``|L(m)|`` over the segment total, the maximum is
+        the uniform/no-duplicate ``log(members)`` (zero-count members
+        included in the denominator), and the ratio is clamped to 1.
+        Evaluated in the algebraic form ``log T − (Σ c·log c) / T`` —
+        two segmented sums instead of a per-member division — which
+        agrees with the scalar ``-Σ p·log p`` within the 1e-9 contract.
+        """
+        counts = member_counts.astype(np.float64)
+        clogc = np.where(counts > 0, counts * np.log(np.maximum(counts, 1.0)), 0.0)
+        return self._entropy_from_terms(counts, clogc, offsets, lengths)
+
+    def _entropy_from_terms(
+        self,
+        counts: np.ndarray,
+        clogc: np.ndarray,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+    ) -> np.ndarray:
+        totals = segment_sums(counts, offsets, lengths)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        entropy = (
+            np.log(safe_totals) - segment_sums(clogc, offsets, lengths) / safe_totals
+        )
+        max_entropy = np.log(np.maximum(lengths, 1).astype(np.float64))
+        ratio = np.minimum(1.0, entropy / np.where(max_entropy > 0, max_entropy, 1.0))
+        return np.where((totals > 0) & (max_entropy > 0), ratio, 0.0)
+
+    def expand_from_segments(
+        self,
+        member_counts: np.ndarray,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        distinct: np.ndarray,
+    ) -> np.ndarray:
+        """EXPAND probabilities from raw component statistics (batch).
+
+        The batched counterpart of the scalar
+        ``expand_from_distribution``: ``member_counts`` holds every
+        component's ``|L(m)|`` histogram back to back, ``distinct`` the
+        distinct-citation counts.  Heuristic reduced trees feed their
+        supernode histograms through this kernel directly.
+        """
+        entropy = self.normalized_entropy(member_counts, offsets, lengths)
+        return self._apply_thresholds(entropy, lengths, distinct)
+
+    def _apply_thresholds(
+        self, entropy: np.ndarray, lengths: np.ndarray, distinct: np.ndarray
+    ) -> np.ndarray:
+        return np.where(
+            lengths <= 1,
+            0.0,
+            np.where(
+                distinct > self.upper_threshold,
+                1.0,
+                np.where(distinct < self.lower_threshold, 0.0, entropy),
+            ),
+        )
+
+    def expand(self, components: Sequence[Iterable[int]]) -> np.ndarray:
+        """``pX(I(n))`` per component (batch).
+
+        Zero for singletons, one above the upper result-count threshold,
+        zero below the lower, normalized entropy in between — the same
+        decision tree as the scalar ``expand``, applied as ``np.where``
+        selections over the whole batch.  The entropy term reuses the
+        precomputed per-node ``|L(n)|·log |L(n)|`` array, so the whole
+        evaluation is gathers and segmented reductions.
+        """
+        flat, offsets, lengths = self.flatten(components)
+        distinct = self._distinct_from_flat(flat, offsets, lengths)
+        entropy = self._entropy_from_terms(
+            self.result_counts[flat].astype(np.float64),
+            self._count_log_count[flat],
+            offsets,
+            lengths,
+        )
+        return self._apply_thresholds(entropy, lengths, distinct)
+
+    # ------------------------------------------------------------------
+    # Scalar-compat conveniences
+    # ------------------------------------------------------------------
+    def member_counts(self, nodes: Iterable[int]) -> List[int]:
+        """``|L(m)|`` per node, in the given order (exact integers)."""
+        return self.result_counts[self.positions(nodes)].tolist()

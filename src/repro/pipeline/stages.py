@@ -117,8 +117,15 @@ class NavTreeStage:
         annotations = snapshot.database.annotations_for_result(results.pmids)
         tree = NavigationTree.build(snapshot.hierarchy, annotations)
         probs = ProbabilityModel(tree, snapshot.database.medline_count)
+        # The artifact carries the vectorized cost-model substrate the
+        # probability model built, so the per-stage cache shares the
+        # arrays (content-keyed) across every session of the query.
         return NavTreeArtifact(
-            query=results.query, tree=tree, probs=probs, content_key=key
+            query=results.query,
+            tree=tree,
+            probs=probs,
+            arrays=probs.arrays,
+            content_key=key,
         )
 
 

@@ -333,7 +333,11 @@ class ServingRuntime:
 
         The ``pipeline`` block reports every stage's cache hit/miss/
         latency counters; ``query_cache`` remains as the historical
-        alias of the navigation-tree stage's counters.
+        alias of the navigation-tree stage's counters.  The ``solver``
+        block is the shared :class:`AtomicSolverProfile` summary of
+        per-EXPAND decision timings (p50/p95/p99 in milliseconds) — the
+        p99 is the warm-EXPAND latency ``bench_expand_hotpath`` gates
+        sub-millisecond.
         """
         admission = self.dispatcher.stats()
         cache = self.queries.snapshot()

@@ -66,6 +66,7 @@ class TestRegistry:
             "bitmask-bounds",
             "lock-discipline",
             "solver-via-registry",
+            "vectorize",
         } <= ids
 
     def test_lint_only_subset_excludes_semantic_rules(self):
@@ -345,6 +346,82 @@ class TestLockDisciplineRule:
             + "        self.hits += 1  # repro: ignore[lock-discipline]\n",
         )
         assert "lock-discipline" not in rule_ids(findings)
+
+
+class TestVectorizeRule:
+    def test_flags_for_loop_over_array_field(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(arrays):\n"
+            "    total = 0.0\n"
+            "    for value in arrays.explore_mass:\n"
+            "        total += value\n"
+            "    return total\n",
+        )
+        assert "vectorize" in rule_ids(findings)
+
+    def test_flags_comprehension_over_tolist(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(arrays):\n"
+            "    return [c + 1 for c in arrays.result_counts.tolist()]\n",
+        )
+        assert "vectorize" in rule_ids(findings)
+
+    def test_flags_enumerate_wrapper(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(arrays):\n"
+            "    out = {}\n"
+            "    for i, node in enumerate(arrays.preorder_ids):\n"
+            "        out[int(node)] = i\n"
+            "    return out\n",
+        )
+        assert "vectorize" in rule_ids(findings)
+
+    def test_whole_array_operations_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "import numpy as np\n"
+            "def f(arrays, flat):\n"
+            "    gathered = arrays.explore_mass[flat]\n"
+            "    return float(np.sum(gathered))\n",
+        )
+        assert "vectorize" not in rule_ids(findings)
+
+    def test_unrelated_attribute_loop_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(plan):\n"
+            "    return [step.cost for step in plan.steps]\n",
+        )
+        assert "vectorize" not in rule_ids(findings)
+
+    def test_outside_core_not_flagged(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "analysis/mod.py",
+            "def f(arrays):\n"
+            "    return [v for v in arrays.explore_mass]\n",
+        )
+        assert "vectorize" not in rule_ids(findings)
+
+    def test_suppression_comment(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "core/mod.py",
+            "def f(arrays):\n"
+            "    total = 0.0\n"
+            "    for v in arrays.explore_mass.tolist():  # repro: ignore[vectorize]\n"
+            "        total += v\n"
+            "    return total\n",
+        )
+        assert "vectorize" not in rule_ids(findings)
 
 
 class TestSolverViaRegistryRule:

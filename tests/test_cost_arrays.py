@@ -1,0 +1,251 @@
+"""Property suite: vectorized CostArrays kernels vs the scalar oracle.
+
+The scalar :class:`~repro.core.probabilities.ProbabilityModel` is the
+reference implementation of the §IV estimates; the vectorized
+:class:`~repro.core.cost_arrays.CostArrays` kernels must agree with it
+within 1e-9 relative on every component of every tree — including the
+corners that historically break vectorizations: components whose
+distinct-citation count sits *exactly* on the lower or upper threshold,
+members with zero citations, and singleton components.  Aggregate float
+sums may legitimately differ in the last ulps (pairwise vs sequential
+summation — see the ``cost_arrays`` module docstring); the tolerance
+pins how far.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_arrays import CostArrays, segment_sums
+from repro.core.navigation_tree import NavigationTree
+from repro.core.probabilities import ProbabilityModel
+from repro.hierarchy.concept import ConceptHierarchy
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+def close(batch_value: float, scalar_value: float) -> bool:
+    return abs(batch_value - scalar_value) <= RELATIVE_TOLERANCE * max(
+        1.0, abs(scalar_value)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def scenarios(draw, max_nodes: int = 18, max_citations: int = 40):
+    """(tree, probs) over a random hierarchy with random annotations.
+
+    Unannotated nodes are spliced out of the navigation tree per
+    Definition 2, but the always-kept root is a natural zero-count
+    member whenever it draws no annotations itself.  MEDLINE totals are
+    drawn per scenario so the IDF denominators vary too.
+    """
+    n = draw(st.integers(2, max_nodes))
+    h = ConceptHierarchy(root_label="root")
+    for node in range(1, n):
+        parent = draw(st.integers(0, node - 1))
+        h.add_child(parent, "n%d" % node)
+    annotations: Dict[int, Set[int]] = {}
+    for node in range(1, n):
+        if draw(st.booleans()):
+            annotations[node] = draw(
+                st.sets(st.integers(1, max_citations), min_size=1, max_size=10)
+            )
+    tree = NavigationTree.build(h, annotations)
+    total = draw(st.integers(1, 10_000))
+    probs = ProbabilityModel(tree, lambda _node: total)
+    return tree, probs
+
+
+@st.composite
+def components_of(draw, tree: NavigationTree, max_components: int = 8):
+    """A batch of random connected-ish components (subsets incl. corners).
+
+    Always includes at least one singleton so every batch exercises the
+    ``len(component) <= 1`` branch.
+    """
+    nodes = sorted(tree.iter_dfs())
+    batch: List[List[int]] = [[draw(st.sampled_from(nodes))]]
+    count = draw(st.integers(0, max_components - 1))
+    for _ in range(count):
+        members = draw(
+            st.sets(st.sampled_from(nodes), min_size=1, max_size=len(nodes))
+        )
+        batch.append(sorted(members))
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# Equivalence properties
+# ---------------------------------------------------------------------------
+class TestBatchScalarEquivalence:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_explore_matches_scalar(self, data):
+        tree, probs = data.draw(scenarios())
+        batch = data.draw(components_of(tree))
+        values = probs.explore_batch(batch)
+        assert values.shape == (len(batch),)
+        for component, value in zip(batch, values):
+            assert close(value, probs.explore(component))
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_expand_matches_scalar(self, data):
+        tree, probs = data.draw(scenarios())
+        batch = data.draw(components_of(tree))
+        values = probs.expand_batch(batch)
+        for component, value in zip(batch, values):
+            expected = probs.expand(frozenset(component), component[0])
+            assert close(value, expected)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_counts_are_exact(self, data):
+        tree, probs = data.draw(scenarios())
+        batch = data.draw(components_of(tree))
+        counts = probs.arrays.distinct_counts(batch)
+        for component, count in zip(batch, counts):
+            assert int(count) == len(tree.distinct_results(component))
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_entropy_matches_scalar(self, data):
+        tree, probs = data.draw(scenarios())
+        batch = data.draw(components_of(tree))
+        arrays = probs.arrays
+        flat, offsets, lengths = arrays.flatten(batch)
+        entropy = arrays.normalized_entropy(
+            arrays.result_counts[flat], offsets, lengths
+        )
+        for component, value in zip(batch, entropy):
+            member_counts = [
+                len(tree.results(m)) for m in sorted(component)
+            ]
+            expected = probs._normalized_entropy(member_counts)
+            assert close(value, expected)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_per_node_mass_is_bit_identical(self, data):
+        tree, probs = data.draw(scenarios())
+        arrays = probs.arrays
+        for index, node in enumerate(arrays.preorder_ids.tolist()):
+            assert probs.explore_mass(node) == float(arrays.explore_mass[index])
+        singles = [[n] for n in arrays.preorder_ids.tolist()]
+        batch = probs.explore_batch(singles)
+        for node, value in zip(arrays.preorder_ids.tolist(), batch):
+            assert close(value, probs.explore_node(node))
+
+
+class TestThresholdEdges:
+    """Components engineered to sit exactly on the EXPAND thresholds."""
+
+    def _chain_with_counts(self, counts: List[int]):
+        """A root chain where node i+1 carries ``counts[i]`` distinct pmids."""
+        h = ConceptHierarchy(root_label="root")
+        annotations: Dict[int, Set[int]] = {}
+        next_pmid = 1
+        previous = 0
+        for count in counts:
+            node = h.add_child(previous, "n%d" % next_pmid)
+            annotations[node] = set(range(next_pmid, next_pmid + count))
+            next_pmid += count
+            previous = node
+        tree = NavigationTree.build(h, annotations)
+        probs = ProbabilityModel(tree, lambda _n: 1000)
+        return tree, probs
+
+    def _assert_agreement(self, probs, component):
+        batch = float(probs.expand_batch([component])[0])
+        scalar = probs.expand(frozenset(component), component[0])
+        assert close(batch, scalar)
+        return batch
+
+    def test_distinct_exactly_at_lower_threshold(self):
+        # distinct == lower: not "< lower", so the entropy branch runs.
+        tree, probs = self._chain_with_counts([5, 5])
+        component = sorted(tree.iter_dfs())
+        assert len(tree.distinct_results(component)) == probs.lower_threshold
+        value = self._assert_agreement(probs, component)
+        assert 0.0 < value <= 1.0
+
+    def test_distinct_one_below_lower_threshold(self):
+        tree, probs = self._chain_with_counts([5, 4])
+        component = sorted(tree.iter_dfs())
+        assert len(tree.distinct_results(component)) == probs.lower_threshold - 1
+        assert self._assert_agreement(probs, component) == 0.0
+
+    def test_distinct_exactly_at_upper_threshold(self):
+        # distinct == upper: not "> upper", so the entropy branch runs.
+        tree, probs = self._chain_with_counts([25, 25])
+        component = sorted(tree.iter_dfs())
+        assert len(tree.distinct_results(component)) == probs.upper_threshold
+        value = self._assert_agreement(probs, component)
+        assert 0.0 < value <= 1.0
+
+    def test_distinct_one_above_upper_threshold(self):
+        tree, probs = self._chain_with_counts([26, 25])
+        component = sorted(tree.iter_dfs())
+        assert len(tree.distinct_results(component)) == probs.upper_threshold + 1
+        assert self._assert_agreement(probs, component) == 1.0
+
+    def test_singleton_component_is_zero_even_above_threshold(self):
+        tree, probs = self._chain_with_counts([60])
+        component = [sorted(tree.iter_dfs())[1]]
+        assert self._assert_agreement(probs, component) == 0.0
+
+    def test_zero_count_member_in_entropy_denominator(self):
+        # Empty-result concepts are spliced out (Definition 2), so the
+        # root is the one zero-count member a navigation tree can hold.
+        # It must contribute nothing to the entropy sum but still widen
+        # the max-entropy denominator (log 3, not log 2) on both paths.
+        h = ConceptHierarchy(root_label="root")
+        a = h.add_child(0, "a")
+        b = h.add_child(0, "b")
+        tree = NavigationTree.build(h, {a: set(range(1, 11)), b: set(range(11, 21))})
+        probs = ProbabilityModel(tree, lambda _n: 1000)
+        component = [0, a, b]
+        assert len(tree.results(0)) == 0
+        value = self._assert_agreement(probs, component)
+        assert 0.0 < value < 1.0
+
+    def test_zero_count_singleton_root(self):
+        h = ConceptHierarchy(root_label="root")
+        a = h.add_child(0, "a")
+        tree = NavigationTree.build(h, {a: {1, 2}})
+        probs = ProbabilityModel(tree, lambda _n: 1000)
+        assert self._assert_agreement(probs, [0]) == 0.0
+        assert float(probs.explore_batch([[0]])[0]) == 0.0
+
+
+class TestSegmentSums:
+    def test_empty_segments_sum_to_zero(self):
+        values = np.asarray([1.0, 2.0, 3.0])
+        offsets = np.asarray([0, 2, 2, 3, 3])
+        lengths = np.asarray([2, 0, 1, 0, 0])
+        out = segment_sums(values, offsets, lengths)
+        assert out.tolist() == [3.0, 0.0, 3.0, 0.0, 0.0]
+
+    def test_empty_batch(self):
+        out = segment_sums(
+            np.zeros(0), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        )
+        assert out.shape == (0,)
+
+    def test_content_key_is_deterministic(self):
+        h = ConceptHierarchy(root_label="root")
+        a = h.add_child(0, "a")
+        tree = NavigationTree.build(h, {a: {1, 2, 3}})
+        first = CostArrays(tree, lambda _n: 100)
+        second = CostArrays(tree, lambda _n: 100)
+        assert first.content_key == second.content_key
+        assert len(first.content_key) == 40
+        different = CostArrays(tree, lambda _n: 100, upper_threshold=51)
+        assert different.content_key != first.content_key

@@ -7,7 +7,8 @@ Lint-level rules (run everywhere, including ``tests/`` and
 
 Semantic rules (guard solver invariants in ``src/repro``):
 ``determinism``, ``no-recursion``, ``float-equality``, ``bitmask-bounds``,
-``missing-hints``, ``lock-discipline``, ``solver-via-registry``.
+``missing-hints``, ``lock-discipline``, ``solver-via-registry``,
+``vectorize``.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from tools.analyzer.rules import (  # noqa: F401  - imported for registration
     layering,
     locking,
     recursion,
+    vectorize,
 )
 
 __all__ = [
@@ -32,4 +34,5 @@ __all__ = [
     "layering",
     "locking",
     "recursion",
+    "vectorize",
 ]

@@ -14,9 +14,10 @@ per navigation tree, contiguous per-concept arrays in **preorder**:
 * ``subtree_begin`` / ``subtree_size`` — the preorder interval indices
   (PR 1's tree indices, lifted into arrays), so every subtree is one
   contiguous slice;
-* packed **citation bitmaps** — one bit per distinct citation of the
-  tree, so distinct-result counting over any batch of components is a
-  byte-wise OR plus a popcount table lookup, with no Python set unions.
+* packed **citation bitmaps** (built lazily on first distinct-count
+  use) — one bit per distinct citation of the tree, so distinct-result
+  counting over any batch of components is a byte-wise OR plus a
+  popcount table lookup, with no Python set unions.
 
 On top of those it exposes batch kernels — :meth:`explore`,
 :meth:`expand`, :meth:`distinct_counts`, :meth:`normalized_entropy` —
@@ -67,16 +68,20 @@ def segment_sums(
 
     ``values`` holds every segment back to back; segment ``i`` spans
     ``values[offsets[i] : offsets[i] + lengths[i]]``.  Built on
-    ``np.add.reduceat``, whose empty-segment quirk (an empty segment
-    reports the element *at* its offset) is masked out explicitly.
+    ``np.add.reduceat`` over ``values`` plus a zero sentinel: a trailing
+    empty segment's offset equals ``len(values)``, which is a valid
+    index into the extended array, so no offset ever has to be clamped
+    onto the preceding segment's final element (clamping would shift
+    that segment's reduction boundary and truncate its sum).  The
+    remaining reduceat quirk — an empty segment reports the element *at*
+    its offset — is masked out explicitly.
     """
     out = np.zeros(len(offsets), dtype=np.float64)
     if len(values) == 0 or len(offsets) == 0:
         return out
-    # reduceat indices must stay inside the array; trailing empty
-    # segments may sit at len(values) and are masked below anyway.
-    safe = np.minimum(offsets, len(values) - 1)
-    sums = np.add.reduceat(values, safe)
+    extended = np.zeros(len(values) + 1, dtype=np.float64)
+    extended[: len(values)] = values
+    sums = np.add.reduceat(extended, offsets)
     nonempty = lengths > 0
     out[nonempty] = sums[nonempty]
     return out
@@ -165,21 +170,14 @@ class CostArrays:
             (tree.subtree_size(n) for n in preorder), dtype=np.int64, count=k
         )
 
-        # Packed citation bitmaps: bit j of row i set iff citation j is
-        # attached to preorder node i.  Citation bit order is the sorted
-        # citation-id order, so the layout is content-deterministic.
-        universe = sorted(tree.all_results())
-        self._citation_bit: Dict[int, int] = {
-            citation: bit for bit, citation in enumerate(universe)
-        }
-        self.universe_size = len(universe)
-        width = max(1, self.universe_size)
-        bitmap = np.zeros((k, width), dtype=np.uint8)
-        for index, node in enumerate(preorder):
-            bits = [self._citation_bit[c] for c in sorted(tree.results(node))]
-            if bits:
-                bitmap[index, bits] = 1
-        self.packed_results = np.packbits(bitmap, axis=1)
+        # The packed citation bitmaps back only the distinct-count /
+        # EXPAND batch kernels, and at MEDLINE scale they are the one
+        # expensive part of the substrate — so they are built lazily on
+        # first use (see :attr:`packed_results`).  Callers that only
+        # need the per-node arrays (the scalar model derives its mass
+        # table here) never pay for them.
+        self.universe_size = len(tree.all_results())
+        self._packed: "np.ndarray | None" = None
 
         self.content_key = self._compute_key()
 
@@ -187,7 +185,13 @@ class CostArrays:
     # Identity
     # ------------------------------------------------------------------
     def _compute_key(self) -> str:
-        """Digest the arrays and thresholds into a 40-hex content key."""
+        """Digest the arrays and thresholds into a 40-hex content key.
+
+        Citation identity is hashed directly from the per-node sorted
+        citation ids (``result_counts``, hashed first, delimits the
+        per-node runs) rather than from the packed bitmaps, so keying
+        never forces the lazy bitmap build.
+        """
         hasher = hashlib.sha256()
         hasher.update(b"cost_arrays\x1e")
         hasher.update(
@@ -195,11 +199,56 @@ class CostArrays:
         )
         for array in (self.preorder_ids, self.result_counts, self.log_lt):
             hasher.update(array.tobytes())
-        hasher.update(self.packed_results.tobytes())
+        for node in self.preorder_ids.tolist():  # repro: ignore[vectorize]
+            citations = sorted(self.tree.results(node))
+            if citations:
+                hasher.update(np.asarray(citations, dtype=np.int64).tobytes())
         return hasher.hexdigest()[:40]
 
     def __len__(self) -> int:
         return len(self.preorder_ids)
+
+    # ------------------------------------------------------------------
+    # Citation bitmaps (lazy)
+    # ------------------------------------------------------------------
+    @property
+    def packed_results(self) -> np.ndarray:
+        """Packed citation bitmaps, built on first batch-kernel use.
+
+        Bit ``j`` of row ``i`` is set iff citation ``j`` (in sorted
+        citation-id order, so the layout is content-deterministic) is
+        attached to preorder node ``i``.  Rows are built in packed form
+        directly — one byte per 8 citations, MSB first, matching
+        ``np.packbits`` — never materializing the dense ``k × U`` byte
+        matrix, whose 8× transient would reach gigabytes at MEDLINE
+        scale.
+        """
+        if self._packed is None:
+            self._packed = self._build_packed()
+        return self._packed
+
+    def _build_packed(self) -> np.ndarray:
+        citation_bit = {
+            citation: bit
+            for bit, citation in enumerate(sorted(self.tree.all_results()))
+        }
+        width = max(1, (self.universe_size + 7) // 8)
+        packed = np.zeros((len(self.preorder_ids), width), dtype=np.uint8)
+        for index, node in enumerate(self.preorder_ids.tolist()):  # repro: ignore[vectorize]
+            citations = self.tree.results(node)
+            if not citations:
+                continue
+            bits = np.fromiter(
+                (citation_bit[c] for c in citations),
+                dtype=np.int64,
+                count=len(citations),
+            )
+            np.bitwise_or.at(
+                packed[index],
+                bits >> 3,
+                np.left_shift(1, 7 - (bits & 7)).astype(np.uint8),
+            )
+        return packed
 
     # ------------------------------------------------------------------
     # Index helpers
@@ -271,8 +320,13 @@ class CostArrays:
         out = np.zeros(len(offsets), dtype=np.int64)
         if len(flat) == 0 or len(offsets) == 0:
             return out
-        safe = np.minimum(offsets, len(flat) - 1)
-        orred = np.bitwise_or.reduceat(self.packed_results[flat], safe, axis=0)
+        # Zero sentinel row, for the same reason as segment_sums: trailing
+        # empty segments sit at offset len(flat), and clamping them onto
+        # the previous row would truncate that segment's OR.
+        rows = self.packed_results[flat]
+        extended = np.zeros((len(flat) + 1, rows.shape[1]), dtype=np.uint8)
+        extended[: len(flat)] = rows
+        orred = np.bitwise_or.reduceat(extended, offsets, axis=0)
         counts = POPCOUNT_TABLE[orred].sum(axis=1)
         nonempty = lengths > 0
         out[nonempty] = counts[nonempty]

@@ -68,14 +68,17 @@ def components_of(draw, tree: NavigationTree, max_components: int = 8):
     """A batch of random connected-ish components (subsets incl. corners).
 
     Always includes at least one singleton so every batch exercises the
-    ``len(component) <= 1`` branch.
+    ``len(component) <= 1`` branch.  Drawn components may be *empty*
+    (min_size=0) — and can land anywhere in the batch, including last,
+    the position where a clamped segmented reduction would corrupt the
+    preceding component's value (the PR-review regression).
     """
     nodes = sorted(tree.iter_dfs())
     batch: List[List[int]] = [[draw(st.sampled_from(nodes))]]
     count = draw(st.integers(0, max_components - 1))
     for _ in range(count):
         members = draw(
-            st.sets(st.sampled_from(nodes), min_size=1, max_size=len(nodes))
+            st.sets(st.sampled_from(nodes), min_size=0, max_size=len(nodes))
         )
         batch.append(sorted(members))
     return batch
@@ -102,7 +105,8 @@ class TestBatchScalarEquivalence:
         batch = data.draw(components_of(tree))
         values = probs.expand_batch(batch)
         for component, value in zip(batch, values):
-            expected = probs.expand(frozenset(component), component[0])
+            root = component[0] if component else tree.root
+            expected = probs.expand(frozenset(component), root)
             assert close(value, expected)
 
     @given(st.data())
@@ -233,6 +237,38 @@ class TestSegmentSums:
         out = segment_sums(values, offsets, lengths)
         assert out.tolist() == [3.0, 0.0, 3.0, 0.0, 0.0]
 
+    def test_trailing_empty_after_multielement_segment(self):
+        # Regression: a clamped reduceat pulled the trailing empty
+        # segment's offset back onto the last element, splitting the
+        # preceding multi-element segment ([8, 16] summed as just 8).
+        values = np.asarray([1.0, 2.0, 4.0, 8.0, 16.0])
+        offsets = np.asarray([0, 3, 5])
+        lengths = np.asarray([3, 2, 0])
+        out = segment_sums(values, offsets, lengths)
+        assert out.tolist() == [7.0, 24.0, 0.0]
+
+    def test_batch_ending_in_empty_component(self):
+        # Same regression at the kernel level: the empty component must
+        # not truncate the preceding component's sums, distinct counts,
+        # or EXPAND value.
+        h = ConceptHierarchy(root_label="root")
+        a = h.add_child(0, "a")
+        b = h.add_child(0, "b")
+        c = h.add_child(0, "c")
+        tree = NavigationTree.build(
+            h, {a: set(range(1, 11)), b: set(range(6, 16)), c: set(range(16, 26))}
+        )
+        probs = ProbabilityModel(tree, lambda _n: 1000)
+        full = [a, b, c]
+        batch = [[a], full, []]
+        explore = probs.explore_batch(batch)
+        assert close(float(explore[1]), probs.explore(full))
+        distinct = probs.arrays.distinct_counts(batch)
+        assert distinct.tolist() == [10, 25, 0]
+        expand = probs.expand_batch(batch)
+        assert close(float(expand[1]), probs.expand(frozenset(full), a))
+        assert float(expand[0]) == 0.0 and float(expand[2]) == 0.0
+
     def test_empty_batch(self):
         out = segment_sums(
             np.zeros(0), np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
@@ -249,3 +285,28 @@ class TestSegmentSums:
         assert len(first.content_key) == 40
         different = CostArrays(tree, lambda _n: 100, upper_threshold=51)
         assert different.content_key != first.content_key
+
+    def test_content_key_sees_citation_identity(self):
+        # Same per-node counts, different citation ids → different keys
+        # (distinct-count semantics differ, so the cache must not share).
+        h = ConceptHierarchy(root_label="root")
+        a = h.add_child(0, "a")
+        b = h.add_child(0, "b")
+        overlapping = NavigationTree.build(h, {a: {1, 2}, b: {2, 3}})
+        disjoint = NavigationTree.build(h, {a: {1, 2}, b: {3, 4}})
+        assert (
+            CostArrays(overlapping, lambda _n: 100).content_key
+            != CostArrays(disjoint, lambda _n: 100).content_key
+        )
+
+    def test_citation_bitmap_is_lazy(self):
+        h = ConceptHierarchy(root_label="root")
+        a = h.add_child(0, "a")
+        b = h.add_child(0, "b")
+        tree = NavigationTree.build(h, {a: {1, 2, 3}, b: {3, 4}})
+        arrays = CostArrays(tree, lambda _n: 100)
+        assert arrays._packed is None  # keying must not force the build
+        arrays.explore([[a, b]])
+        assert arrays._packed is None  # EXPLORE never needs bitmaps
+        assert arrays.distinct_counts([[a, b]]).tolist() == [4]
+        assert arrays._packed is not None

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze baseline bench bench-tables bench-smoke serve-bench bench-serving examples docs demo clean
+.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,16 +13,24 @@ test:
 lint:
 	$(PYTHON) tools/lint.py
 
-# Full static-analysis gate: lint rules plus the repo-specific semantic
-# rules (determinism, no-recursion, float-equality, bitmask-bounds).
-# Fails on any finding not recorded in tools/analyzer/baseline.json.
+# Full static-analysis gate: lint rules, the repo-specific semantic
+# rules, and the interprocedural packs (key-determinism taint,
+# lock-chain, substrate-immutability) over the whole-program call graph.
+# Fails on any finding not recorded in tools/analyzer/baseline.json, on
+# baseline growth vs HEAD, or when the run blows the wall-time budget.
 analyze:
-	$(PYTHON) -m tools.analyzer
+	$(PYTHON) -m tools.analyzer --max-seconds 15
 
 # Regenerate the committed analyzer baseline (records current findings
 # so `make analyze` only fails on NEW ones; keep it empty if possible).
+# Refuses to grandfather interprocedural findings — pass
+# FORCE=--force explicitly if you really mean it.
 baseline:
-	$(PYTHON) -m tools.analyzer --write-baseline
+	$(PYTHON) -m tools.analyzer --write-baseline $(FORCE)
+
+# SARIF export of the gate (for GitHub code scanning upload).
+analyze-sarif:
+	$(PYTHON) -m tools.analyzer --format sarif --output analyzer.sarif
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

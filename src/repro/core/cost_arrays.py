@@ -59,6 +59,7 @@ __all__ = ["CostArrays", "segment_sums", "POPCOUNT_TABLE"]
 POPCOUNT_TABLE = np.unpackbits(
     np.arange(256, dtype=np.uint8)[:, None], axis=1
 ).sum(axis=1).astype(np.int64)
+POPCOUNT_TABLE.setflags(write=False)
 
 
 def segment_sums(
@@ -179,6 +180,22 @@ class CostArrays:
         self.universe_size = len(tree.all_results())
         self._packed: "np.ndarray | None" = None
 
+        # The substrate is shared by every session of a query (and, per
+        # the ROADMAP, across serving processes): freeze the arrays so
+        # any in-place write — which would silently corrupt every other
+        # session's solves — raises immediately instead.  The lazy
+        # bitmap build freezes its array in :meth:`_build_packed`.
+        for array in (
+            self.preorder_ids,
+            self.result_counts,
+            self.log_lt,
+            self.explore_mass,
+            self._count_log_count,
+            self.subtree_begin,
+            self.subtree_size,
+        ):
+            array.setflags(write=False)
+
         self.content_key = self._compute_key()
 
     # ------------------------------------------------------------------
@@ -248,6 +265,7 @@ class CostArrays:
                 bits >> 3,
                 np.left_shift(1, 7 - (bits & 7)).astype(np.uint8),
             )
+        packed.setflags(write=False)
         return packed
 
     # ------------------------------------------------------------------

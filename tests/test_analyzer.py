@@ -783,3 +783,548 @@ class TestLintShim:
         findings = check_file(target)
         assert findings and findings[0][1] == 1
         assert "unused import 'os'" in findings[0][2]
+
+
+def run_project(tmp_path, files, lint_only=False):
+    """Write a multi-file fixture project and return its findings."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    findings, _, _, _ = analyze(
+        paths=[str(tmp_path)],
+        lint_only=lint_only,
+        baseline_path=tmp_path / "no-baseline.json",
+    )
+    return findings
+
+
+def findings_for(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestKeyDeterminismRule:
+    def test_time_call_two_frames_below_root_flagged_with_chain(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "pipeline/artifacts.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def _stamp():\n"
+                    "    return time.time()\n"
+                    "\n"
+                    "\n"
+                    "def _mix(parts):\n"
+                    "    return str(_stamp()) + str(parts)\n"
+                    "\n"
+                    "\n"
+                    "def content_key(*parts):\n"
+                    "    return _mix(parts)\n"
+                )
+            },
+        )
+        hits = findings_for(findings, "key-determinism")
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert "time.time" in hits[0].message
+        assert (
+            "artifacts.content_key -> artifacts._mix -> artifacts._stamp"
+            in hits[0].message
+        )
+
+    def test_cross_module_chain_flagged(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "src/repro/pipeline/stages.py": (
+                    "from repro.util.hashing import digest_parts\n"
+                    "\n"
+                    "\n"
+                    "def params_key(params):\n"
+                    "    return digest_parts(params)\n"
+                ),
+                "src/repro/util/hashing.py": (
+                    "import os\n"
+                    "\n"
+                    "\n"
+                    "def digest_parts(parts):\n"
+                    "    return os.environ.get('SALT', '') + str(sorted(parts))\n"
+                ),
+            },
+        )
+        hits = findings_for(findings, "key-determinism")
+        assert len(hits) == 1
+        assert "os.environ" in hits[0].message
+        assert "stages.params_key -> hashing.digest_parts" in hits[0].message
+        # The finding lands in the module containing the source.
+        assert hits[0].path.endswith("hashing.py")
+
+    def test_unseeded_random_flagged_seeded_generator_clean(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "bad_keys.py": (
+                    "import random\n"
+                    "\n"
+                    "\n"
+                    "def component_digest(component):\n"
+                    "    return str(random.random()) + str(component)\n"
+                ),
+                "good_keys.py": (
+                    "import random\n"
+                    "\n"
+                    "\n"
+                    "def compute_key(seed, parts):\n"
+                    "    rng = random.Random(seed)\n"
+                    "    return str(sorted(parts))\n"
+                ),
+            },
+        )
+        hits = findings_for(findings, "key-determinism")
+        assert len(hits) == 1
+        assert hits[0].path.endswith("bad_keys.py")
+        assert "random.random" in hits[0].message
+
+    def test_clean_hashlib_key_passes(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "keys.py": (
+                    "import hashlib\n"
+                    "\n"
+                    "\n"
+                    "def content_key(*parts):\n"
+                    "    hasher = hashlib.sha256()\n"
+                    "    for part in sorted(str(p) for p in parts):\n"
+                    "        hasher.update(part.encode())\n"
+                    "    return hasher.hexdigest()\n"
+                )
+            },
+        )
+        assert findings_for(findings, "key-determinism") == []
+
+    def test_dynamic_call_in_closure_degrades_to_warning(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "dyn.py": (
+                    "HANDLERS = {}\n"
+                    "\n"
+                    "\n"
+                    "def compute_key(kind, payload):\n"
+                    "    return HANDLERS[kind](payload)\n"
+                )
+            },
+        )
+        hits = findings_for(findings, "key-determinism")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert "cannot be proven deterministic" in hits[0].message
+
+    def test_suppression_at_sink_line(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "keys.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def content_key(parts):\n"
+                    "    stamp = time.time()  # repro: ignore[key-determinism]\n"
+                    "    return str(parts)\n"
+                )
+            },
+        )
+        assert findings_for(findings, "key-determinism") == []
+
+
+_CACHE_CLASS = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._data = {}\n"
+    "        self._put_locked('seed', 0)\n"
+    "\n"
+    "    def _put_locked(self, key, value):\n"
+    "        self._data[key] = value\n"
+    "\n"
+    "    def _evict_locked(self):\n"
+    "        self._put_locked('evicted', 1)\n"
+    "\n"
+)
+
+
+class TestLockChainRule:
+    def test_bare_call_to_locked_helper_flagged(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "serving/cache.py": _CACHE_CLASS
+                + "    def put(self, key, value):\n"
+                "        self._put_locked(key, value)\n"
+            },
+        )
+        hits = findings_for(findings, "lock-chain")
+        assert len(hits) == 1
+        assert "'self._put_locked'" in hits[0].message
+        assert "with self._lock:" in hits[0].message
+
+    def test_call_under_lock_and_from_locked_helper_clean(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "serving/cache.py": _CACHE_CLASS
+                + "    def put(self, key, value):\n"
+                "        with self._lock:\n"
+                "            self._put_locked(key, value)\n"
+            },
+        )
+        # __init__ and _evict_locked callers are clean by construction.
+        assert findings_for(findings, "lock-chain") == []
+
+    def test_cross_object_call_requires_receivers_lock(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "serving/ops.py": (
+                    "def bad(cache, key):\n"
+                    "    cache._put_locked(key, None)\n"
+                    "\n"
+                    "\n"
+                    "def good(cache, key):\n"
+                    "    with cache._lock:\n"
+                    "        cache._put_locked(key, None)\n"
+                )
+            },
+        )
+        hits = findings_for(findings, "lock-chain")
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "'cache._put_locked'" in hits[0].message
+
+    def test_wrong_receivers_lock_does_not_satisfy(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "serving/ops.py": (
+                    "def confused(self, other):\n"
+                    "    with self._lock:\n"
+                    "        other._put_locked('k', None)\n"
+                )
+            },
+        )
+        assert len(findings_for(findings, "lock-chain")) == 1
+
+    def test_checkout_context_manager_counts_as_lock(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "serving/runtime.py": (
+                    "class Runtime:\n"
+                    "    def view(self, sid):\n"
+                    "        with self.sessions.checkout(sid) as entry:\n"
+                    "            return self._view_locked(sid, entry)\n"
+                    "\n"
+                    "    def _view_locked(self, sid, entry):\n"
+                    "        return entry\n"
+                )
+            },
+        )
+        assert findings_for(findings, "lock-chain") == []
+
+    def test_outside_locking_layers_not_checked(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "core/free.py": (
+                    "def loose(cache):\n"
+                    "    cache._put_locked('k', None)\n"
+                )
+            },
+        )
+        assert findings_for(findings, "lock-chain") == []
+
+    def test_suppression_at_call_line(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "serving/boot.py": (
+                    "def warm(cache):\n"
+                    "    cache._put_locked('k', 1)  # repro: ignore[lock-chain]\n"
+                )
+            },
+        )
+        assert findings_for(findings, "lock-chain") == []
+
+
+class TestSubstrateImmutabilityRule:
+    def test_inplace_and_numpy_mutations_flagged(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "pipeline/mut.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "\n"
+                    "def tweak(arrays, adjustment):\n"
+                    "    arrays.explore_mass += adjustment\n"
+                    "    arrays.result_counts[0] = 7\n"
+                    "    np.add.at(arrays.explore_mass, [0], 1.0)\n"
+                    "    arrays.log_lt.sort()\n"
+                )
+            },
+        )
+        hits = findings_for(findings, "substrate-immutability")
+        assert len(hits) == 4
+        assert all(h.severity == "error" for h in hits)
+        messages = " | ".join(h.message for h in hits)
+        assert "explore_mass" in messages
+        assert "result_counts" in messages
+        assert "'.sort()'" in messages
+
+    def test_builder_methods_exempt(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "core/cost_arrays.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "\n"
+                    "class CostArrays:\n"
+                    "    def __init__(self, counts):\n"
+                    "        self.result_counts = np.asarray(counts)\n"
+                    "        self.explore_mass = self.result_counts * 2.0\n"
+                    "        self.explore_mass += 1.0\n"
+                    "\n"
+                    "    def _build_packed(self):\n"
+                    "        self._packed = np.zeros(4)\n"
+                    "        self._packed[0] = 1\n"
+                    "        return self._packed\n"
+                )
+            },
+        )
+        assert findings_for(findings, "substrate-immutability") == []
+
+    def test_builder_exemption_is_self_only(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "core/wrap.py": (
+                    "class Wrapper:\n"
+                    "    def __init__(self, arrays):\n"
+                    "        arrays.explore_mass[0] = 0.0\n"
+                    "        self.arrays = arrays\n"
+                )
+            },
+        )
+        assert len(findings_for(findings, "substrate-immutability")) == 1
+
+    def test_object_setattr_outside_artifacts_flagged(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "pipeline/patch.py": (
+                    "def retag(nav, query):\n"
+                    "    object.__setattr__(nav, 'query', query)\n"
+                )
+            },
+        )
+        hits = findings_for(findings, "substrate-immutability")
+        assert len(hits) == 1
+        assert "__setattr__" in hits[0].message
+
+    def test_artifact_annotated_receiver_assignment_flagged(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "pipeline/use.py": (
+                    "def relabel(nav: 'NavTreeArtifact', query):\n"
+                    "    nav.query = query\n"
+                )
+            },
+        )
+        hits = findings_for(findings, "substrate-immutability")
+        assert len(hits) == 1
+        assert "NavTreeArtifact" in hits[0].message
+
+    def test_decision_store_subscript_write_is_legal(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "pipeline/use.py": (
+                    "def record(nav: 'NavTreeArtifact', node, choice):\n"
+                    "    nav.decisions[node] = choice\n"
+                )
+            },
+        )
+        assert findings_for(findings, "substrate-immutability") == []
+
+    def test_runtime_arrays_are_frozen(self):
+        if str(REPO_ROOT / "src") not in sys.path:
+            sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.core.cost_arrays import CostArrays
+        from repro.core.navigation_tree import NavigationTree
+        from repro.hierarchy.concept import ConceptHierarchy
+
+        hierarchy = ConceptHierarchy(root_label="root")
+        child = hierarchy.add_child(0, "child")
+        tree = NavigationTree.build(hierarchy, {child: {1, 2, 3}})
+        arrays = CostArrays(tree, lambda n: 10)
+        with pytest.raises(ValueError):
+            arrays.explore_mass[0] = 99.0
+        with pytest.raises(ValueError):
+            arrays.packed_results[0, 0] = 1
+
+
+class TestInterproceduralCLI:
+    def _write(self, tmp_path, relpath, source):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return target
+
+    BAD_LOCK = (
+        "class Cache:\n"
+        "    def put(self, key):\n"
+        "        self._put_locked(key)\n"
+        "\n"
+        "    def _put_locked(self, key):\n"
+        "        self.key = key\n"
+    )
+
+    def test_write_baseline_refuses_interprocedural_findings(
+        self, tmp_path, capsys
+    ):
+        self._write(tmp_path, "serving/cache.py", self.BAD_LOCK)
+        baseline = tmp_path / "baseline.json"
+        status = main(
+            [str(tmp_path), "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert status == 1
+        assert not baseline.exists()
+        err = capsys.readouterr().err
+        assert "refusing to baseline" in err
+        assert "lock-chain" in err
+
+    def test_write_baseline_force_overrides(self, tmp_path):
+        self._write(tmp_path, "serving/cache.py", self.BAD_LOCK)
+        baseline = tmp_path / "baseline.json"
+        status = main(
+            [
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                "--force",
+            ]
+        )
+        assert status == 0
+        assert any(
+            key.startswith("lock-chain::") for key in load_baseline(baseline)
+        )
+
+    def test_baseline_ratchet_blocks_growth(self, tmp_path, capsys, monkeypatch):
+        from tools.analyzer import runner
+
+        target = self._write(tmp_path, "mod.py", "VALUE = 1\n")
+        baseline = tmp_path / "baseline.json"
+        from tools.analyzer.core import Finding
+
+        write_baseline(
+            baseline, [Finding("unused-import", "m.py", 1, "msg", "warning")]
+        )
+        monkeypatch.setattr(runner, "_committed_baseline_total", lambda path: 0)
+        status = main([str(target), "--baseline", str(baseline)])
+        assert status == 1
+        assert "baseline ratchet" in capsys.readouterr().err
+
+    def test_baseline_ratchet_escape_hatch(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from tools.analyzer import runner
+
+        target = self._write(tmp_path, "mod.py", "VALUE = 1\n")
+        baseline = tmp_path / "baseline.json"
+        from tools.analyzer.core import Finding
+
+        write_baseline(
+            baseline, [Finding("unused-import", "m.py", 1, "msg", "warning")]
+        )
+        monkeypatch.setattr(runner, "_committed_baseline_total", lambda path: 0)
+        monkeypatch.setenv("ANALYZE_ALLOW_BASELINE_GROWTH", "1")
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+
+    def test_shrinking_baseline_passes_ratchet(self, tmp_path, monkeypatch):
+        from tools.analyzer import runner
+
+        target = self._write(tmp_path, "mod.py", "VALUE = 1\n")
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [])
+        monkeypatch.setattr(runner, "_committed_baseline_total", lambda path: 5)
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+
+    def test_wall_time_gate(self, tmp_path, capsys):
+        target = self._write(tmp_path, "mod.py", "VALUE = 1\n")
+        args = [str(target), "--baseline", str(tmp_path / "nb.json")]
+        assert main(args + ["--max-seconds", "60"]) == 0
+        assert main(args + ["--max-seconds", "0"]) == 1
+        assert "exceeds" in capsys.readouterr().err
+
+    def test_wall_time_always_reported(self, tmp_path, capsys):
+        target = self._write(tmp_path, "mod.py", "VALUE = 1\n")
+        main([str(target), "--baseline", str(tmp_path / "nb.json")])
+        assert "analyze: wall time" in capsys.readouterr().err
+
+    def test_sarif_output_file(self, tmp_path):
+        self._write(tmp_path, "serving/cache.py", self.BAD_LOCK)
+        out = tmp_path / "report.sarif"
+        status = main(
+            [
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "nb.json"),
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ]
+        )
+        assert status == 1
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"key-determinism", "lock-chain", "substrate-immutability"} <= rule_ids
+        results = run["results"]
+        assert any(r["ruleId"] == "lock-chain" for r in results)
+        assert all(
+            r["locations"][0]["physicalLocation"]["region"]["startLine"] >= 1
+            for r in results
+        )
+
+
+class TestSarifReporter:
+    def test_sarif_levels_and_locations(self):
+        from tools.analyzer.core import Finding
+        from tools.analyzer.reporters import sarif_report
+
+        payload = json.loads(
+            sarif_report(
+                [
+                    Finding("determinism", "core/m.py", 7, "msg", "error"),
+                    Finding("unused-import", "m.py", 0, "msg2", "warning"),
+                ],
+                files_analyzed=2,
+            )
+        )
+        results = payload["runs"][0]["results"]
+        assert [r["level"] for r in results] == ["error", "warning"]
+        # Line 0 findings (whole-file) clamp to SARIF's 1-based minimum.
+        assert results[1]["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] == 1

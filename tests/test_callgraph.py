@@ -1,0 +1,435 @@
+"""Tests for the whole-program engine: ProjectContext, call graph, taint.
+
+Covers the resolution edge cases the interprocedural rules lean on —
+aliased imports, relative imports, ``staticmethod``/``classmethod`` and
+decorated functions, ``self.`` dispatch (including one level of typed
+indirection), suffix-based module resolution for out-of-tree fixtures —
+and the degradation contract: dynamic calls (subscript dispatch,
+``getattr``) become warnings, unresolvable imports resolve to external
+targets, and nothing ever raises.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analyzer.callgraph import build_callgraph, get_callgraph  # noqa: E402
+from tools.analyzer.core import ProjectIndex  # noqa: E402
+from tools.analyzer.project import ProjectContext, module_dotted  # noqa: E402
+from tools.analyzer.runner import _index, _python_files  # noqa: E402
+from tools.analyzer.taint import direct_sources, is_key_root, key_taint  # noqa: E402
+
+
+def build_project(tmp_path, files):
+    """Write ``{relpath: source}`` fixtures and build their context."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    index = _index(_python_files([tmp_path]))
+    return index.project()
+
+
+def edge_pairs(graph):
+    return {
+        (site.caller, site.callee)
+        for sites in graph.edges.values()
+        for site in sites
+    }
+
+
+def find_function(project, suffix):
+    matches = [q for q in project.functions if q.endswith(suffix)]
+    assert len(matches) == 1, (suffix, matches)
+    return matches[0]
+
+
+class TestModuleResolution:
+    def test_module_dotted_collapses_init(self):
+        assert module_dotted("src/repro/core/__init__.py") == "src.repro.core"
+        assert module_dotted("src/repro/core/foo.py") == "src.repro.core.foo"
+
+    def test_suffix_resolution_for_out_of_tree_fixtures(self, tmp_path):
+        project = build_project(
+            tmp_path, {"src/repro/core/util.py": "def f():\n    return 1\n"}
+        )
+        full = project.resolve_module("repro.core.util")
+        assert full is not None and full.endswith("src.repro.core.util")
+
+    def test_ambiguous_suffix_resolves_to_nothing(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "a/util.py": "def f():\n    return 1\n",
+                "b/util.py": "def g():\n    return 2\n",
+            },
+        )
+        assert project.resolve_module("util") is None
+
+
+class TestImportAliases:
+    def test_plain_module_alias(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/lib.py": "def helper():\n    return 1\n",
+                "pkg/use.py": (
+                    "import pkg.lib as renamed\n\n\n"
+                    "def caller():\n    return renamed.helper()\n"
+                ),
+            },
+        )
+        graph = build_callgraph(project)
+        caller = find_function(project, "pkg.use.caller")
+        callee = find_function(project, "pkg.lib.helper")
+        assert (caller, callee) in edge_pairs(graph)
+
+    def test_from_import_with_alias(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/lib.py": "def helper():\n    return 1\n",
+                "pkg/use.py": (
+                    "from pkg.lib import helper as h\n\n\n"
+                    "def caller():\n    return h()\n"
+                ),
+            },
+        )
+        graph = build_callgraph(project)
+        caller = find_function(project, "pkg.use.caller")
+        callee = find_function(project, "pkg.lib.helper")
+        assert (caller, callee) in edge_pairs(graph)
+
+    def test_relative_import(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/lib.py": "def helper():\n    return 1\n",
+                "pkg/use.py": (
+                    "from .lib import helper\n\n\n"
+                    "def caller():\n    return helper()\n"
+                ),
+            },
+        )
+        graph = build_callgraph(project)
+        caller = find_function(project, "pkg.use.caller")
+        callee = find_function(project, "pkg.lib.helper")
+        assert (caller, callee) in edge_pairs(graph)
+
+    def test_unresolvable_import_becomes_external(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "use.py": (
+                    "import nosuchpackage.mod as m\n\n\n"
+                    "def caller():\n    return m.run()\n"
+                )
+            },
+        )
+        graph = build_callgraph(project)
+        caller = find_function(project, "use.caller")
+        targets = [e.target for e in graph.externals.get(caller, [])]
+        assert "nosuchpackage.mod.run" in targets
+
+
+class TestMethodDispatch:
+    CLASS_SOURCE = (
+        "def decorate(f):\n"
+        "    return f\n"
+        "\n"
+        "\n"
+        "class Worker:\n"
+        "    def __init__(self):\n"
+        "        self.count = 0\n"
+        "\n"
+        "    @staticmethod\n"
+        "    def leaf():\n"
+        "        return 1\n"
+        "\n"
+        "    @classmethod\n"
+        "    def build(cls):\n"
+        "        return cls.leaf()\n"
+        "\n"
+        "    @decorate\n"
+        "    def decorated(self):\n"
+        "        return self.leaf()\n"
+        "\n"
+        "    def run(self):\n"
+        "        return self.decorated()\n"
+    )
+
+    def test_self_and_cls_calls_resolve(self, tmp_path):
+        project = build_project(tmp_path, {"worker.py": self.CLASS_SOURCE})
+        graph = build_callgraph(project)
+        pairs = edge_pairs(graph)
+        run = find_function(project, "Worker.run")
+        decorated = find_function(project, "Worker.decorated")
+        build = find_function(project, "Worker.build")
+        leaf = find_function(project, "Worker.leaf")
+        assert (run, decorated) in pairs
+        assert (build, leaf) in pairs
+        assert (decorated, leaf) in pairs
+
+    def test_static_and_classmethod_markers(self, tmp_path):
+        project = build_project(tmp_path, {"worker.py": self.CLASS_SOURCE})
+        leaf = project.functions[find_function(project, "Worker.leaf")]
+        build = project.functions[find_function(project, "Worker.build")]
+        decorated = project.functions[find_function(project, "Worker.decorated")]
+        assert leaf.is_static and not leaf.is_classmethod
+        assert build.is_classmethod and not build.is_static
+        assert "decorate" in decorated.decorators
+
+    def test_constructor_call_edges_to_init(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Thing:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                    "\n"
+                    "\n"
+                    "def make():\n"
+                    "    return Thing()\n"
+                )
+            },
+        )
+        graph = build_callgraph(project)
+        make = find_function(project, "mod.make")
+        init = find_function(project, "Thing.__init__")
+        assert (make, init) in edge_pairs(graph)
+
+    def test_inherited_method_found_through_base(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Base:\n"
+                    "    def shared(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n"
+                    "        return self.shared()\n"
+                )
+            },
+        )
+        graph = build_callgraph(project)
+        run = find_function(project, "Child.run")
+        shared = find_function(project, "Base.shared")
+        assert (run, shared) in edge_pairs(graph)
+
+    def test_typed_attribute_indirection(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "tree.py": (
+                    "class Tree:\n"
+                    "    def results(self, n):\n"
+                    "        return []\n"
+                ),
+                "owner.py": (
+                    "from tree import Tree\n"
+                    "\n"
+                    "\n"
+                    "class Owner:\n"
+                    "    def __init__(self, tree: Tree):\n"
+                    "        self.tree = tree\n"
+                    "\n"
+                    "    def fetch(self, n):\n"
+                    "        return self.tree.results(n)\n"
+                ),
+            },
+        )
+        graph = build_callgraph(project)
+        fetch = find_function(project, "Owner.fetch")
+        results = find_function(project, "Tree.results")
+        assert (fetch, results) in edge_pairs(graph)
+
+    def test_annotated_parameter_dispatch(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Store:\n"
+                    "    def get(self, k):\n"
+                    "        return k\n"
+                    "\n"
+                    "\n"
+                    "def read(store: Store, k):\n"
+                    "    return store.get(k)\n"
+                )
+            },
+        )
+        graph = build_callgraph(project)
+        read = find_function(project, "mod.read")
+        get = find_function(project, "Store.get")
+        assert (read, get) in edge_pairs(graph)
+
+
+class TestDynamicDegradation:
+    def test_subscript_and_getattr_calls_become_dynamic(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "HANDLERS = {}\n"
+                    "\n"
+                    "\n"
+                    "def dispatch(kind, obj):\n"
+                    "    HANDLERS[kind]()\n"
+                    "    getattr(obj, 'run')()\n"
+                )
+            },
+        )
+        graph = build_callgraph(project)
+        dispatch = find_function(project, "mod.dispatch")
+        kinds = [d.description for d in graph.dynamics.get(dispatch, [])]
+        assert any("subscript" in k for k in kinds)
+        assert any("getattr" in k for k in kinds)
+
+    def test_computed_receiver_never_crashes(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import random\n"
+                    "\n"
+                    "\n"
+                    "def draw():\n"
+                    "    return random.Random(7).random()\n"
+                    "\n"
+                    "\n"
+                    "def weird(x):\n"
+                    "    return (x or draw)()\n"
+                )
+            },
+        )
+        graph = build_callgraph(project)  # must not raise
+        draw = find_function(project, "mod.draw")
+        targets = [e.target for e in graph.externals.get(draw, [])]
+        # The constructor is a (whitelisted) external; the ``.random()``
+        # method call on the computed receiver resolves to nothing —
+        # in particular not to the unseeded module-level function.
+        assert "random.Random" in targets
+        assert "random.random" not in targets
+        graph_sources = direct_sources(graph, project.functions[draw])
+        assert graph_sources == []
+
+    def test_empty_project_reachability(self):
+        project = ProjectContext.build(ProjectIndex())
+        graph = get_callgraph(project)
+        parents, order = graph.reachable_from([])
+        assert parents == {} and order == []
+
+
+class TestTaintClosure:
+    def test_roots_and_chain(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "keys.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def _stamp():\n"
+                    "    return time.time()\n"
+                    "\n"
+                    "\n"
+                    "def content_key(parts):\n"
+                    "    return str(_stamp()) + str(parts)\n"
+                )
+            },
+        )
+        result = key_taint(project)
+        assert len(result.violations) == 1
+        symbol, hit, chain = result.violations[0]
+        assert symbol.name == "_stamp"
+        assert "time.time" in hit.description
+        assert chain == "keys.content_key -> keys._stamp"
+
+    def test_stage_key_method_is_root(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "stages.py": (
+                    "import uuid\n"
+                    "\n"
+                    "\n"
+                    "class NavStage:\n"
+                    "    def key(self):\n"
+                    "        return str(uuid.uuid4())\n"
+                    "\n"
+                    "\n"
+                    "class PlainTable:\n"
+                    "    def key(self):\n"
+                    "        return str(uuid.uuid4())\n"
+                )
+            },
+        )
+        stage_key = project.functions[find_function(project, "NavStage.key")]
+        other_key = project.functions[find_function(project, "PlainTable.key")]
+        assert is_key_root(stage_key)
+        assert not is_key_root(other_key)
+        result = key_taint(project)
+        assert [s.class_name for s, _, _ in result.violations] == ["NavStage"]
+
+    def test_non_root_nondeterminism_is_ignored(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "other.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def elapsed():\n"
+                    "    return time.time()\n"
+                )
+            },
+        )
+        result = key_taint(project)
+        assert result.violations == []
+        assert result.unprovable == []
+
+    def test_direct_sources_flags_unsorted_set_iteration(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "keys.py": (
+                    "def content_key(items):\n"
+                    "    return [x for x in set(items)]\n"
+                )
+            },
+        )
+        result = key_taint(project)
+        assert len(result.violations) == 1
+        _, hit, _ = result.violations[0]
+        assert "set iteration" in hit.description
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "keys.py": (
+                    "import hashlib\n"
+                    "\n"
+                    "\n"
+                    "def content_key(items):\n"
+                    "    hasher = hashlib.sha256()\n"
+                    "    for item in sorted(set(items)):\n"
+                    "        hasher.update(str(item).encode())\n"
+                    "    return hasher.hexdigest()\n"
+                )
+            },
+        )
+        graph = get_callgraph(project)
+        symbol = project.functions[find_function(project, "keys.content_key")]
+        assert direct_sources(graph, symbol) == []
+        assert key_taint(project).violations == []

@@ -1,0 +1,306 @@
+"""Project-wide call graph over :class:`~tools.analyzer.project.ProjectContext`.
+
+One AST walk per function classifies every call expression into exactly
+one of three buckets, so downstream analyses never crash on code they
+cannot resolve:
+
+* **edges** — calls resolved to a project function/method: direct names
+  (module-local or imported, aliases followed), constructor calls (edge
+  to ``__init__``), ``self.``/``cls.`` method calls (base classes
+  searched), ``module.func`` attribute chains through import aliases,
+  ``Class.method``, and one level of typed indirection —
+  ``self.tree.results(...)`` resolves when ``__init__`` bound
+  ``self.tree`` from a parameter annotated ``NavigationTree``, and
+  ``param.method(...)`` resolves through the parameter's annotation.
+* **external calls** — calls that resolve outside the project (stdlib,
+  numpy).  The *attempted* dotted target (``time.time``,
+  ``numpy.add.at``) is recorded, import aliases normalized away, which
+  is exactly what the taint pass matches nondeterminism patterns
+  against.
+* **dynamic calls** — callees no static table can name: subscript
+  dispatch (``handlers[kind]()``) and ``getattr(...)(...)``.  These
+  degrade to warnings in consuming rules, never errors and never
+  crashes.
+
+Reachability is a plain BFS recording parent call sites, so any
+reachable function can print the call chain that reaches it — the
+evidence interprocedural findings quote.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from tools.analyzer.project import (
+    ClassSymbol,
+    FunctionSymbol,
+    ProjectContext,
+    iter_calls,
+)
+
+__all__ = ["CallSite", "ExternalCall", "DynamicCall", "CallGraph", "build_callgraph"]
+
+
+class CallSite:
+    """One resolved call: caller → callee at a source line."""
+
+    __slots__ = ("caller", "callee", "line")
+
+    def __init__(self, caller: str, callee: str, line: int):
+        self.caller = caller
+        self.callee = callee
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CallSite(%s -> %s @%d)" % (self.caller, self.callee, self.line)
+
+
+class ExternalCall:
+    """A call resolving outside the project (normalized dotted target)."""
+
+    __slots__ = ("target", "line")
+
+    def __init__(self, target: str, line: int):
+        self.target = target
+        self.line = line
+
+
+class DynamicCall:
+    """A call whose target no static table can name."""
+
+    __slots__ = ("description", "line")
+
+    def __init__(self, description: str, line: int):
+        self.description = description
+        self.line = line
+
+
+def _attribute_chain(expr: ast.expr) -> Optional[List[str]]:
+    """``a.b.c`` → ``["a", "b", "c"]``; None when the root is not a Name."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class CallGraph:
+    """Edges, external calls, and dynamic calls, per caller qualname."""
+
+    def __init__(self, project: ProjectContext):
+        self.project = project
+        self.edges: Dict[str, List[CallSite]] = {}
+        self.externals: Dict[str, List[ExternalCall]] = {}
+        self.dynamics: Dict[str, List[DynamicCall]] = {}
+        self._reverse: Optional[Dict[str, List[CallSite]]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add_edge(self, caller: str, callee: str, line: int) -> None:
+        self.edges.setdefault(caller, []).append(CallSite(caller, callee, line))
+        self._reverse = None
+
+    def _add_external(self, caller: str, target: str, line: int) -> None:
+        self.externals.setdefault(caller, []).append(ExternalCall(target, line))
+
+    def _add_dynamic(self, caller: str, description: str, line: int) -> None:
+        self.dynamics.setdefault(caller, []).append(DynamicCall(description, line))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callers_of(self, qualname: str) -> List[CallSite]:
+        """Every recorded call site targeting ``qualname``."""
+        if self._reverse is None:
+            reverse: Dict[str, List[CallSite]] = {}
+            for sites in self.edges.values():
+                for site in sites:
+                    reverse.setdefault(site.callee, []).append(site)
+            self._reverse = reverse
+        return self._reverse.get(qualname, [])
+
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> Tuple[Dict[str, Optional[CallSite]], List[str]]:
+        """BFS closure over edges.
+
+        Returns ``(parents, order)``: ``parents[q]`` is the call site
+        through which ``q`` was first reached (None for roots), and
+        ``order`` is the deterministic visit order.  Roots are iterated
+        sorted so runs are reproducible regardless of dict order.
+        """
+        parents: Dict[str, Optional[CallSite]] = {}
+        order: List[str] = []
+        frontier = sorted(set(roots))
+        for root in frontier:
+            parents[root] = None
+            order.append(root)
+        while frontier:
+            next_frontier: List[str] = []
+            for caller in frontier:
+                for site in self.edges.get(caller, []):
+                    if site.callee in parents:
+                        continue
+                    parents[site.callee] = site
+                    order.append(site.callee)
+                    next_frontier.append(site.callee)
+            frontier = sorted(next_frontier)
+        return parents, order
+
+    def chain(
+        self, parents: Dict[str, Optional[CallSite]], target: str
+    ) -> List[str]:
+        """Qualnames along the discovery path root → ``target``."""
+        names: List[str] = [target]
+        current = target
+        while True:
+            site = parents.get(current)
+            if site is None:
+                break
+            current = site.caller
+            names.append(current)
+            if len(names) > 64:  # defensive: corrupt parent maps
+                break
+        names.reverse()
+        return names
+
+    def display_chain(
+        self, parents: Dict[str, Optional[CallSite]], target: str
+    ) -> str:
+        """``a.f -> B.key -> c.helper`` rendering of :meth:`chain`.
+
+        Uses display names (module stem + class + function, no line
+        numbers) so baseline fingerprints survive unrelated edits.
+        """
+        names = []
+        for qualname in self.chain(parents, target):
+            symbol = self.project.functions.get(qualname)
+            names.append(symbol.display if symbol else qualname)
+        return " -> ".join(names)
+
+
+def _resolve_call(
+    graph: CallGraph,
+    project: ProjectContext,
+    symbol: FunctionSymbol,
+    module_name: str,
+    call: ast.Call,
+) -> None:
+    """Classify one call expression into edge/external/dynamic."""
+    func = call.func
+    line = getattr(call, "lineno", symbol.node.lineno)
+
+    # getattr(x, "name")(...) and handlers[kind](...) are dynamic.
+    if isinstance(func, ast.Subscript):
+        graph._add_dynamic(symbol.qualname, "subscript call (table dispatch)", line)
+        return
+    if (
+        isinstance(func, ast.Call)
+        and isinstance(func.func, ast.Name)
+        and func.func.id == "getattr"
+    ):
+        graph._add_dynamic(symbol.qualname, "getattr(...) call", line)
+        return
+
+    chain = _attribute_chain(func)
+    if chain is None:
+        # Calls on computed expressions (results of other calls,
+        # conditionals, lambdas): out of reach, silently unresolved.
+        return
+
+    root, rest = chain[0], chain[1:]
+
+    if not rest:
+        # Bare name call: local def, import, or builtin/external.
+        resolved = project.resolve_name(module_name, root)
+        if isinstance(resolved, FunctionSymbol):
+            graph._add_edge(symbol.qualname, resolved.qualname, line)
+        elif isinstance(resolved, ClassSymbol):
+            init = project.method_on(resolved, "__init__")
+            if init is not None:
+                graph._add_edge(symbol.qualname, init.qualname, line)
+        else:
+            target = project.import_target(module_name, root) or root
+            graph._add_external(symbol.qualname, target, line)
+        return
+
+    # self.method(...) / self.attr.method(...) inside a class.
+    if root in ("self", "cls") and symbol.class_name:
+        owner = project.classes.get(
+            module_name + "." + symbol.class_name
+        )
+        if owner is None:
+            return
+        if len(rest) == 1:
+            method = project.method_on(owner, rest[0])
+            if method is not None:
+                graph._add_edge(symbol.qualname, method.qualname, line)
+            return
+        if len(rest) == 2:
+            attr_type = owner.attr_types.get(rest[0])
+            if attr_type:
+                attr_cls = project.class_of(attr_type, module_name)
+                if attr_cls is not None:
+                    method = project.method_on(attr_cls, rest[1])
+                    if method is not None:
+                        graph._add_edge(symbol.qualname, method.qualname, line)
+                        return
+        return
+
+    # param.method(...) through the parameter's (or local's) annotation.
+    annotated = symbol.param_types.get(root)
+    if annotated and len(rest) == 1:
+        cls = project.class_of(annotated, module_name)
+        if cls is not None:
+            method = project.method_on(cls, rest[0])
+            if method is not None:
+                graph._add_edge(symbol.qualname, method.qualname, line)
+                return
+
+    # Imported module / class attribute chains.
+    resolved_root = project.resolve_name(module_name, root)
+    if isinstance(resolved_root, ClassSymbol) and len(rest) == 1:
+        method = project.method_on(resolved_root, rest[0])
+        if method is not None:
+            graph._add_edge(symbol.qualname, method.qualname, line)
+        return
+    target = project.import_target(module_name, root)
+    if target is not None:
+        dotted = ".".join([target] + rest)
+        resolved = project.resolve(dotted)
+        if isinstance(resolved, FunctionSymbol):
+            graph._add_edge(symbol.qualname, resolved.qualname, line)
+        elif isinstance(resolved, ClassSymbol):
+            init = project.method_on(resolved, "__init__")
+            if init is not None:
+                graph._add_edge(symbol.qualname, init.qualname, line)
+        else:
+            graph._add_external(symbol.qualname, dotted, line)
+        return
+
+    # Unannotated receiver: unresolved, silently.
+    return
+
+
+def build_callgraph(project: ProjectContext) -> CallGraph:
+    """The project's call graph (cached per context by callers)."""
+    graph = CallGraph(project)
+    for symbol in project.functions.values():
+        module_name = project.module_names.get(symbol.module.rel)
+        if module_name is None:
+            continue
+        for call in iter_calls(symbol.node):
+            _resolve_call(graph, project, symbol, module_name, call)
+    return graph
+
+
+def get_callgraph(project: ProjectContext) -> CallGraph:
+    """Build (once) and return the context's call graph."""
+    return project.cached("callgraph", lambda: build_callgraph(project))

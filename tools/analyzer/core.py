@@ -128,12 +128,27 @@ class ProjectIndex:
     def add(self, info: ModuleInfo) -> None:
         """Register one parsed module."""
         self.modules[info.rel] = info
+        self._project = None  # symbol table is stale once membership changes
 
     def __iter__(self):
         return iter(self.modules.values())
 
     def __len__(self) -> int:
         return len(self.modules)
+
+    def project(self):
+        """The whole-program :class:`~tools.analyzer.project.ProjectContext`.
+
+        Built lazily on the first interprocedural rule that asks and
+        cached for the rest of the run, so the symbol-table/call-graph
+        pass happens at most once per analysis regardless of how many
+        rules (or modules) consume it.
+        """
+        from tools.analyzer.project import ProjectContext
+
+        if getattr(self, "_project", None) is None:
+            self._project = ProjectContext.build(self)
+        return self._project
 
 
 class Rule:
@@ -152,6 +167,11 @@ class Rule:
     id: str = ""
     severity: str = "warning"
     lint_level: bool = False
+    #: interprocedural rules consult the whole-program ProjectContext;
+    #: ``--write-baseline`` refuses to grandfather their findings
+    #: without ``--force`` (cross-module invariants are fixed, not
+    #: baselined).
+    interprocedural: bool = False
     description: str = ""
 
     def applies_to(self, module: ModuleInfo) -> bool:

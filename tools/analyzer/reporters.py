@@ -1,4 +1,4 @@
-"""Output formats for analysis runs: human text and machine JSON."""
+"""Output formats for analysis runs: human text, machine JSON, SARIF."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ from typing import Dict, List
 
 from tools.analyzer.core import Finding
 
-__all__ = ["text_report", "json_report"]
+__all__ = ["text_report", "json_report", "sarif_report"]
 
 
 def text_report(
@@ -57,6 +57,75 @@ def json_report(
                 "message": f.message,
             }
             for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_report(
+    findings: List[Finding],
+    files_analyzed: int,
+    baselined: int = 0,
+    stale_keys: List[str] | None = None,
+) -> str:
+    """SARIF 2.1.0 for GitHub code scanning and other SARIF consumers.
+
+    The rule catalog is embedded as ``tool.driver.rules`` so viewers can
+    show descriptions; finding severities map 1:1 onto SARIF levels
+    (both vocabularies use ``error``/``warning``).  Baseline-absorbed
+    findings are already subtracted upstream, so every result here is
+    actionable.
+    """
+    from tools.analyzer.core import all_rules
+
+    rules = all_rules()
+    rule_index = {rule.id: position for position, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": f.severity,
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload: Dict[str, object] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "shortDescription": {"text": rule.description},
+                                "defaultConfiguration": {"level": rule.severity},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -9,6 +9,10 @@ Semantic rules (guard solver invariants in ``src/repro``):
 ``determinism``, ``no-recursion``, ``float-equality``, ``bitmask-bounds``,
 ``missing-hints``, ``lock-discipline``, ``solver-via-registry``,
 ``vectorize``.
+
+Interprocedural rule packs (whole-program, built on the
+:class:`~tools.analyzer.project.ProjectContext` call graph):
+``key-determinism``, ``lock-chain``, ``substrate-immutability``.
 """
 
 from __future__ import annotations
@@ -18,8 +22,11 @@ from tools.analyzer.rules import (  # noqa: F401  - imported for registration
     determinism,
     floats,
     generic,
+    immutability,
     imports,
+    keytaint,
     layering,
+    lockchain,
     locking,
     recursion,
     vectorize,
@@ -30,8 +37,11 @@ __all__ = [
     "determinism",
     "floats",
     "generic",
+    "immutability",
     "imports",
+    "keytaint",
     "layering",
+    "lockchain",
     "locking",
     "recursion",
     "vectorize",

@@ -1,0 +1,78 @@
+"""Key-determinism rule: nondeterminism reachable from content keys.
+
+The pipeline's caching story (PR 4) and the ROADMAP's sharded
+multi-process serving both rest on one premise: a content key is a pure
+function of its inputs.  Any ``time.time()`` or unseeded ``random``
+call — even three stack frames below ``content_key`` — makes equal
+inputs hash differently across processes, which turns the shared
+StageCache into a cross-process cache-poisoning bug that no
+single-process test can catch.
+
+This rule runs the :mod:`~tools.analyzer.taint` analysis over the
+whole-program call graph and reports, per module, every function that
+is (a) reachable from a key root (``content_key``,
+``component_digest``, ``params_key``, ``compute_key``/``_compute_key``,
+or a ``*Stage.key`` method) and (b) directly touches a
+nondeterministic source.  The finding lands on the source line (so a
+``# repro: ignore[key-determinism]`` at the sink suppresses it) and the
+message prints the call chain from the root, line-number-free so
+baseline fingerprints survive unrelated edits.
+
+Dynamic calls inside the closure (``handlers[kind]()``,
+``getattr(...)()``) cannot be proven deterministic; they degrade to
+warnings rather than errors, and never crash the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+from tools.analyzer.taint import key_taint
+
+__all__ = ["KeyDeterminismRule"]
+
+
+@register
+class KeyDeterminismRule(Rule):
+    """Nondeterministic source reachable from a content-key computation."""
+
+    id = "key-determinism"
+    severity = "error"
+    lint_level = False
+    interprocedural = True
+    description = "content-key computation reaches a nondeterministic source"
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        result = key_taint(index.project())
+        findings: List[Finding] = []
+        for symbol, hit, chain in result.violations:
+            if symbol.module.rel != module.rel:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    hit.line,
+                    "%s reachable from content-key computation via %s"
+                    % (hit.description, chain),
+                )
+            )
+        for symbol, line, description in result.unprovable:
+            if symbol.module.rel != module.rel:
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    path=module.rel,
+                    line=line,
+                    message=(
+                        "%s in '%s' cannot be proven deterministic "
+                        "(reachable from a content-key computation)"
+                        % (description, symbol.display)
+                    ),
+                    severity="warning",
+                )
+            )
+        return findings

@@ -22,8 +22,11 @@ makes the convention machine-checked:
   ``repro.core``/``repro`` (the public API surface), and non-solver core
   modules (``navigation_tree``, ``probabilities``, ...).
 
-Tests, examples, and benchmarks are lint-only targets, so they may
-still reach into solver modules for white-box assertions.
+Tests and examples are lint-only targets, so they may still reach into
+solver modules for white-box assertions.  Benchmarks receive the full
+semantic set but are exempted *here* explicitly: the A/B benches
+(``bench_opt_engine``, ``bench_opt_vs_heuristic``) deliberately compare
+solver implementations side by side, which requires naming them.
 """
 
 from __future__ import annotations
@@ -88,6 +91,10 @@ class SolverViaRegistryRule(Rule):
 
     def applies_to(self, module: ModuleInfo) -> bool:
         if "core" in module.parts:
+            return False
+        # White-box A/B benchmarks compare solver implementations
+        # directly; the registry indirection would defeat their purpose.
+        if "benchmarks" in module.parts:
             return False
         return not module.rel.endswith("pipeline/registry.py")
 

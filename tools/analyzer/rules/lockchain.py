@@ -1,0 +1,155 @@
+"""Cross-function lock discipline: ``_locked`` helpers need the lock.
+
+The PR 3 ``lock-discipline`` rule is intra-method and syntactic: it
+exempts ``_locked``-suffix helpers on the *documented* premise that
+their callers hold the owning lock.  Nothing checked that premise —
+a new method calling ``self._put_locked(...)`` bare compiles, passes
+every single-threaded test, and corrupts the cache under load.  This
+rule closes the loop across method (and module) boundaries: every call
+site of a ``*_locked`` attribute must satisfy one of
+
+* it is lexically inside a ``with`` whose context expression acquires a
+  lock on the *same receiver* — a lock attribute (``with self._lock:``
+  around ``self._put_locked(...)``, ``with cache._lock:`` around
+  ``cache._put_locked(...)``) or an acquiring call
+  (``with self._lock.acquire():``, ``with self.sessions.checkout(sid):``);
+* the calling function itself ends in ``_locked`` (the lock obligation
+  propagates to *its* callers, which this rule checks in turn) and the
+  receiver is ``self``/``cls``;
+* the caller is ``__init__`` with receiver ``self`` (the object is not
+  shared during construction).
+
+Scope: the lock-owning layers — ``serving``, ``web``, and ``pipeline``
+modules.  Genuinely safe bare calls (single-threaded setup paths) carry
+``# repro: ignore[lock-chain]`` at the call line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, Rule, register
+
+__all__ = ["LockChainRule"]
+
+
+def _receiver_root(expr: ast.expr) -> Optional[str]:
+    """Root name of an attribute chain (``cache._x_locked`` → ``cache``)."""
+    node = expr
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+#: with-item call attributes that acquire a lock on their receiver.
+_ACQUIRE_METHODS = frozenset({"acquire", "checkout"})
+
+
+def _lock_roots(item: ast.withitem) -> Optional[str]:
+    """The receiver a ``with`` item locks, if it locks one.
+
+    ``with self._lock:`` → ``self``; ``with cache._lock.acquire(...):``
+    and ``with self.sessions.checkout(sid):`` → the chain root
+    (``cache`` / ``self``); ``with lock:`` (a bare name containing
+    "lock") → ``lock`` itself, which can only ever satisfy calls rooted
+    at that same name.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+        if isinstance(expr, ast.Attribute) and expr.attr in _ACQUIRE_METHODS:
+            return _receiver_root(expr)
+    if isinstance(expr, ast.Attribute) and "lock" in expr.attr.lower():
+        return _receiver_root(expr)
+    if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+        return expr.id
+    return None
+
+
+class _CallWalker(ast.NodeVisitor):
+    """Walks one function tracking which receivers hold a lock."""
+
+    def __init__(
+        self, rule: "LockChainRule", module: ModuleInfo, func_name: str
+    ) -> None:
+        self.rule = rule
+        self.module = module
+        self.func_name = func_name
+        self.findings: List[Finding] = []
+        self.held: List[str] = []  # stack of locked receiver roots
+
+    def visit_With(self, node: ast.With) -> None:
+        roots = [r for r in (_lock_roots(item) for item in node.items) if r]
+        self.held.extend(roots)
+        for child in node.body:
+            self.visit(child)
+        if roots:
+            del self.held[-len(roots):]
+
+    visit_AsyncWith = visit_With
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs get their own walk (with their own name/context);
+        # descending here would double-report their call sites.
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr.endswith("_locked"):
+            receiver = _receiver_root(func)
+            if receiver is not None and not self._allowed(receiver):
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node.lineno,
+                        "'%s.%s' called without '%s''s lock held; wrap the "
+                        "call in `with %s._lock:` or call it from a "
+                        "*_locked helper" % (receiver, func.attr, receiver, receiver),
+                    )
+                )
+        self.generic_visit(node)
+
+    def _allowed(self, receiver: str) -> bool:
+        if receiver in self.held:
+            return True
+        if receiver in ("self", "cls"):
+            if self.func_name.endswith("_locked") or self.func_name == "__init__":
+                return True
+        return False
+
+
+@register
+class LockChainRule(Rule):
+    """``*_locked`` helper called without the owning lock held."""
+
+    id = "lock-chain"
+    severity = "error"
+    lint_level = False
+    interprocedural = True
+    description = "caller of a *_locked helper does not hold the owning lock"
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return (
+            "serving" in module.parts
+            or "web" in module.parts
+            or "pipeline" in module.parts
+        )
+
+    def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
+        if module.tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            walker = _CallWalker(self, module, node.name)
+            for statement in node.body:
+                walker.visit(statement)
+            findings.extend(walker.findings)
+        return findings

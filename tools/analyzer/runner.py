@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
+import os
+import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple
 
@@ -21,7 +25,7 @@ from tools.analyzer.baseline import (
     write_baseline,
 )
 from tools.analyzer.core import Finding, ModuleInfo, ProjectIndex, all_rules
-from tools.analyzer.reporters import json_report, text_report
+from tools.analyzer.reporters import json_report, sarif_report, text_report
 
 __all__ = ["REPO_ROOT", "DEFAULT_TARGETS", "LINT_ONLY_DIRS", "analyze", "main"]
 
@@ -33,7 +37,10 @@ DEFAULT_TARGETS = ("src/repro", "tools", "benchmarks", "tests", "examples")
 
 #: Directory names whose files only receive lint-level rules — test and
 #: example code may legitimately recurse, compare floats, etc.
-LINT_ONLY_DIRS = {"tests", "examples", "benchmarks"}
+#: ``benchmarks`` gets the full semantic set: benchmark drivers share
+#: the substrate and the pipeline, so a mutation or nondeterminism bug
+#: there invalidates the numbers the ROADMAP steers by.
+LINT_ONLY_DIRS = {"tests", "examples"}
 
 
 def _python_files(targets: Iterable[Path]) -> List[Path]:
@@ -114,6 +121,62 @@ def analyze(
     return fresh, index, len(findings) - len(fresh), stale
 
 
+def _committed_baseline_total(path: Path) -> Optional[int]:
+    """Total tolerated findings in the committed (HEAD) baseline.
+
+    ``None`` when the count cannot be determined — git missing, the
+    baseline outside the repo, not yet committed — in which case the
+    ratchet does not apply.
+    """
+    try:
+        rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return None
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "show", "HEAD:%s" % rel],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    try:
+        data = json.loads(proc.stdout)
+    except ValueError:
+        return None
+    findings = data.get("findings")
+    if not isinstance(findings, dict):
+        return None
+    return sum(int(count) for count in findings.values())
+
+
+def _ratchet_violation(baseline_path: Path) -> Optional[str]:
+    """Error text when the working baseline tolerates more than HEAD's.
+
+    The baseline is a ratchet: regenerating after a fix shrinks it, and
+    growth means someone grandfathered a *new* defect instead of fixing
+    it.  Escape hatch for the rare legitimate growth (e.g. a new rule
+    with justified historic findings): ``ANALYZE_ALLOW_BASELINE_GROWTH=1``.
+    """
+    if os.environ.get("ANALYZE_ALLOW_BASELINE_GROWTH") == "1":
+        return None
+    committed = _committed_baseline_total(baseline_path)
+    if committed is None:
+        return None
+    current = sum(load_baseline(baseline_path).values())
+    if current > committed:
+        return (
+            "analyze: baseline ratchet: %s tolerates %d finding(s) but the "
+            "committed version tolerates %d; fix the findings instead of "
+            "growing the baseline (ANALYZE_ALLOW_BASELINE_GROWTH=1 to "
+            "override)" % (baseline_path.name, current, committed)
+        )
+    return None
+
+
 def _list_rules() -> str:
     lines = ["rule catalog:"]
     for rule in all_rules():
@@ -134,7 +197,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "paths", nargs="*", help="files/directories (default: repo targets)"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
     )
     parser.add_argument(
         "--lint-only",
@@ -158,6 +227,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="regenerate the baseline from the current findings and exit 0",
     )
     parser.add_argument(
+        "--force",
+        action="store_true",
+        help="let --write-baseline grandfather interprocedural-rule findings",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fail when the analysis wall time exceeds this budget",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
     options = parser.parse_args(argv)
@@ -170,12 +250,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.no_baseline:
         # Point the subtraction at a guaranteed-missing file.
         baseline_path = baseline_path.with_suffix(".disabled.json")
+    elif baseline_path.is_file() and not options.write_baseline:
+        ratchet_error = _ratchet_violation(baseline_path)
+        if ratchet_error is not None:
+            print(ratchet_error, file=sys.stderr)
+            return 1
 
+    started = time.perf_counter()
     fresh, index, baselined, stale = analyze(
         paths=options.paths or None,
         lint_only=options.lint_only,
         baseline_path=baseline_path,
     )
+    elapsed = time.perf_counter() - started
     if len(index) == 0:
         print("analyze: no python files matched the targets", file=sys.stderr)
         return 1
@@ -187,6 +274,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             lint_only=options.lint_only,
             baseline_path=baseline_path.with_suffix(".disabled.json"),
         )
+        interprocedural_ids = {
+            rule.id for rule in all_rules() if rule.interprocedural
+        }
+        blocked = sorted(
+            {f.key for f in everything if f.rule in interprocedural_ids}
+        )
+        if blocked and not options.force:
+            print(
+                "analyze: refusing to baseline %d interprocedural finding(s) "
+                "(cross-module invariants are fixed, not grandfathered); "
+                "re-run with --force to override:" % len(blocked),
+                file=sys.stderr,
+            )
+            for key in blocked:
+                print("  %s" % key, file=sys.stderr)
+            return 1
         write_baseline(options.baseline or DEFAULT_BASELINE, everything)
         print(
             "analyze: baseline written with %d finding(s) to %s"
@@ -194,6 +297,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    reporter = json_report if options.fmt == "json" else text_report
-    print(reporter(fresh, len(index), baselined, stale))
+    reporters = {"json": json_report, "sarif": sarif_report, "text": text_report}
+    report = reporters[options.fmt](fresh, len(index), baselined, stale)
+    if options.output is not None:
+        options.output.write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    print(
+        "analyze: wall time %.2fs over %d file(s)" % (elapsed, len(index)),
+        file=sys.stderr,
+    )
+    if options.max_seconds is not None and elapsed > options.max_seconds:
+        print(
+            "analyze: wall time %.2fs exceeds the %.2fs budget"
+            % (elapsed, options.max_seconds),
+            file=sys.stderr,
+        )
+        return 1
     return 1 if fresh else 0

@@ -1,0 +1,216 @@
+"""Determinism taint over the call graph.
+
+Content keys are the serving architecture's load-bearing wall: the
+StageCache (and the ROADMAP's sharded multi-process store) equate "same
+key" with "same artifact", so a content-key computation that consults a
+nondeterministic source silently poisons every process that shares the
+cache.  This pass machine-checks the invariant:
+
+1. **Roots** — the key computations themselves: functions named
+   ``content_key``/``component_digest``/``params_key``/
+   ``compute_key``/``_compute_key``, and ``key`` methods on pipeline
+   stage classes (``*Stage``).
+2. **Closure** — everything reachable from a root through the
+   :mod:`~tools.analyzer.callgraph` edges.
+3. **Sources** — inside the closure, any *direct* touch of a
+   nondeterministic source is a violation, reported with the call chain
+   from the root:
+
+   * ``time.*`` calls (wall clocks, monotonic counters);
+   * ``random`` module functions (``random.random``, ``shuffle``, …) —
+     a seeded ``random.Random(...)`` instance handed in by the caller is
+     fine (its method calls resolve to no source pattern), constructing
+     one is fine, ``SystemRandom`` is not;
+   * ``id(...)`` (CPython address — differs across processes, which is
+     exactly the cross-process poisoning case);
+   * ``os.environ`` / ``os.getenv`` / ``os.urandom``;
+   * ``uuid.uuid1``/``uuid.uuid4``, ``secrets.*``;
+   * ``datetime.now``/``utcnow``/``today``;
+   * unsorted ``set``/``frozenset`` iteration feeding an
+     order-sensitive consumer (the per-file determinism rule's
+     detector, reused here so the two rules agree on what "unsorted"
+     means).
+
+Dynamic calls (subscript dispatch, ``getattr``) inside the closure
+cannot be proven deterministic; they surface as warnings, never errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from tools.analyzer.callgraph import CallGraph, CallSite, get_callgraph
+from tools.analyzer.project import FunctionSymbol, ProjectContext
+
+__all__ = [
+    "SourceHit",
+    "KEY_ROOT_NAMES",
+    "is_key_root",
+    "direct_sources",
+    "KeyTaintResult",
+    "key_taint",
+]
+
+#: Function names that root the key-determinism closure.
+KEY_ROOT_NAMES = frozenset(
+    {"content_key", "component_digest", "params_key", "compute_key", "_compute_key"}
+)
+
+#: ``random`` module attributes that are safe to touch: constructing a
+#: seeded generator is how callers *fix* nondeterminism.
+_RANDOM_SAFE = frozenset({"Random", "seed"})
+
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+
+class SourceHit:
+    """One direct nondeterministic touch inside a function body."""
+
+    __slots__ = ("line", "description")
+
+    def __init__(self, line: int, description: str):
+        self.line = line
+        self.description = description
+
+
+def is_key_root(symbol: FunctionSymbol) -> bool:
+    """Whether a function roots the content-key closure."""
+    if symbol.name in KEY_ROOT_NAMES:
+        return True
+    return (
+        symbol.name == "key"
+        and symbol.class_name is not None
+        and symbol.class_name.endswith("Stage")
+    )
+
+
+def _external_source(target: str) -> Optional[str]:
+    """Nondeterminism description for an external dotted call target."""
+    if target == "id":
+        return "id() (CPython address, differs across processes)"
+    head, _, rest = target.partition(".")
+    if head == "time" and rest:
+        return "time.%s() (wall/monotonic clock)" % rest
+    if head == "random" and rest and rest.split(".", 1)[0] not in _RANDOM_SAFE:
+        return "random.%s() (unseeded module-level RNG)" % rest
+    if target in ("os.getenv", "os.urandom") or target.startswith("os.environ"):
+        return "%s (environment-dependent)" % target
+    if head == "uuid" and rest in ("uuid1", "uuid4"):
+        return "uuid.%s() (random/host-derived UUID)" % rest
+    if head == "secrets" and rest:
+        return "secrets.%s() (OS entropy)" % rest
+    if "datetime" in target.split(".") and target.rsplit(".", 1)[-1] in _DATETIME_NOW:
+        return "%s() (wall clock)" % target
+    return None
+
+
+def _environ_accesses(
+    symbol: FunctionSymbol, project: ProjectContext, module_name: str
+) -> List[SourceHit]:
+    """``os.environ[...]`` reads that are not call expressions."""
+    hits: List[SourceHit] = []
+    for node in ast.walk(symbol.node):
+        if not (isinstance(node, ast.Attribute) and node.attr == "environ"):
+            continue
+        if isinstance(node.value, ast.Name):
+            target = project.import_target(module_name, node.value.id) or node.value.id
+            if target == "os":
+                hits.append(
+                    SourceHit(node.lineno, "os.environ (environment-dependent)")
+                )
+    return hits
+
+
+def _set_iteration_sources(symbol: FunctionSymbol) -> List[SourceHit]:
+    """Unsorted set iteration inside the function body.
+
+    Reuses the per-file determinism rule's scope tracker so both rules
+    agree on order-free consumptions (``sorted``/``len``/``min``/…).
+    """
+    from tools.analyzer.rules.determinism import DeterminismRule, _ScopeTracker
+
+    rule = DeterminismRule()
+    tracker = _ScopeTracker(rule, symbol.module)
+    tracker.visit(symbol.node)
+    return [
+        SourceHit(finding.line, "unsorted set iteration (hash-order dependent)")
+        for finding in tracker.findings
+    ]
+
+
+def direct_sources(
+    graph: CallGraph, symbol: FunctionSymbol
+) -> List[SourceHit]:
+    """Every direct nondeterministic touch in one function, deduplicated."""
+    project = graph.project
+    module_name = project.module_names.get(symbol.module.rel, "")
+    hits: List[SourceHit] = []
+    for external in graph.externals.get(symbol.qualname, []):
+        description = _external_source(external.target)
+        if description:
+            hits.append(SourceHit(external.line, description))
+    # A call like ``os.environ.get(...)`` is already reported by the
+    # external-call matcher above; the attribute walk would report the
+    # same line again as a bare ``os.environ`` read.
+    covered = {h.line for h in hits if h.description.startswith("os.environ")}
+    hits.extend(
+        h for h in _environ_accesses(symbol, project, module_name)
+        if h.line not in covered
+    )
+    hits.extend(_set_iteration_sources(symbol))
+    seen = set()
+    unique: List[SourceHit] = []
+    for hit in sorted(hits, key=lambda h: (h.line, h.description)):
+        key = (hit.line, hit.description)
+        if key not in seen:
+            seen.add(key)
+            unique.append(hit)
+    return unique
+
+
+class KeyTaintResult:
+    """The whole-program key-determinism analysis, computed once."""
+
+    __slots__ = ("graph", "parents", "violations", "unprovable")
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        parents: Dict[str, Optional[CallSite]],
+        violations: List[Tuple[FunctionSymbol, SourceHit, str]],
+        unprovable: List[Tuple[FunctionSymbol, int, str]],
+    ):
+        self.graph = graph
+        self.parents = parents
+        #: (offending function, source hit, rendered chain root → func)
+        self.violations = violations
+        #: (function, line, description) for dynamic calls in the closure
+        self.unprovable = unprovable
+
+
+def _compute_key_taint(project: ProjectContext) -> KeyTaintResult:
+    graph = get_callgraph(project)
+    roots = [
+        symbol.qualname
+        for symbol in project.functions.values()
+        if is_key_root(symbol)
+    ]
+    parents, order = graph.reachable_from(roots)
+    violations: List[Tuple[FunctionSymbol, SourceHit, str]] = []
+    unprovable: List[Tuple[FunctionSymbol, int, str]] = []
+    for qualname in order:
+        symbol = project.functions.get(qualname)
+        if symbol is None:
+            continue
+        chain = graph.display_chain(parents, qualname)
+        for hit in direct_sources(graph, symbol):
+            violations.append((symbol, hit, chain))
+        for dynamic in graph.dynamics.get(qualname, []):
+            unprovable.append((symbol, dynamic.line, dynamic.description))
+    return KeyTaintResult(graph, parents, violations, unprovable)
+
+
+def key_taint(project: ProjectContext) -> KeyTaintResult:
+    """Cached key-determinism taint for one analysis run."""
+    return project.cached("key_taint", lambda: _compute_key_taint(project))

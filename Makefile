@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving examples docs demo clean
+.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving cluster-bench cluster-bench-smoke examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -52,9 +52,22 @@ serve-bench:
 	SERVE_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_serving.py -q
 
 # Full serving load bench: gates 1 -> 4 worker throughput scaling and
-# rewrites BENCH_serving.json.
+# rewrites BENCH_serving.json (including the ungated CPU-bound rows that
+# record the single-process GIL ceiling).
 bench-serving:
 	$(PYTHON) -m pytest benchmarks/bench_serving.py -q
+
+# Multiprocess cluster load smoke for CI: reduced 2-worker fleet,
+# asserts the no-shed / no-lost-session / cross-worker-L2 invariants
+# (skips the throughput gate).
+cluster-bench-smoke:
+	CLUSTER_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_cluster.py -q
+
+# Full cluster load bench: measures 1 -> 4 process CPU-bound throughput
+# scaling and rewrites BENCH_cluster.json; the >= 2.5x gate is enforced
+# on machines with >= 4 cores.
+cluster-bench:
+	$(PYTHON) -m pytest benchmarks/bench_cluster.py -q
 
 examples:
 	@for script in examples/*.py; do \

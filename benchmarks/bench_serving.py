@@ -85,7 +85,12 @@ def run_client(runtime: ServingRuntime, keywords, stats: ClientStats, start):
             return
 
 
-def run_load(bionav: BioNav, workers: int, keywords) -> dict:
+def run_load(
+    bionav: BioNav,
+    workers: int,
+    keywords,
+    backend_latency: float = BACKEND_LATENCY,
+) -> dict:
     """One closed-loop run; returns the measured row."""
     runtime = ServingRuntime(
         bionav,
@@ -93,7 +98,7 @@ def run_load(bionav: BioNav, workers: int, keywords) -> dict:
         max_sessions=CLIENTS * ITERATIONS + 8,
         workers=workers,
         max_queue=4 * CLIENTS * len(WORKER_COUNTS) + 64,
-        backend_latency=BACKEND_LATENCY,
+        backend_latency=backend_latency,
     )
     try:
         for keyword in keywords:  # warm trees: the cached-query regime
@@ -125,6 +130,7 @@ def run_load(bionav: BioNav, workers: int, keywords) -> dict:
         ops = sum(s.ops for s in stats)
         return {
             "workers": workers,
+            "backend_latency_s": backend_latency,
             "clients": CLIENTS,
             "iterations": ITERATIONS,
             "ops": ops,
@@ -193,6 +199,22 @@ def test_serving_throughput_scaling(workload, report, benchmark):
     by_workers = {row["workers"]: row for row in rows}
     scaling = by_workers[4]["throughput_rps"] / by_workers[1]["throughput_rps"]
     lines.append("scaling 1 -> 4 workers: %.2fx (floor %.1fx)" % (scaling, SCALING_FLOOR))
+    # The same load with zero backend latency: request handling becomes
+    # pure CPU, so the thread pool scales only as far as the GIL lets it.
+    # Recorded (not gated) — this ceiling is what the multiprocess
+    # cluster (benchmarks/bench_cluster.py) exists to break.
+    cpu_rows = [
+        run_load(bionav, workers, keywords, backend_latency=0.0)
+        for workers in WORKER_COUNTS
+    ]
+    cpu_by_workers = {row["workers"]: row for row in cpu_rows}
+    cpu_scaling = (
+        cpu_by_workers[4]["throughput_rps"] / cpu_by_workers[1]["throughput_rps"]
+    )
+    lines.append(
+        "CPU-bound (backend_latency=0) scaling 1 -> 4 workers: %.2fx"
+        " (GIL ceiling; not gated)" % cpu_scaling
+    )
     report("\n".join(lines))
     OUTPUT.write_text(
         json.dumps(
@@ -202,6 +224,11 @@ def test_serving_throughput_scaling(workload, report, benchmark):
                 "backend_latency_s": BACKEND_LATENCY,
                 "scaling": scaling,
                 "rows": rows,
+                "cpu_bound": {
+                    "backend_latency_s": 0.0,
+                    "scaling": cpu_scaling,
+                    "rows": cpu_rows,
+                },
             },
             indent=2,
         )
@@ -210,3 +237,7 @@ def test_serving_throughput_scaling(workload, report, benchmark):
     assert scaling >= SCALING_FLOOR, (
         "throughput scaling %.2fx below the %.1fx floor" % (scaling, SCALING_FLOOR)
     )
+    for row in cpu_rows:
+        assert row["shed"] == 0 and row["sessions_lost"] == 0, (
+            "CPU-bound run shed or lost sessions at %d workers" % row["workers"]
+        )

@@ -1,0 +1,132 @@
+"""Consistent hashing: pin keys to workers with minimal re-mapping.
+
+The router must send every operation of a session to the worker that
+holds it, and should keep sending sessions of one shard to the same
+worker so its caches stay warm.  A modulo hash re-maps almost every key
+when the worker count changes; a *consistent-hash ring* re-maps only the
+keys whose arc a new member claims — on average ``1/(N+1)`` of them when
+growing ``N → N+1`` members, and exactly the crashed member's keys when
+a worker is replaced under the same name.
+
+Each member is hashed onto the ring at ``replicas`` positions (virtual
+nodes), which evens out arc lengths: with the default 128 virtual nodes
+per member, per-member load at 1k keys stays within a few percent of
+uniform (property-tested in ``tests/test_hashring.py``).  Positions come
+from sha-256, so placement is deterministic across processes and runs —
+a requirement, since the router may be rebuilt while session ids minted
+against the old ring are still live.
+
+The ring is a plain data structure with no internal locking: the router
+mutates it only while holding its own lock (worker membership changes
+are rare — deliberate resizes; crash respawns reuse the dead member's
+name and leave the ring untouched).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+#: Virtual nodes per member unless the caller says otherwise.
+DEFAULT_REPLICAS = 128
+
+
+def _position(token: str) -> int:
+    """Ring position of ``token``: the first 8 bytes of its sha-256."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """A deterministic consistent-hash ring over named members.
+
+    Args:
+        members: initial member names (order-insensitive; placement
+            depends only on the set of names).
+        replicas: virtual nodes per member.  More virtual nodes mean
+            more even load at the price of a larger sorted ring; 128 is
+            comfortable for tens of workers.
+    """
+
+    def __init__(self, members: Sequence[str] = (), replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._ring: List[Tuple[int, str]] = []
+        self._positions: List[int] = []
+        self._members: Dict[str, List[int]] = {}
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, member: str) -> None:
+        """Insert ``member`` at its ``replicas`` ring positions.
+
+        Raises:
+            ValueError: the member is already on the ring.
+        """
+        if member in self._members:
+            raise ValueError("member %r already on the ring" % member)
+        positions = []
+        for replica in range(self.replicas):
+            position = _position("%s#%d" % (member, replica))
+            index = bisect.bisect(self._positions, position)
+            self._positions.insert(index, position)
+            self._ring.insert(index, (position, member))
+            positions.append(position)
+        self._members[member] = positions
+
+    def remove(self, member: str) -> None:
+        """Remove ``member``; its arcs fall to the next members clockwise.
+
+        Raises:
+            KeyError: the member is not on the ring.
+        """
+        del self._members[member]
+        self._ring = [(pos, name) for pos, name in self._ring if name != member]
+        self._positions = [pos for pos, _ in self._ring]
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """The member names currently on the ring, sorted."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> str:
+        """The member owning ``key``: first virtual node clockwise.
+
+        Raises:
+            LookupError: the ring has no members.
+        """
+        if not self._ring:
+            raise LookupError("consistent-hash ring is empty")
+        position = _position(key)
+        index = bisect.bisect(self._positions, position)
+        if index == len(self._ring):  # wrap past the highest position
+            index = 0
+        return self._ring[index][1]
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, str]:
+        """key → owning member, for a batch of keys."""
+        return {key: self.lookup(key) for key in keys}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Membership and sizing summary for the merged stats surface."""
+        return {
+            "members": list(self.members),
+            "replicas": self.replicas,
+            "virtual_nodes": len(self._ring),
+        }

@@ -1,0 +1,414 @@
+"""The cluster front end: shard-aware routing over a worker fleet.
+
+:class:`BioNavCluster` presents the *same* request surface as a single
+:class:`~repro.serving.runtime.ServingRuntime` — ``search`` / ``view``
+/ ``expand`` / ``results`` / ``backtrack`` plus ``health()`` /
+``stats()`` — so :class:`~repro.web.app.BioNavWebApp` mounts either
+interchangeably.  Underneath, requests fan out to a
+:class:`~repro.cluster.workers.WorkerSupervisor` fleet:
+
+* **Shard identity** comes from the :class:`~repro.cluster.shardmap.ShardMap`
+  (MeSH top-level subtree, hash-of-query fallback); **worker placement**
+  from the :class:`~repro.cluster.hashring.ConsistentHashRing` over the
+  fleet's stable member names.
+* **Two-phase routing** — the first search of a query routes by the
+  hash fallback; the owning worker classifies the built navigation tree
+  and the router remembers the returned branch key for later searches.
+* **Placement modes** — ``"spread"`` (default) hashes shard key *plus*
+  a session ordinal, spreading sessions of one hot query across the
+  fleet (CPU-bound scaling; the shared L2 keeps stage work
+  build-once); ``"shard"`` hashes the shard key alone for strict cache
+  affinity.
+* **Session identity** — cluster session ids are
+  ``w<worker>g<generation>-<local sid>``.  The worker index pins every
+  follow-up action to the owning process; the generation makes worker
+  death observable: after a crash and respawn the slot's generation has
+  advanced, so stale ids answer
+  :class:`~repro.serving.sessions.SessionExpired` (``410 Gone``, re-run
+  the search) without consulting the replacement worker.  Other
+  workers' sessions never notice.
+* **Crash windows** — a request in flight when its worker dies
+  surfaces as :class:`~repro.serving.admission.RetryLater` (``503`` +
+  ``Retry-After``), the same contract as load shedding.
+
+``health()`` and ``stats()`` merge the per-worker answers with
+fleet-level rows: per-shard queue depth, shed counts, respawns, and the
+L2 store's hit ratio.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.bionav import BioNav
+from repro.cluster.hashring import DEFAULT_REPLICAS, ConsistentHashRing
+from repro.cluster.shardmap import ShardMap
+from repro.cluster.workers import WorkerCrashed, WorkerSupervisor, WorkerUnavailable
+from repro.serving.admission import RetryLater
+from repro.serving.runtime import (
+    DEFAULT_RESULTS_PAGE_SIZE,
+    ResultsView,
+    SearchResult,
+    SessionView,
+)
+from repro.serving.sessions import SessionExpired
+
+__all__ = ["ClusterConfig", "BioNavCluster"]
+
+#: Cluster session ids: worker index, generation, then the local sid.
+_SID = re.compile(r"^w(\d+)g(\d+)-(s\d{6,})$")
+
+#: Remembered query → branch shard keys (two-phase routing state).
+_HINT_BOUND = 4096
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet shape and per-worker serving options.
+
+    Attributes:
+        workers: fleet size (processes).
+        cache_dir: directory of the shared
+            :class:`~repro.cluster.stagecache.ClusterStageCache`; None
+            disables the L2 (workers still scale, but rebuild stages
+            independently).
+        placement: ``"spread"`` or ``"shard"`` (see the module
+            docstring).
+        replicas: virtual nodes per ring member.
+        heartbeat_interval: seconds between worker heartbeats.
+        heartbeat_timeout: seconds without a heartbeat before a live
+            worker is declared wedged and restarted.
+        poll_interval: supervisor crash-detection sampling period.
+        request_timeout: cap on one proxied request's wait.
+        health_timeout: cap on each worker's answer to a merged
+            ``health()``/``stats()`` probe.
+        runtime: extra :class:`~repro.serving.runtime.ServingRuntime`
+            keywords applied in every worker (``deadline``,
+            ``max_queue``, ``solver``, ``results_page_size``, ...).
+    """
+
+    workers: int = 2
+    cache_dir: Optional[str] = None
+    placement: str = "spread"
+    replicas: int = DEFAULT_REPLICAS
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 30.0
+    poll_interval: float = 0.05
+    request_timeout: float = 60.0
+    health_timeout: float = 5.0
+    runtime: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Validate fleet shape and placement mode."""
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.placement not in ("spread", "shard"):
+            raise ValueError("placement must be 'spread' or 'shard'")
+
+
+class BioNavCluster:
+    """Sharded multiprocess serving behind a runtime-shaped facade.
+
+    Args:
+        bionav: the system every worker serves (shared copy-on-write
+            via fork).
+        config: fleet shape and per-worker options.
+
+    Thread safety: routing state (learned shard hints) mutates under
+    ``self._lock``; the supervisor and hash ring manage their own
+    synchronization.
+    """
+
+    def __init__(self, bionav: BioNav, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        options: Dict[str, Any] = dict(self.config.runtime)
+        options["cache_dir"] = self.config.cache_dir
+        options["heartbeat_interval"] = self.config.heartbeat_interval
+        self._lock = threading.Lock()
+        self._supervisor = WorkerSupervisor(
+            bionav,
+            self.config.workers,
+            options,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+            poll_interval=self.config.poll_interval,
+            request_timeout=self.config.request_timeout,
+        )
+        self._shardmap = ShardMap(bionav.database.hierarchy)
+        self._ring = ConsistentHashRing(
+            self._supervisor.names, replicas=self.config.replicas
+        )
+        self._hints: "OrderedDict[str, str]" = OrderedDict()
+        self._spread = itertools.count()
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Runtime-shaped configuration surface (what the web app reads)
+    # ------------------------------------------------------------------
+    @property
+    def results_page_size(self) -> int:
+        """Citations per SHOWRESULTS page (every worker's setting)."""
+        return int(
+            self.config.runtime.get("results_page_size", DEFAULT_RESULTS_PAGE_SIZE)
+        )
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Per-request queueing budget applied inside every worker."""
+        value = self.config.runtime.get("deadline")
+        return float(value) if value is not None else None
+
+    @property
+    def shed_retry_after(self) -> float:
+        """Honest client back-off for shed requests, in seconds.
+
+        Same contract as
+        :attr:`~repro.serving.runtime.ServingRuntime.shed_retry_after`,
+        derived from the fleet-wide runtime options.
+        """
+        hint = float(self.config.runtime.get("retry_after", 1.0))
+        if self.deadline is not None:
+            hint = max(hint, self.deadline)
+        return hint
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_key(self, query: str) -> str:
+        """The routing shard key for ``query`` as known right now."""
+        with self._lock:
+            learned = self._hints.get(query)
+        return learned or self._shardmap.query_fallback(query)
+
+    def _place(self, shard_key: str) -> int:
+        """Worker index for one new session of ``shard_key``."""
+        if self.config.placement == "spread":
+            member = self._ring.lookup("%s#%d" % (shard_key, next(self._spread)))
+        else:
+            member = self._ring.lookup(shard_key)
+        return self._supervisor.index_of(member)
+
+    def _learn(self, query: str, shard_key: str) -> None:
+        """Remember the worker-classified shard key (bounded, LRU-ish)."""
+        with self._lock:
+            self._hints[query] = shard_key
+            self._hints.move_to_end(query)
+            while len(self._hints) > _HINT_BOUND:
+                self._hints.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # The request surface
+    # ------------------------------------------------------------------
+    def search(self, query: str) -> SearchResult:
+        """Route a search, learn its shard key, return a cluster sid."""
+        index = self._place(self.shard_key(query))
+        try:
+            payload = self._supervisor.call(index, "search", {"query": query})
+        except (WorkerCrashed, WorkerUnavailable):
+            raise RetryLater(self.shed_retry_after)
+        self._learn(query, payload["shard_hint"])
+        result: SearchResult = payload["result"]
+        sid = "w%dg%d-%s" % (index, payload["generation"], result.session)
+        return replace(result, session=sid)
+
+    def view(self, sid: str) -> SessionView:
+        """The session's current interface rows and cost ledger."""
+        return self._session_call(sid, "view")
+
+    def expand(self, sid: str, node: int) -> SessionView:
+        """EXPAND ``node`` in the session; returns the new state."""
+        return self._session_call(sid, "expand", {"node": node})
+
+    def results(self, sid: str, node: int) -> ResultsView:
+        """SHOWRESULTS for ``node``'s component in the session."""
+        return self._session_call(sid, "results", {"node": node})
+
+    def backtrack(self, sid: str) -> SessionView:
+        """Undo the session's most recent EXPAND; returns the state."""
+        return self._session_call(sid, "backtrack")
+
+    def _session_call(
+        self, sid: str, op: str, extra: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """Route one session action to the owning worker incarnation."""
+        index, generation, local = self._parse_sid(sid)
+        try:
+            current = self._supervisor.generation_of(index)
+        except KeyError:
+            raise KeyError("session %s" % sid)
+        if current != generation:
+            # The owning worker died and was respawned: its in-memory
+            # sessions are gone.  410 Gone — re-run the search.
+            raise SessionExpired(sid)
+        kwargs: Dict[str, Any] = {"sid": local}
+        kwargs.update(extra or {})
+        try:
+            value = self._supervisor.call(index, op, kwargs)
+        except SessionExpired:
+            raise SessionExpired(sid)  # evicted locally; report the cluster id
+        except (WorkerCrashed, WorkerUnavailable):
+            raise RetryLater(self.shed_retry_after)
+        return replace(value, session=sid)
+
+    @staticmethod
+    def _parse_sid(sid: str) -> Tuple[int, int, str]:
+        """Split a cluster sid into (worker index, generation, local sid)."""
+        match = _SID.match(sid)
+        if match is None:
+            raise KeyError("session %s" % sid)
+        return int(match.group(1)), int(match.group(2)), match.group(3)
+
+    # ------------------------------------------------------------------
+    # Merged observability
+    # ------------------------------------------------------------------
+    def _probe(self, op: str) -> List[Tuple[Dict[str, Any], Optional[Any]]]:
+        """(supervision row, worker answer or None) per fleet slot."""
+        rows = self._supervisor.describe()
+        answers: List[Tuple[Dict[str, Any], Optional[Any]]] = []
+        for row in rows:
+            try:
+                value = self._supervisor.call(
+                    row["index"], op, timeout=self.config.health_timeout
+                )
+            except Exception:
+                value = None
+            answers.append((row, value))
+        return answers
+
+    def health(self) -> Dict[str, object]:
+        """Fleet liveness/saturation summary for ``GET /api/health``."""
+        probed = self._probe("health")
+        shards = []
+        status = "ok"
+        sessions = 0
+        queue_depth = 0
+        for row, answer in probed:
+            if answer is None:
+                status = "degraded"
+                shard_status = "unreachable"
+            else:
+                shard_status = str(answer.get("status", "ok"))
+                sessions += int(answer.get("sessions_active", 0))
+                if shard_status != "ok":
+                    status = "degraded"
+            queue_depth += int(row["queue_depth"])
+            shards.append(
+                {
+                    "name": row["name"],
+                    "generation": row["generation"],
+                    "alive": row["alive"],
+                    "respawns": row["respawns"],
+                    "queue_depth": row["queue_depth"],
+                    "status": shard_status,
+                    "health": answer,
+                }
+            )
+        return {
+            "status": status,
+            "workers": len(shards),
+            "queue_depth": queue_depth,
+            "sessions_active": sessions,
+            "results_page_size": self.results_page_size,
+            "uptime_seconds": time.monotonic() - self._started,
+            "cluster": {
+                "size": self.config.workers,
+                "placement": self.config.placement,
+                "crashes": self._supervisor.crashes,
+            },
+            "shards": shards,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Fleet-merged operational statistics for ``GET /api/stats``.
+
+        Per-stage pipeline counters are summed across workers (hit
+        ratios recomputed from the sums); the L2 block merges every
+        worker's view of the shared store; per-worker raw answers ride
+        along under ``workers`` for drill-down.
+        """
+        probed = self._probe("stats")
+        pipeline: Dict[str, Dict[str, float]] = {}
+        l2_totals: Dict[str, float] = {}
+        l2_census: Optional[Dict[str, Any]] = None
+        shed_total = 0
+        workers = []
+        with self._lock:
+            hints_learned = len(self._hints)
+        for row, answer in probed:
+            entry: Dict[str, Any] = {
+                "name": row["name"],
+                "generation": row["generation"],
+                "alive": row["alive"],
+                "respawns": row["respawns"],
+                "queue_depth": row["queue_depth"],
+                "stats": answer,
+            }
+            workers.append(entry)
+            if answer is None:
+                continue
+            for stage, stage_row in answer.get("pipeline", {}).items():
+                merged = pipeline.setdefault(stage, {})
+                for key, value in stage_row.items():
+                    if isinstance(value, (int, float)):
+                        merged[key] = merged.get(key, 0.0) + value
+            shed_total += int(answer.get("serving", {}).get("shed", {}).get("total", 0))
+            l2 = answer.get("l2")
+            if l2 is not None:
+                for key in ("hits", "misses", "publishes", "evictions", "errors"):
+                    l2_totals[key] = l2_totals.get(key, 0.0) + l2.get(key, 0)
+                # entries/bytes describe the shared directory: every
+                # worker reports the same census, so keep one reading.
+                l2_census = {"entries": l2.get("entries"), "bytes": l2.get("bytes")}
+        for merged in pipeline.values():
+            lookups = merged.get("hits", 0.0) + merged.get("misses", 0.0)
+            if "hit_ratio" in merged:
+                merged["hit_ratio"] = merged.get("hits", 0.0) / lookups if lookups else 0.0
+        l2_block: Optional[Dict[str, Any]] = None
+        if l2_census is not None:
+            attempts = l2_totals.get("hits", 0.0) + l2_totals.get("misses", 0.0)
+            l2_block = dict(l2_totals)
+            l2_block["hit_ratio"] = (
+                l2_totals.get("hits", 0.0) / attempts if attempts else 0.0
+            )
+            l2_block.update(l2_census)
+        return {
+            "cluster": {
+                "size": self.config.workers,
+                "placement": self.config.placement,
+                "crashes": self._supervisor.crashes,
+                "hints_learned": hints_learned,
+                "branch_shards": self._shardmap.snapshot()["branch_shards"],
+                "ring": {
+                    "members": list(self._ring.members),
+                    "replicas": self.config.replicas,
+                },
+                "shed_total": shed_total,
+            },
+            "pipeline": pipeline,
+            "l2": l2_block,
+            "workers": workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int) -> None:
+        """Crash-inject one worker (tests and resilience drills)."""
+        self._supervisor.kill(index)
+
+    def close(self) -> None:
+        """Shut the fleet down."""
+        self._supervisor.close()
+
+    def __enter__(self) -> "BioNavCluster":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: shut the fleet down."""
+        self.close()

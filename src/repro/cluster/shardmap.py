@@ -1,0 +1,138 @@
+"""Shard identity: partition the concept hierarchy by top-level subtree.
+
+The paper's MeSH hierarchy is bushy at the top (98 branches under the
+root in Fig. 1), and a navigation session lives almost entirely inside
+the branches its query results attach to — which makes the *top-level
+subtree* the natural shard unit (the taxonomy-partitioning argument of
+the Cost-Effective Conceptual Design line of work).  A
+:class:`ShardMap` names those shards: every top-level concept (child of
+the hierarchy root) is one shard key, and a query whose navigation tree
+lives under exactly one branch carries that branch's key.  Queries that
+span branches — common for broad keywords — fall back to a
+deterministic hash of the query string, so they still pin to one worker
+(cache affinity) without pretending to have a branch identity.
+
+Shard keys are *strings*, fed to the
+:class:`~repro.cluster.hashring.ConsistentHashRing` for worker
+placement.  The map itself holds no worker knowledge: it answers "what
+is this query's shard key", the ring answers "which worker owns that
+key", and the two compose in the router.
+
+The router cannot know a query's branches before the first search
+resolves it, so routing is two-phase: the first search of a query
+routes by the hash fallback, the owning worker classifies the built
+navigation tree (:meth:`ShardMap.classify`), and the router remembers
+the returned key for subsequent searches of the same query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.hierarchy.concept import ConceptHierarchy
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Query → shard-key mapping over one concept hierarchy.
+
+    Args:
+        hierarchy: the deployment's concept hierarchy; its root children
+            become the branch shards.
+    """
+
+    def __init__(self, hierarchy: ConceptHierarchy):
+        self._root = hierarchy.root
+        # node id of each top-level branch → its stable shard key.  The
+        # uid (MeSH descriptor style) keeps keys meaningful in stats.
+        self._branch_keys: Dict[int, str] = {
+            branch: "branch:%s" % hierarchy.uid(branch)
+            for branch in hierarchy.children(hierarchy.root)
+        }
+        # Any node id → its top-level ancestor, resolved lazily through
+        # the parent chain (the hierarchy is append-only, so caching by
+        # node id is safe).
+        self._hierarchy = hierarchy
+        self._top_level: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Shard identities
+    # ------------------------------------------------------------------
+    @property
+    def branches(self) -> Tuple[str, ...]:
+        """Every branch shard key, sorted (one per top-level concept)."""
+        return tuple(sorted(self._branch_keys.values()))
+
+    def branch_of(self, node: int) -> Optional[int]:
+        """Top-level ancestor of ``node`` (None for the root itself)."""
+        if node == self._root:
+            return None
+        cached = self._top_level.get(node)
+        if cached is not None:
+            return cached
+        walk: List[int] = []
+        current = node
+        while current != self._root and current not in self._top_level:
+            walk.append(current)
+            current = self._hierarchy.parent(current)
+        top = current if current != self._root else walk[-1]
+        if current in self._top_level:
+            top = self._top_level[current]
+        for seen in walk:
+            self._top_level[seen] = top
+        return top
+
+    def classify(self, nodes: Iterable[int]) -> Optional[str]:
+        """The single branch shard key covering ``nodes``, or None.
+
+        ``nodes`` is typically a navigation tree's node set.  The root
+        is ignored (every tree keeps it); if every remaining node sits
+        under one top-level branch the branch's key is returned, and
+        ``None`` means the nodes span branches (use the query fallback).
+        """
+        branch_key: Optional[str] = None
+        for node in nodes:
+            if node == self._root:
+                continue
+            key = self._branch_keys.get(self.branch_of(node))
+            if key is None:
+                return None
+            if branch_key is None:
+                branch_key = key
+            elif key != branch_key:
+                return None
+        return branch_key
+
+    # ------------------------------------------------------------------
+    # Query routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def query_fallback(query: str) -> str:
+        """Deterministic hash shard key for a query without a branch."""
+        digest = hashlib.sha256(("query\x1e" + query).encode("utf-8")).hexdigest()
+        return "query:%s" % digest[:12]
+
+    def shard_key(self, query: str, nodes: Optional[Iterable[int]] = None) -> str:
+        """Shard key for ``query``.
+
+        Args:
+            query: the keyword query as issued.
+            nodes: the query's navigation-tree nodes when known (the
+                owning worker knows them after the first search); omit
+                at the routing front end before the query has resolved.
+
+        Returns:
+            The covering branch key when ``nodes`` lie under one
+            top-level subtree, else the hash-of-query fallback.
+        """
+        if nodes is not None:
+            branch = self.classify(nodes)
+            if branch is not None:
+                return branch
+        return self.query_fallback(query)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Sizing summary for the merged stats surface."""
+        return {"branch_shards": len(self._branch_keys)}

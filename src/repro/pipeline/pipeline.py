@@ -109,6 +109,9 @@ class NavigationPipeline:
             share stage artifacts); a private one is built when omitted.
         capacities: per-stage entry bounds for the private cache
             (ignored when ``cache`` is given).
+        l2: optional cross-process artifact store wired into the private
+            cache (ignored when ``cache`` is given); see
+            :class:`~repro.pipeline.cache.StageCache`.
     """
 
     def __init__(
@@ -120,13 +123,14 @@ class NavigationPipeline:
         max_reduced_nodes: int = 10,
         cache: Optional[StageCache] = None,
         capacities: Optional[Dict[str, int]] = None,
+        l2: Optional[object] = None,
     ):
         self.database = database
         self.entrez = entrez
         self.registry = registry or default_registry()
         self.params = params or CostParams()
         self.max_reduced_nodes = max_reduced_nodes
-        self.cache = cache or StageCache(capacities)
+        self.cache = cache or StageCache(capacities, l2=l2)
         self._cost_key = params_key(self.params)
         self._activations = itertools.count(1)
 

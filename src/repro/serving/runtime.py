@@ -155,6 +155,10 @@ class ServingRuntime:
         results_page_size: citations per SHOWRESULTS display page
             (summaries materialized per request; the full pmid list is
             unaffected).  Surfaced in ``/api/health``.
+        l2: optional cross-process stage store (the cluster's shared
+            artifact cache); wired into the pipeline's
+            :class:`~repro.pipeline.cache.StageCache` so stage misses
+            consult it before building.
     """
 
     def __init__(
@@ -169,6 +173,7 @@ class ServingRuntime:
         backend_latency: float = 0.0,
         solver: str = "heuristic",
         results_page_size: int = DEFAULT_RESULTS_PAGE_SIZE,
+        l2: Optional[object] = None,
     ):
         if results_page_size < 1:
             raise ValueError("results_page_size must be positive")
@@ -187,6 +192,7 @@ class ServingRuntime:
                 "results": tree_cache_size,
                 "nav_tree": tree_cache_size,
             },
+            l2=l2,
         )
         self.sessions = SessionRegistry(max_sessions)
         self.profile = AtomicSolverProfile()
@@ -310,6 +316,22 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     # Observability (never dispatched: must answer even under overload)
     # ------------------------------------------------------------------
+    @property
+    def shed_retry_after(self) -> float:
+        """Honest client back-off for shed requests, in seconds.
+
+        A request dropped because its queueing deadline passed tells the
+        client the queue needs at least the configured deadline to
+        drain, so retrying sooner than that will hit the same wall; with
+        no deadline configured, the admission controller's static
+        ``retry_after`` hint applies.  The web layer rounds this up for
+        the ``Retry-After`` header.
+        """
+        hint = self.dispatcher.admission.retry_after
+        if self.deadline is not None:
+            hint = max(hint, self.deadline)
+        return hint
+
     def health(self) -> Dict[str, object]:
         """Liveness/saturation summary for ``GET /api/health``."""
         admission = self.dispatcher.stats()
@@ -333,11 +355,15 @@ class ServingRuntime:
 
         The ``pipeline`` block reports every stage's cache hit/miss/
         latency counters; ``query_cache`` remains as the historical
-        alias of the navigation-tree stage's counters.  The ``solver``
-        block is the shared :class:`AtomicSolverProfile` summary of
-        per-EXPAND decision timings (p50/p95/p99 in milliseconds) — the
-        p99 is the warm-EXPAND latency ``bench_expand_hotpath`` gates
-        sub-millisecond.
+        alias of the navigation-tree stage's counters.  Within it,
+        ``hit_ratio`` is the canonical hit-fraction key (matching the
+        per-stage ``pipeline`` rows); ``hit_rate`` is a **deprecated
+        alias** kept for one release so existing dashboards keep
+        reading — it always equals ``hit_ratio`` and will be removed.
+        The ``solver`` block is the shared :class:`AtomicSolverProfile`
+        summary of per-EXPAND decision timings (p50/p95/p99 in
+        milliseconds) — the p99 is the warm-EXPAND latency
+        ``bench_expand_hotpath`` gates sub-millisecond.
         """
         admission = self.dispatcher.stats()
         cache = self.queries.snapshot()
@@ -357,6 +383,8 @@ class ServingRuntime:
                 "hits": cache["hits"],
                 "misses": cache["misses"],
                 "evictions": cache["evictions"],
+                # Deprecated alias of hit_ratio (see the docstring);
+                # slated for removal once external readers migrate.
                 "hit_rate": cache["hit_ratio"],
                 "hit_ratio": cache["hit_ratio"],
                 "single_flight_coalesced": cache["coalesced"],

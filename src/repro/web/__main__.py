@@ -3,6 +3,7 @@
 Run with::
 
     python -m repro.web [--port 8080] [--hierarchy-size 2000] [--workers 4]
+    python -m repro.web --cluster 4 [--cache-dir DIR]
 
 Builds the Table I workload and serves the interface with the standard
 library's ``wsgiref`` server, upgraded to a threading server: each HTTP
@@ -10,13 +11,19 @@ connection gets its own thread, and the app's
 :class:`~repro.serving.runtime.ServingRuntime` caps actual request
 concurrency at ``--workers``, sheds overload past ``--queue`` with
 ``503 + Retry-After``, and drops requests still queued after
-``--deadline`` seconds.  Development use only, as with the paper's
-original deployment notes.
+``--deadline`` seconds.
+
+With ``--cluster N`` the single runtime is replaced by a
+:class:`~repro.cluster.router.BioNavCluster` of N forked worker
+processes sharing a content-addressed stage cache (``--cache-dir``,
+default a fresh temporary directory), behind the same WSGI interface.
+Development use only, as with the paper's original deployment notes.
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 from socketserver import ThreadingMixIn
 from wsgiref.simple_server import WSGIServer, make_server
 
@@ -45,19 +52,55 @@ def main() -> None:
         default=None,
         help="per-request queueing budget in seconds (default: none)",
     )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through a cluster of N worker processes instead of "
+        "one in-process runtime (default: 0 = single process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cluster L2 stage-cache directory (default: a fresh "
+        "temporary directory; cluster mode only)",
+    )
     args = parser.parse_args()
 
     print("Building the workload (hierarchy size %d)..." % args.hierarchy_size)
     workload = build_workload(hierarchy_size=args.hierarchy_size, seed=args.seed)
-    app = BioNavWebApp(
-        BioNav(workload.database, workload.entrez),
-        workers=args.workers,
-        max_queue=args.queue,
-        deadline=args.deadline,
-    )
+    bionav = BioNav(workload.database, workload.entrez)
+    if args.cluster > 0:
+        # Imported lazily: single-process serving never forks workers.
+        from repro.cluster import BioNavCluster, ClusterConfig
+
+        cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="bionav-l2-")
+        cluster = BioNavCluster(
+            bionav,
+            ClusterConfig(
+                workers=args.cluster,
+                cache_dir=cache_dir,
+                runtime={
+                    "workers": args.workers,
+                    "max_queue": args.queue,
+                    "deadline": args.deadline,
+                },
+            ),
+        )
+        app = BioNavWebApp(bionav, runtime=cluster)
+        banner = "%d worker processes, L2 at %s" % (args.cluster, cache_dir)
+    else:
+        app = BioNavWebApp(
+            bionav,
+            workers=args.workers,
+            max_queue=args.queue,
+            deadline=args.deadline,
+        )
+        banner = "%d workers" % args.workers
     print(
-        "Serving BioNav on http://127.0.0.1:%d/ (%d workers) — try a "
-        "Table I keyword." % (args.port, args.workers)
+        "Serving BioNav on http://127.0.0.1:%d/ (%s) — try a "
+        "Table I keyword." % (args.port, banner)
     )
     with make_server(
         "127.0.0.1", args.port, app, server_class=_ThreadingWSGIServer

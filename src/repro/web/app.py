@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import html
 import json
+import math
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from urllib.parse import parse_qs
@@ -78,13 +79,24 @@ class BioNavWebApp:
     """A WSGI callable serving the BioNav interface.
 
     Holds no mutable state of its own — every shared structure lives in
-    the :class:`ServingRuntime`, which is what makes the callable safe
-    to mount under a threaded WSGI server.
+    the runtime behind it, which is what makes the callable safe to
+    mount under a threaded WSGI server.
+
+    The runtime is normally built here from ``bionav``, but any object
+    with the :class:`ServingRuntime` request surface (``search`` /
+    ``view`` / ``expand`` / ``results`` / ``backtrack`` plus
+    ``health()`` / ``stats()`` / ``results_page_size`` /
+    ``shed_retry_after`` / ``close()``) mounts the same way — pass it
+    as ``runtime``.  That is how a
+    :class:`~repro.cluster.router.BioNavCluster` fleet serves this
+    exact interface (``python -m repro.web --cluster N``); the
+    remaining keyword arguments are ignored in that case, since the
+    injected runtime already carries its own configuration.
     """
 
     def __init__(
         self,
-        bionav: BioNav,
+        bionav: Optional[BioNav] = None,
         tree_cache_size: int = 32,
         max_sessions: int = 256,
         workers: int = 4,
@@ -93,18 +105,23 @@ class BioNavWebApp:
         backend_latency: float = 0.0,
         solver: str = "heuristic",
         results_page_size: int = DEFAULT_RESULTS_PAGE_SIZE,
+        runtime: Optional[object] = None,
     ):
-        self.runtime = ServingRuntime(
-            bionav,
-            tree_cache_size=tree_cache_size,
-            max_sessions=max_sessions,
-            workers=workers,
-            max_queue=max_queue,
-            deadline=deadline,
-            backend_latency=backend_latency,
-            solver=solver,
-            results_page_size=results_page_size,
-        )
+        if runtime is None:
+            if bionav is None:
+                raise ValueError("either bionav or runtime is required")
+            runtime = ServingRuntime(
+                bionav,
+                tree_cache_size=tree_cache_size,
+                max_sessions=max_sessions,
+                workers=workers,
+                max_queue=max_queue,
+                deadline=deadline,
+                backend_latency=backend_latency,
+                solver=solver,
+                results_page_size=results_page_size,
+            )
+        self.runtime = runtime
         self.bionav = bionav
 
     def close(self) -> None:
@@ -178,13 +195,17 @@ class BioNavWebApp:
                 )
         except DeadlineExceeded as exc:
             status = "503 Service Unavailable"
-            extra_headers.append(("Retry-After", "1"))
+            # The honest back-off is the runtime's: at least the
+            # configured queueing deadline (the queue needs that long
+            # to drain), never a hardcoded constant.
+            retry_after = max(1, math.ceil(self.runtime.shed_retry_after))
+            extra_headers.append(("Retry-After", str(retry_after)))
             if is_api:
                 body = json.dumps(
                     {
                         "error": str(exc),
                         "error_code": "deadline_exceeded",
-                        "retry_after": 1,
+                        "retry_after": retry_after,
                     }
                 )
             else:

@@ -337,6 +337,26 @@ class TestLockDisciplineRule:
         )
         assert "lock-discipline" not in rule_ids(findings)
 
+    def test_cluster_modules_are_in_scope(self, tmp_path):
+        """The multiprocess layer shares the serving lock discipline."""
+        findings = run_rules(
+            tmp_path,
+            "cluster/stagecache.py",
+            _LOCKED_CLASS_HEADER + "    def bump(self):\n        self.hits += 1\n",
+        )
+        assert "lock-discipline" in rule_ids(findings)
+
+    def test_cluster_locked_mutation_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "cluster/router.py",
+            _LOCKED_CLASS_HEADER
+            + "    def bump(self):\n"
+            + "        with self._lock:\n"
+            + "            self.hits += 1\n",
+        )
+        assert "lock-discipline" not in rule_ids(findings)
+
     def test_suppression_comment(self, tmp_path):
         findings = run_rules(
             tmp_path,
@@ -986,6 +1006,19 @@ class TestLockChainRule:
         )
         # __init__ and _evict_locked callers are clean by construction.
         assert findings_for(findings, "lock-chain") == []
+
+    def test_cluster_modules_are_in_lock_chain_scope(self, tmp_path):
+        findings = run_project(
+            tmp_path,
+            {
+                "cluster/supervisor.py": _CACHE_CLASS
+                + "    def put(self, key, value):\n"
+                "        self._put_locked(key, value)\n"
+            },
+        )
+        hits = findings_for(findings, "lock-chain")
+        assert len(hits) == 1
+        assert "'self._put_locked'" in hits[0].message
 
     def test_cross_object_call_requires_receivers_lock(self, tmp_path):
         findings = run_project(

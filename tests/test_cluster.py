@@ -1,0 +1,440 @@
+"""Tests for ``repro.cluster``: shard map, L2 stage cache, fleet serving.
+
+Covers the four layers of the scale-out subsystem bottom-up: shard
+identity (:class:`ShardMap`), the cross-process content-addressed store
+(:class:`ClusterStageCache`) and its L2 hook inside
+:class:`~repro.pipeline.cache.StageCache`, the worker fleet
+(supervised spawn / crash / respawn), and the
+:class:`~repro.cluster.router.BioNavCluster` facade end to end —
+including the WSGI app mounted over a cluster and the 410-after-respawn
+session contract.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.bionav import BioNav
+from repro.cluster import (
+    BioNavCluster,
+    ClusterConfig,
+    ClusterStageCache,
+    ShardMap,
+)
+from repro.cluster.stagecache import MISS
+from repro.pipeline.cache import StageCache
+from repro.serving.sessions import SessionExpired
+from repro.web.app import BioNavWebApp
+
+KEY_A = "a" * 40
+KEY_B = "b" * 40
+KEY_C = "c" * 40
+
+
+def request_page(
+    app: BioNavWebApp, path: str, query: Optional[Dict[str, str]] = None
+) -> Tuple[str, Dict[str, str], str]:
+    """Drive the WSGI callable; returns (status, headers, body)."""
+    environ = {
+        "REQUEST_METHOD": "GET",
+        "PATH_INFO": path,
+        "QUERY_STRING": urlencode(query or {}),
+    }
+    captured: Dict[str, object] = {}
+
+    def start_response(status: str, headers: List[Tuple[str, str]]) -> None:
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    body = b"".join(app(environ, start_response))
+    return captured["status"], captured["headers"], body.decode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Shard identity
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_every_top_level_concept_is_a_branch_shard(self, fragment_hierarchy):
+        shardmap = ShardMap(fragment_hierarchy)
+        top = fragment_hierarchy.children(fragment_hierarchy.root)
+        assert len(shardmap.branches) == len(top)
+        assert all(key.startswith("branch:") for key in shardmap.branches)
+        assert shardmap.snapshot() == {"branch_shards": len(top)}
+
+    def test_single_branch_node_set_classifies_to_that_branch(
+        self, fragment_hierarchy
+    ):
+        shardmap = ShardMap(fragment_hierarchy)
+        branch = fragment_hierarchy.children(fragment_hierarchy.root)[0]
+        subtree = [branch] + list(fragment_hierarchy.children(branch))
+        key = shardmap.classify(subtree)
+        assert key == "branch:%s" % fragment_hierarchy.uid(branch)
+        # The root rides along in every navigation tree; it is ignored.
+        assert shardmap.classify([fragment_hierarchy.root] + subtree) == key
+
+    def test_spanning_node_set_classifies_to_none(self, fragment_hierarchy):
+        shardmap = ShardMap(fragment_hierarchy)
+        top = fragment_hierarchy.children(fragment_hierarchy.root)
+        assert len(top) >= 2, "fragment must have multiple top-level branches"
+        assert shardmap.classify([top[0], top[1]]) is None
+        assert shardmap.classify([fragment_hierarchy.root]) is None
+
+    def test_shard_key_falls_back_to_query_hash(self, fragment_hierarchy):
+        shardmap = ShardMap(fragment_hierarchy)
+        top = fragment_hierarchy.children(fragment_hierarchy.root)
+        fallback = shardmap.shard_key("prothymosin", [top[0], top[1]])
+        assert fallback == ShardMap.query_fallback("prothymosin")
+        assert fallback.startswith("query:")
+        # Deterministic, and distinct queries get distinct keys.
+        assert fallback == ShardMap.query_fallback("prothymosin")
+        assert fallback != ShardMap.query_fallback("varenicline")
+
+    def test_branch_of_walks_and_caches_the_parent_chain(self, fragment_hierarchy):
+        shardmap = ShardMap(fragment_hierarchy)
+        branch = fragment_hierarchy.children(fragment_hierarchy.root)[0]
+        deep = branch
+        children = fragment_hierarchy.children(deep)
+        while children:
+            deep = children[0]
+            children = fragment_hierarchy.children(deep)
+        assert shardmap.branch_of(deep) == branch
+        assert shardmap.branch_of(deep) == branch  # cached path
+        assert shardmap.branch_of(fragment_hierarchy.root) is None
+
+
+# ----------------------------------------------------------------------
+# The file-backed L2 store
+# ----------------------------------------------------------------------
+class TestClusterStageCache:
+    def test_roundtrip_and_miss(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        assert store.get("nav_tree", KEY_A) is MISS
+        assert store.put("nav_tree", KEY_A, {"value": 1})
+        assert store.get("nav_tree", KEY_A) == {"value": 1}
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["publishes"] == 1 and stats["entries"] == 1
+
+    def test_uncovered_stage_is_a_noop(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        assert not store.put("hierarchy", KEY_A, object())
+        assert store.get("hierarchy", KEY_A) is MISS
+        assert store.stats()["entries"] == 0
+
+    def test_unpicklable_value_is_skipped_not_raised(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        assert not store.put("nav_tree", KEY_A, lambda: None)
+        assert store.stats()["errors"] == 1
+
+    def test_corrupt_entry_is_deleted_and_reported_as_miss(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        store.put("nav_tree", KEY_A, [1, 2, 3])
+        path = store._entry_path("nav_tree", KEY_A)
+        path.write_bytes(b"not a pickle")
+        assert store.get("nav_tree", KEY_A) is MISS
+        assert not path.exists()
+        assert store.stats()["errors"] == 1
+
+    def test_lru_eviction_by_entry_count(self, tmp_path):
+        store = ClusterStageCache(tmp_path, max_entries=2)
+        store.put("nav_tree", KEY_A, "a")
+        time.sleep(0.02)
+        store.put("nav_tree", KEY_B, "b")
+        time.sleep(0.02)
+        store.get("nav_tree", KEY_A)  # touch: A becomes newest
+        time.sleep(0.02)
+        store.put("nav_tree", KEY_C, "c")
+        assert store.get("nav_tree", KEY_B) is MISS  # oldest went
+        assert store.get("nav_tree", KEY_A) == "a"
+        assert store.stats()["evictions"] >= 1
+
+    def test_lru_eviction_by_bytes(self, tmp_path):
+        store = ClusterStageCache(tmp_path, max_bytes=4096)
+        store.put("nav_tree", KEY_A, b"x" * 3000)
+        time.sleep(0.02)
+        store.put("nav_tree", KEY_B, b"y" * 3000)
+        assert store.get("nav_tree", KEY_A) is MISS
+        assert store.get("nav_tree", KEY_B) is not MISS
+        assert store.stats()["bytes"] <= 4096
+
+    def test_build_lock_is_single_flight_with_stale_break(self, tmp_path):
+        store = ClusterStageCache(tmp_path, stale_after=0.2)
+        with store.build_lock("cut", KEY_A) as lock:
+            assert lock.acquired
+            with store.build_lock("cut", KEY_A) as second:
+                assert not second.acquired  # held by the first
+        # A crashed builder's lock (simulated: left on disk, then aged
+        # past stale_after) is broken by the next builder.
+        lock = store.build_lock("cut", KEY_A)
+        lock.__enter__()
+        assert lock.acquired
+        time.sleep(0.25)
+        with store.build_lock("cut", KEY_A) as taker:
+            assert taker.acquired  # stale lock broken
+
+    def test_wait_for_returns_published_value_or_times_out(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        assert store.wait_for("nav_tree", KEY_A, timeout=0.05) is MISS
+        store.put("nav_tree", KEY_A, "published")
+        assert store.wait_for("nav_tree", KEY_A, timeout=0.05) == "published"
+
+    def test_clear_removes_entries(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        store.put("nav_tree", KEY_A, "a")
+        store.put("results", KEY_B, "b")
+        store.clear()
+        assert store.stats()["entries"] == 0
+
+    def test_bounds_are_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            ClusterStageCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ClusterStageCache(tmp_path, max_bytes=0)
+
+
+class TestStageCacheL2Hook:
+    def test_artifact_published_by_one_cache_is_not_rebuilt_by_another(
+        self, tmp_path
+    ):
+        """Two StageCaches (two 'processes') share one store: the second
+        build of a key unpickles the first's publish — the ISSUE's
+        never-rebuilt guarantee, here without forking for precision."""
+        store_a = ClusterStageCache(tmp_path)
+        store_b = ClusterStageCache(tmp_path)
+        cache_a = StageCache(l2=store_a)
+        cache_b = StageCache(l2=store_b)
+        built: List[str] = []
+
+        def builder() -> str:
+            built.append("x")
+            return "artifact"
+
+        assert cache_a.get_or_build("nav_tree", KEY_A, builder) == "artifact"
+        assert cache_b.get_or_build("nav_tree", KEY_A, builder) == "artifact"
+        assert built == ["x"], "second cache must fetch, not rebuild"
+        a_row = cache_a.snapshot()["nav_tree"]
+        b_row = cache_b.snapshot()["nav_tree"]
+        assert a_row["l2_misses"] == 1 and a_row["l2_publishes"] == 1
+        assert b_row["l2_hits"] == 1 and b_row["builds"] == 0
+
+    def test_uncovered_stage_bypasses_the_l2(self, tmp_path):
+        store = ClusterStageCache(tmp_path)
+        cache = StageCache(l2=store)
+        cache.get_or_build("hierarchy", KEY_A, lambda: "snapshot")
+        row = cache.snapshot()["hierarchy"]
+        assert row["l2_hits"] == 0 and row["l2_misses"] == 0
+        assert store.stats()["entries"] == 0
+
+    def test_lock_loser_waits_for_the_winners_publish(self, tmp_path):
+        """When another process holds the build lock, the loser polls
+        and picks up the publish instead of building a duplicate."""
+        store = ClusterStageCache(tmp_path, stale_after=5.0)
+        cache = StageCache(l2=store)
+        winner = store.build_lock("nav_tree", KEY_A)
+        winner.__enter__()
+        try:
+            store.put("nav_tree", KEY_A, "from-winner")
+            value = cache.get_or_build(
+                "nav_tree", KEY_A, lambda: pytest.fail("must not build")
+            )
+        finally:
+            winner.__exit__(None, None, None)
+        assert value == "from-winner"
+        assert cache.snapshot()["nav_tree"]["l2_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# The fleet, end to end
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster_bionav(small_workload) -> BioNav:
+    return BioNav(small_workload.database, small_workload.entrez)
+
+
+@pytest.fixture(scope="module")
+def keywords(small_workload) -> List[str]:
+    return [q.spec.keyword for q in small_workload.queries]
+
+
+@pytest.fixture(scope="module")
+def cluster(cluster_bionav, tmp_path_factory):
+    """A 2-worker fleet with a shared L2, reused across the module."""
+    config = ClusterConfig(
+        workers=2,
+        cache_dir=str(tmp_path_factory.mktemp("l2")),
+        heartbeat_interval=0.05,
+        poll_interval=0.02,
+        request_timeout=30.0,
+    )
+    with BioNavCluster(cluster_bionav, config) as fleet:
+        yield fleet
+
+
+class TestClusterServing:
+    def test_full_session_roundtrip_through_the_fleet(self, cluster, keywords):
+        result = cluster.search(keywords[0])
+        assert result.session.startswith("w")
+        assert "g" in result.session and "-s" in result.session
+        assert result.count > 0
+        view = cluster.view(result.session)
+        assert view.session == result.session
+        assert view.rows
+        node = next(row.node for row in view.rows if row.expandable)
+        expanded = cluster.expand(result.session, node)
+        assert len(expanded.rows) > len(view.rows)
+        listed = cluster.results(result.session, expanded.rows[0].node)
+        assert listed.pmids and listed.session == result.session
+        back = cluster.backtrack(result.session)
+        assert len(back.rows) == len(view.rows)
+
+    def test_unknown_and_malformed_sids_answer_not_found(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.view("not-a-cluster-sid")
+        with pytest.raises(KeyError):
+            cluster.view("w9g0-s000001")  # no such worker slot
+        with pytest.raises(KeyError):
+            cluster.view("w0g0-s999999")  # never-issued local sid
+
+    def test_router_learns_the_shard_hint(self, cluster, keywords):
+        cluster.search(keywords[1])
+        assert cluster.stats()["cluster"]["hints_learned"] >= 1
+        learned = cluster.shard_key(keywords[1])
+        assert learned.startswith(("branch:", "query:"))
+
+    def test_cross_worker_l2_hit(self, cluster, keywords):
+        """Worker B never rebuilds a navigation tree worker A built:
+        drive the same query through both workers directly and read the
+        second worker's pipeline ledger."""
+        query = keywords[3]  # untouched by the other module-scoped tests
+        before = cluster._supervisor.call(1, "stats")["pipeline"]["nav_tree"]
+        cluster._supervisor.call(0, "search", {"query": query})
+        cluster._supervisor.call(1, "search", {"query": query})
+        row = cluster._supervisor.call(1, "stats")["pipeline"]["nav_tree"]
+        assert row["l2_hits"] >= before["l2_hits"] + 1, (
+            "worker 1 must fetch, not rebuild"
+        )
+        assert row["builds"] == before["builds"]
+        merged = cluster.stats()
+        assert merged["l2"]["hits"] >= 1
+        assert merged["l2"]["entries"] >= 1
+
+    def test_merged_health_and_stats_cover_the_fleet(self, cluster):
+        health = cluster.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert len(health["shards"]) == 2
+        for shard in health["shards"]:
+            assert shard["alive"]
+            assert "queue_depth" in shard and "respawns" in shard
+        stats = cluster.stats()
+        assert stats["cluster"]["size"] == 2
+        assert stats["cluster"]["branch_shards"] >= 1
+        assert len(stats["cluster"]["ring"]["members"]) == 2
+        assert len(stats["workers"]) == 2
+        assert "hit_ratio" in stats["l2"]
+
+    def test_wsgi_app_mounts_the_cluster(self, cluster, keywords):
+        app = BioNavWebApp(runtime=cluster)
+        status, _, body = request_page(app, "/api/search", {"q": keywords[0]})
+        assert status == "200 OK"
+        sid = json.loads(body)["session"]
+        status, _, body = request_page(app, "/api/nav/%s" % sid)
+        assert status == "200 OK"
+        assert json.loads(body)["rows"]
+        status, _, body = request_page(app, "/api/health")
+        assert json.loads(body)["workers"] == 2
+        status, _, body = request_page(app, "/nav/%s" % sid)
+        assert status == "200 OK" and "<ul" in body
+
+
+class TestWorkerCrashRecovery:
+    @pytest.fixture()
+    def crash_cluster(self, cluster_bionav, tmp_path):
+        config = ClusterConfig(
+            workers=2,
+            cache_dir=str(tmp_path / "l2"),
+            heartbeat_interval=0.05,
+            poll_interval=0.02,
+            request_timeout=30.0,
+        )
+        with BioNavCluster(cluster_bionav, config) as fleet:
+            yield fleet
+
+    @staticmethod
+    def _sessions_on_both_workers(fleet, keywords) -> Dict[int, str]:
+        """Search until both workers own a session (spread placement)."""
+        owned: Dict[int, str] = {}
+        for attempt in range(50):
+            sid = fleet.search(keywords[attempt % len(keywords)]).session
+            owned.setdefault(int(sid[1 : sid.index("g")]), sid)
+            if len(owned) == 2:
+                return owned
+        raise AssertionError("spread placement never used both workers")
+
+    def test_crash_respawn_410_and_other_shard_survives(
+        self, crash_cluster, keywords
+    ):
+        """The ISSUE's crash contract: killing one worker mid-session
+        loses no other shard's sessions, and the dead worker's sessions
+        answer 410 Gone (re-run the search) after automatic respawn."""
+        owned = self._sessions_on_both_workers(crash_cluster, keywords)
+        victim, survivor = sorted(owned)[0], sorted(owned)[1]
+        crash_cluster.kill_worker(victim)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            health = crash_cluster.health()
+            if health["cluster"]["crashes"] >= 1 and all(
+                s["alive"] for s in health["shards"]
+            ):
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("worker was not respawned in time")
+        # The dead worker's session: gone, honestly.
+        with pytest.raises(SessionExpired):
+            crash_cluster.view(owned[victim])
+        # The other shard's session: untouched.
+        assert crash_cluster.view(owned[survivor]).rows
+        # The respawned slot serves fresh sessions again.
+        fresh = crash_cluster.search(keywords[0])
+        assert crash_cluster.view(fresh.session).rows
+        assert crash_cluster.health()["cluster"]["crashes"] == 1
+
+    def test_stale_sid_maps_to_410_with_research_hint_over_http(
+        self, crash_cluster, keywords
+    ):
+        app = BioNavWebApp(runtime=crash_cluster)
+        sid = crash_cluster.search(keywords[0]).session
+        victim = int(sid[1 : sid.index("g")])
+        crash_cluster.kill_worker(victim)
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            health = crash_cluster.health()
+            if all(s["alive"] for s in health["shards"]) and health["cluster"][
+                "crashes"
+            ]:
+                break
+            time.sleep(0.05)
+        status, _, body = request_page(app, "/api/nav/%s" % sid)
+        assert status == "410 Gone"
+        payload = json.loads(body)
+        assert payload["error_code"] == "session_expired"
+        assert "re-run the search" in payload["error"]
+
+
+class TestSessionPayloadsArePicklable:
+    def test_view_objects_cross_the_process_boundary(self, cluster, keywords):
+        """The wire format is pickle: every view object a worker returns
+        must survive a round-trip (guards against artifacts growing a
+        reference to the unpicklable runtime)."""
+        result = cluster.search(keywords[0])
+        view = cluster.view(result.session)
+        for payload in (result, view):
+            clone = pickle.loads(pickle.dumps(payload))
+            assert clone.session == payload.session

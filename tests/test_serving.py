@@ -418,3 +418,52 @@ class TestWebShedding:
             assert app.runtime.health()["status"] in ("ok", "overloaded")
         finally:
             app.close()
+
+
+class TestStatsAliases:
+    def test_hit_rate_is_deprecated_alias_of_hit_ratio(self, bionav):
+        """``query_cache.hit_rate`` must track canonical ``hit_ratio``
+        exactly until its scheduled removal — dashboards read either."""
+        with ServingRuntime(bionav, workers=2, max_queue=8) as runtime:
+            runtime.search("prothymosin")
+            runtime.search("prothymosin")
+            cache = runtime.stats()["query_cache"]
+            assert "hit_ratio" in cache
+            assert "hit_rate" in cache
+            assert cache["hit_rate"] == cache["hit_ratio"]
+            assert cache["hit_ratio"] > 0.0
+
+
+class TestShedRetryAfterDerivation:
+    def test_backoff_derives_from_queueing_deadline(self, bionav):
+        with ServingRuntime(bionav, deadline=2.5) as runtime:
+            assert runtime.shed_retry_after == 2.5
+        # A short deadline never undercuts the admission hint's floor.
+        with ServingRuntime(bionav, deadline=0.05) as runtime:
+            assert runtime.shed_retry_after == 1.0
+        with ServingRuntime(bionav) as runtime:
+            assert runtime.shed_retry_after == 1.0
+
+    def test_deadline_503_carries_derived_retry_after(self):
+        """The web layer's Retry-After is ceil(shed_retry_after), not 1."""
+
+        class _DeadlineRuntime:
+            results_page_size = 10
+            shed_retry_after = 2.2
+
+            def search(self, query):
+                raise DeadlineExceeded(2.2)
+
+            def close(self):
+                pass
+
+        app = BioNavWebApp(runtime=_DeadlineRuntime())
+        try:
+            status, headers, body = request_page(
+                app, "/api/search", {"q": "prothymosin"}
+            )
+            assert status == "503 Service Unavailable"
+            assert headers["Retry-After"] == "3"
+            assert json.loads(body)["retry_after"] == 3
+        finally:
+            app.close()

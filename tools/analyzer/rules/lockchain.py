@@ -139,6 +139,7 @@ class LockChainRule(Rule):
             "serving" in module.parts
             or "web" in module.parts
             or "pipeline" in module.parts
+            or "cluster" in module.parts
         )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:

@@ -6,8 +6,8 @@ shared mutable state behind it.  A stray ``self.hits += 1`` outside the
 lock is exactly the kind of read-modify-write race the
 ``SingleFlightCache`` exists to eliminate, and it passes every
 single-threaded test.  This rule makes the convention machine-checked
-for the concurrent modules (``src/repro/serving/`` and
-``src/repro/web/``):
+for the concurrent modules (``src/repro/serving/``, ``src/repro/web/``
+and ``src/repro/cluster/``):
 
 * **Scope** — classes whose ``__init__`` binds ``self._lock``.  Classes
   without a lock (pure renderers, immutable facades) are not checked.
@@ -151,7 +151,11 @@ class LockDisciplineRule(Rule):
     description = "lock-owning class mutates shared state outside its lock"
 
     def applies_to(self, module: ModuleInfo) -> bool:
-        return "serving" in module.parts or "web" in module.parts
+        return (
+            "serving" in module.parts
+            or "web" in module.parts
+            or "cluster" in module.parts
+        )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
         if module.tree is None:

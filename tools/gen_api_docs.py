@@ -113,11 +113,53 @@ Extends the per-query rows and solver summary with serving counters:
 - `solver` — per-EXPAND latency aggregates including `p50_ms` and
   `p95_ms`, collected by the shared `AtomicSolverProfile`.
 
-Shed responses use HTTP 503 with `Retry-After`; requests naming an
-evicted session get HTTP 410 with `error_code: "session_expired"`
-(distinct from 404 `not_found` for ids that never existed).
+Shed responses use HTTP 503 with `Retry-After` (derived from the
+configured queueing deadline); requests naming an evicted session get
+HTTP 410 with `error_code: "session_expired"` (distinct from 404
+`not_found` for ids that never existed).
 `benchmarks/bench_serving.py` load-tests the runtime (1 → 4 worker
 scaling, zero shed, zero lost sessions) and emits `BENCH_serving.json`.
+"""
+
+CLUSTER_HTTP = """\
+## Cluster mode: merged observability surfaces
+
+`python -m repro.web --cluster N` mounts
+`repro.cluster.BioNavCluster` — N worker processes, each hosting a
+full `ServingRuntime`, sharing stage artifacts through the file-backed
+L2 store (DESIGN.md §13) — behind the same web app, which duck-types
+the runtime surface.  Session ids gain a routing prefix
+(`w<index>g<generation>-s…`); sessions owned by a crashed-and-respawned
+worker answer `410 Gone` with the re-search hint.  The two
+observability endpoints merge the fleet:
+
+### `GET /api/health` (cluster)
+
+Top level keeps the single-process fields (`status` — `degraded` when
+any shard is unreachable or non-`ok` — summed `queue_depth`,
+`sessions_active`, `results_page_size`, `uptime_seconds`) and adds:
+
+| field     | meaning                                                   |
+|-----------|-----------------------------------------------------------|
+| `cluster` | `size`, `placement` (`spread`/`shard`), `crashes` (respawns over the fleet's lifetime) |
+| `shards`  | one row per worker: `name`, `generation`, `alive`, `respawns`, `queue_depth`, `status`, and the worker's own `health` answer |
+
+### `GET /api/stats` (cluster)
+
+- `pipeline` — per-stage counters summed across workers, hit ratios
+  recomputed from the sums (same row shape as single-process mode).
+- `l2` — the shared store, fleet-wide: summed `hits` / `misses` /
+  `publishes` / `evictions` / `errors`, recomputed `hit_ratio`, and a
+  single `entries` / `bytes` census (every worker sees one directory).
+- `cluster` — `size`, `placement`, `crashes`, `hints_learned` (shard
+  hints the router has cached), `branch_shards`, the hash `ring`
+  (`members`, `replicas`), and fleet-summed `shed_total`.
+- `workers` — per-worker raw `stats` answers for drill-down, each with
+  `name` / `generation` / `alive` / `respawns` / `queue_depth`.
+
+`benchmarks/bench_cluster.py` load-tests the fleet (CPU-bound 1 → 4
+process scaling, zero shed/lost, ledger-verified cross-worker L2 hit)
+and emits `BENCH_cluster.json`.
 """
 
 
@@ -209,6 +251,7 @@ def render() -> str:
     out.append(ENGINE_INTERNALS)
     out.append("")
     out.append(SERVING_HTTP)
+    out.append(CLUSTER_HTTP)
     return "\n".join(out)
 
 

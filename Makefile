@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving cluster-bench cluster-bench-smoke examples docs demo clean
+.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving cluster-bench cluster-bench-smoke substrate-build bench-substrate bench-substrate-smoke examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -68,6 +68,23 @@ cluster-bench-smoke:
 # on machines with >= 4 cores.
 cluster-bench:
 	$(PYTHON) -m pytest benchmarks/bench_cluster.py -q
+
+# Offline substrate build: 1M synthetic citations over the paper-scale
+# (~48k concept) MeSH preset into build/substrate, printing the manifest
+# digest and the build's own peak RSS.
+substrate-build:
+	$(PYTHON) -m repro.substrate.build --out build/substrate --citations 1000000
+
+# Full substrate bench: two 1M-citation builds (same-seed digest gate),
+# RSS-vs-disk ceiling, cold boolean-AND + navigation-tree latency;
+# rewrites BENCH_substrate.json.
+bench-substrate:
+	$(PYTHON) -m pytest benchmarks/bench_substrate.py -q
+
+# Substrate bench smoke for CI: same gates at 20k citations over a 2k
+# hierarchy (does not rewrite the JSON).
+bench-substrate-smoke:
+	SUBSTRATE_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_substrate.py -q
 
 examples:
 	@for script in examples/*.py; do \

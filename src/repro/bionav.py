@@ -29,7 +29,9 @@ from repro.eutils.client import EntrezClient
 from repro.hierarchy.concept import ConceptHierarchy
 from repro.pipeline.pipeline import NavigationPipeline
 from repro.pipeline.registry import SolverRegistry, default_registry
+from repro.search.engine import SearchEngine
 from repro.storage.database import BioNavDatabase
+from repro.substrate.store import CorpusStore
 
 __all__ = ["BioNavQuery", "BioNav"]
 
@@ -91,6 +93,32 @@ class BioNav:
         """Run the off-line pre-processing and stand up the on-line system."""
         database = BioNavDatabase.build(hierarchy, medline)
         entrez = EntrezClient(medline)
+        return cls(database, entrez, max_reduced_nodes=max_reduced_nodes, params=params)
+
+    @classmethod
+    def from_store(
+        cls,
+        store: CorpusStore,
+        hierarchy: Optional[ConceptHierarchy] = None,
+        max_reduced_nodes: int = 10,
+        params: Optional[CostParams] = None,
+    ) -> "BioNav":
+        """Stand up the on-line system over a pre-built corpus store.
+
+        The substrate path: no extraction pass and no text index — the
+        store directory *is* the offline pre-processing output, queries
+        are ``[mh]`` concept queries, and every process opening the same
+        mmap directory shares one page-cached corpus.
+
+        Args:
+            store: a :class:`~repro.substrate.store.CorpusStore`
+                (typically :class:`~repro.substrate.store.MmapStore`).
+            hierarchy: defaults to the hierarchy captured in the store's
+                build manifest.
+        """
+        database = BioNavDatabase.from_store(store, hierarchy=hierarchy)
+        engine = SearchEngine.from_store(store, hierarchy=database.hierarchy)
+        entrez = EntrezClient(store, engine=engine)
         return cls(database, entrez, max_reduced_nodes=max_reduced_nodes, params=params)
 
     # ------------------------------------------------------------------

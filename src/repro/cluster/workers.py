@@ -136,8 +136,14 @@ def worker_main(
         index: the worker's slot in the fleet (stable across respawns).
         generation: incarnation number; requests stamped with an older
             generation are answered ``worker_restarted``.
-        bionav: the system to serve (inherited via fork — the corpus is
-            shared copy-on-write, not copied per worker).
+        bionav: the system to serve (inherited via fork).  Toy corpora
+            are shared copy-on-write; a substrate-backed system carries
+            an :class:`~repro.substrate.store.MmapStore`, whose
+            read-only memmaps mean every worker reads the *same* OS
+            page cache — the corpus lives once regardless of fleet
+            size.  Each heartbeat reports the store identity so the
+            supervisor (and tests) can verify the fleet shares one
+            store rather than N private copies.
         requests: this worker's inbound operation queue.
         responses: the fleet-shared outbound queue (results + beats).
         options: ``cache_dir`` (L2 store directory, optional),
@@ -152,6 +158,7 @@ def worker_main(
     stop = threading.Event()
 
     with ServingRuntime(bionav, l2=l2, **options) as runtime:
+        store_info = bionav.database.store_info()
 
         def beat() -> None:
             while not stop.is_set():
@@ -164,6 +171,11 @@ def worker_main(
                             {
                                 "pid": os.getpid(),
                                 "sessions_active": len(runtime.sessions),
+                                "store": {
+                                    "backend": store_info["backend"],
+                                    "path": store_info["path"],
+                                    "manifest": store_info["manifest"],
+                                },
                             },
                         )
                     )

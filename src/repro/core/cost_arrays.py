@@ -125,6 +125,11 @@ class CostArrays:
         self.upper_threshold = upper_threshold
         self.lower_threshold = lower_threshold
         self.use_idf = use_idf
+        # A corpus store (anything exposing a ``medline_count`` method)
+        # is accepted in place of the bare LT callable.
+        bound = getattr(medline_count, "medline_count", None)
+        if callable(bound):
+            medline_count = bound
 
         preorder: List[int] = list(tree.iter_dfs())
         k = len(preorder)

@@ -22,9 +22,12 @@ subtree rewalks per call.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.hierarchy.concept import ConceptHierarchy
+
+if TYPE_CHECKING:  # substrate imports core; keep the reverse edge lazy
+    from repro.substrate.store import CorpusStore
 
 __all__ = ["NavigationTree"]
 
@@ -77,6 +80,28 @@ class NavigationTree:
     # ------------------------------------------------------------------
     # Construction (maximum embedding)
     # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        hierarchy: ConceptHierarchy,
+        store: "CorpusStore",
+        pmids: Iterable[int],
+        root: Optional[int] = None,
+    ) -> "NavigationTree":
+        """Navigation tree for a result set answered by a corpus store.
+
+        Args:
+            hierarchy: the concept hierarchy.
+            store: a :class:`~repro.substrate.store.CorpusStore`; its
+                ``annotations_for_result`` provides the association
+                restriction (mmap-backed at substrate scale).
+            pmids: the query result's citation ids.
+            root: subtree to embed within; defaults to the hierarchy root.
+        """
+        return cls.build(
+            hierarchy, store.annotations_for_result(list(pmids)), root=root
+        )
+
     @classmethod
     def build(
         cls,

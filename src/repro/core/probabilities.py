@@ -59,7 +59,9 @@ class ProbabilityModel:
             tree: the navigation tree of the current query result.
             medline_count: concept node id → MEDLINE-wide citation count
                 (``LT(n)``); counts below 2 are clamped so the logarithm
-                stays positive.
+                stays positive.  A corpus store (or any object exposing
+                a ``medline_count`` method) is accepted in place of the
+                bare callable.
             upper_threshold: result count above which EXPAND is certain.
             lower_threshold: result count below which EXPAND never happens.
             use_idf: divide by ``log LT(n)`` (the paper's inverse-document-

@@ -22,31 +22,39 @@ in a form standard MEDLINE tooling understands.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, TextIO
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO
 
 from repro.corpus.citation import Citation
 from repro.hierarchy.concept import ConceptHierarchy
 
-__all__ = ["parse_medline_text", "citations_from_records", "load_medline_text", "dump_medline_text"]
+__all__ = [
+    "parse_medline_text",
+    "stream_medline_records",
+    "stream_medline_text",
+    "citations_from_records",
+    "load_medline_text",
+    "dump_medline_text",
+]
 
 _TAG_RE = re.compile(r"^([A-Z][A-Z0-9]{1,3})\s*- (.*)$")
 _CONTINUATION_PREFIX = "      "
 
 
-def parse_medline_text(lines: Iterable[str]) -> List[Dict[str, List[str]]]:
-    """Parse MEDLINE text into raw records (tag → list of values).
+def stream_medline_records(lines: Iterable[str]) -> Iterator[Dict[str, List[str]]]:
+    """Lazily parse MEDLINE text into raw records (tag → list of values).
 
     Records are separated by blank lines; continuation lines (six leading
-    spaces) are folded into the preceding value with a single space.
+    spaces) are folded into the preceding value with a single space.  One
+    record is held in memory at a time, so an export of any size streams —
+    this is the parse path the substrate builder chunks from.
     """
-    records: List[Dict[str, List[str]]] = []
     current: Optional[Dict[str, List[str]]] = None
     last_tag: Optional[str] = None
     for raw_line in lines:
         line = raw_line.rstrip("\n")
         if not line.strip():
             if current:
-                records.append(current)
+                yield current
             current = None
             last_tag = None
             continue
@@ -62,8 +70,51 @@ def parse_medline_text(lines: Iterable[str]) -> List[Dict[str, List[str]]]:
         current.setdefault(tag, []).append(value)
         last_tag = tag
     if current:
-        records.append(current)
-    return records
+        yield current
+
+
+def parse_medline_text(lines: Iterable[str]) -> List[Dict[str, List[str]]]:
+    """Parse MEDLINE text into a list of raw records (eager form).
+
+    Thin materialization of :func:`stream_medline_records`, kept for
+    toy-scale callers that want the whole export at once.
+    """
+    return list(stream_medline_records(lines))
+
+
+def _citation_from_record(
+    record: Dict[str, List[str]],
+    hierarchy: Optional[ConceptHierarchy],
+    strict: bool,
+) -> Citation:
+    """Convert one raw MEDLINE record to a :class:`Citation`."""
+    pmids = record.get("PMID")
+    titles = record.get("TI")
+    if not pmids:
+        raise ValueError("MEDLINE record missing PMID")
+    if not titles:
+        raise ValueError("MEDLINE record %s missing TI" % pmids[0])
+    concepts: List[int] = []
+    for heading in record.get("MH", ()):
+        normalized = heading.lstrip("*").split("/")[0].strip()
+        if hierarchy is None:
+            continue
+        try:
+            concepts.append(hierarchy.by_label(normalized))
+        except KeyError:
+            if strict:
+                raise ValueError("unknown MeSH heading %r" % normalized)
+    year = _parse_year(record.get("DP", [""])[0])
+    annotations = tuple(sorted(set(concepts)))
+    return Citation(
+        pmid=int(pmids[0]),
+        title=titles[0],
+        abstract=record.get("AB", [""])[0],
+        authors=tuple(record.get("AU", ())),
+        year=year,
+        mesh_annotations=annotations,
+        index_concepts=annotations,
+    )
 
 
 def citations_from_records(
@@ -81,38 +132,22 @@ def citations_from_records(
         ValueError: records missing PMID or TI; in strict mode also on
             unresolvable MeSH headings.
     """
-    citations: List[Citation] = []
-    for record in records:
-        pmids = record.get("PMID")
-        titles = record.get("TI")
-        if not pmids:
-            raise ValueError("MEDLINE record missing PMID")
-        if not titles:
-            raise ValueError("MEDLINE record %s missing TI" % pmids[0])
-        concepts: List[int] = []
-        for heading in record.get("MH", ()):
-            normalized = heading.lstrip("*").split("/")[0].strip()
-            if hierarchy is None:
-                continue
-            try:
-                concepts.append(hierarchy.by_label(normalized))
-            except KeyError:
-                if strict:
-                    raise ValueError("unknown MeSH heading %r" % normalized)
-        year = _parse_year(record.get("DP", [""])[0])
-        annotations = tuple(sorted(set(concepts)))
-        citations.append(
-            Citation(
-                pmid=int(pmids[0]),
-                title=titles[0],
-                abstract=record.get("AB", [""])[0],
-                authors=tuple(record.get("AU", ())),
-                year=year,
-                mesh_annotations=annotations,
-                index_concepts=annotations,
-            )
-        )
-    return citations
+    return [_citation_from_record(r, hierarchy, strict) for r in records]
+
+
+def stream_medline_text(
+    handle: TextIO,
+    hierarchy: Optional[ConceptHierarchy] = None,
+    strict: bool = False,
+) -> Iterator[Citation]:
+    """Lazily parse an open MEDLINE export into citations.
+
+    Constant memory: one citation lives at a time.  Feed this to
+    :func:`repro.substrate.builder.citation_chunks` to build a substrate
+    directory from a real export without materializing the corpus.
+    """
+    for record in stream_medline_records(handle):
+        yield _citation_from_record(record, hierarchy, strict)
 
 
 def load_medline_text(
@@ -120,8 +155,8 @@ def load_medline_text(
     hierarchy: Optional[ConceptHierarchy] = None,
     strict: bool = False,
 ) -> List[Citation]:
-    """Parse an open MEDLINE text export into citations."""
-    return citations_from_records(parse_medline_text(handle), hierarchy, strict)
+    """Parse an open MEDLINE text export into citations (eager form)."""
+    return list(stream_medline_text(handle, hierarchy, strict))
 
 
 def dump_medline_text(

@@ -1,34 +1,53 @@
-"""JSONL persistence for the simulated MEDLINE database.
+"""JSONL persistence for the simulated MEDLINE corpus.
 
 The BioNav database has JSON persistence (``BioNavDatabase.save``); the
-corpus itself gets the same treatment here so a generated workload can be
-frozen to disk and shared — one JSON object per citation (the JSONL
-convention), plus a header object carrying the background LT counts.
+corpus itself gets the same treatment here — one JSON object per citation
+(the JSONL convention), plus a header object carrying the background LT
+counts.  The primary interface is streaming: :func:`write_citations_jsonl`
+consumes any citation iterable and :func:`read_citations_jsonl` yields
+citations lazily, so a MEDLINE-scale corpus flows through in constant
+memory (this is the interchange path between the substrate builder and
+standard JSONL tooling).  The original whole-database functions
+(:func:`save_medline_jsonl` / :func:`load_medline_jsonl`) remain as
+deprecation shims over the streaming core and write byte-identical output.
 """
 
 from __future__ import annotations
 
 import json
-from typing import TextIO
+import warnings
+from typing import Dict, Iterable, Iterator, Mapping, Optional, TextIO, Tuple
 
 from repro.corpus.citation import Citation
 from repro.corpus.medline import MedlineDatabase
 
-__all__ = ["save_medline_jsonl", "load_medline_jsonl"]
+__all__ = [
+    "write_citations_jsonl",
+    "read_citations_jsonl",
+    "save_medline_jsonl",
+    "load_medline_jsonl",
+]
 
 _HEADER_KIND = "medline-header"
 _CITATION_KIND = "citation"
 _FORMAT_VERSION = 1
 
 
-def save_medline_jsonl(medline: MedlineDatabase, handle: TextIO) -> int:
-    """Write the database as JSON lines; returns citations written.
+def write_citations_jsonl(
+    citations: Iterable[Citation],
+    handle: TextIO,
+    background_counts: Optional[Mapping[int, int]] = None,
+) -> int:
+    """Stream citations as JSON lines; returns citations written.
 
     The first line is a header with the format version and the simulated
-    background counts; each further line is one citation.
+    background counts; each further line is one citation.  ``citations``
+    may be any iterable (including a generator such as
+    :func:`repro.corpus.loader.stream_medline_text`) — records are written
+    as they arrive, one in memory at a time.
     """
     background = {
-        str(concept): count for concept, count in medline.background_counts().items()
+        str(concept): count for concept, count in (background_counts or {}).items()
     }
     header = {
         "kind": _HEADER_KIND,
@@ -37,8 +56,7 @@ def save_medline_jsonl(medline: MedlineDatabase, handle: TextIO) -> int:
     }
     handle.write(json.dumps(header) + "\n")
     written = 0
-    for pmid in medline.pmids():
-        citation = medline.get(pmid)
+    for citation in citations:
         record = {
             "kind": _CITATION_KIND,
             "pmid": citation.pmid,
@@ -54,12 +72,18 @@ def save_medline_jsonl(medline: MedlineDatabase, handle: TextIO) -> int:
     return written
 
 
-def load_medline_jsonl(handle: TextIO) -> MedlineDatabase:
-    """Rebuild a database written by :func:`save_medline_jsonl`.
+def read_citations_jsonl(
+    handle: TextIO,
+) -> Tuple[Dict[int, int], Iterator[Citation]]:
+    """Open a JSONL corpus: ``(background_counts, lazy citation iterator)``.
+
+    The header is validated eagerly; citations stream from the returned
+    iterator one at a time, so the file never has to fit in memory.  The
+    iterator borrows ``handle`` — keep it open until iteration finishes.
 
     Raises:
-        ValueError: missing/invalid header, unsupported version, or an
-            unknown record kind.
+        ValueError: missing/invalid header or unsupported version;
+            iterating raises on an unknown record kind.
     """
     first = handle.readline()
     if not first.strip():
@@ -73,22 +97,65 @@ def load_medline_jsonl(handle: TextIO) -> MedlineDatabase:
         int(concept): count
         for concept, count in header.get("background_counts", {}).items()
     }
-    medline = MedlineDatabase(background_counts=background)
+    return background, _iter_citation_lines(handle)
+
+
+def _iter_citation_lines(handle: TextIO) -> Iterator[Citation]:
     for line in handle:
         if not line.strip():
             continue
         record = json.loads(line)
         if record.get("kind") != _CITATION_KIND:
             raise ValueError("unexpected record kind %r" % record.get("kind"))
-        medline.add(
-            Citation(
-                pmid=record["pmid"],
-                title=record["title"],
-                abstract=record.get("abstract", ""),
-                authors=tuple(record.get("authors", ())),
-                year=record.get("year", 2008),
-                mesh_annotations=tuple(record.get("mesh_annotations", ())),
-                index_concepts=tuple(record.get("index_concepts", ())),
-            )
+        yield Citation(
+            pmid=record["pmid"],
+            title=record["title"],
+            abstract=record.get("abstract", ""),
+            authors=tuple(record.get("authors", ())),
+            year=record.get("year", 2008),
+            mesh_annotations=tuple(record.get("mesh_annotations", ())),
+            index_concepts=tuple(record.get("index_concepts", ())),
         )
+
+
+def save_medline_jsonl(medline: MedlineDatabase, handle: TextIO) -> int:
+    """Write the database as JSON lines; returns citations written.
+
+    .. deprecated::
+        Shim over :func:`write_citations_jsonl`, which streams from any
+        iterable instead of requiring a materialized database.  Output is
+        byte-identical.
+    """
+    warnings.warn(
+        "save_medline_jsonl is deprecated; use write_citations_jsonl",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return write_citations_jsonl(
+        (medline.get(pmid) for pmid in medline.pmids()),
+        handle,
+        medline.background_counts(),
+    )
+
+
+def load_medline_jsonl(handle: TextIO) -> MedlineDatabase:
+    """Rebuild a database written by :func:`save_medline_jsonl`.
+
+    .. deprecated::
+        Shim over :func:`read_citations_jsonl`, which yields citations
+        lazily instead of materializing a database.
+
+    Raises:
+        ValueError: missing/invalid header, unsupported version, or an
+            unknown record kind.
+    """
+    warnings.warn(
+        "load_medline_jsonl is deprecated; use read_citations_jsonl",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    background, citations = read_citations_jsonl(handle)
+    medline = MedlineDatabase(background_counts=background)
+    for citation in citations:
+        medline.add(citation)
     return medline

@@ -19,7 +19,13 @@ from typing import List, Optional
 
 from repro.hierarchy.concept import ConceptHierarchy
 
-__all__ = ["HierarchyShape", "HierarchyGenerator", "generate_hierarchy"]
+__all__ = [
+    "HierarchyShape",
+    "HierarchyGenerator",
+    "generate_hierarchy",
+    "mesh_2008_hierarchy",
+    "MESH_2008_SEED",
+]
 
 # Vocabulary for synthetic concept labels: biomedical-flavored stems so
 # rendered navigation trees remain readable in examples and bench output.
@@ -134,6 +140,23 @@ class HierarchyGenerator:
         stem = self._rng.choice(_STEMS)
         qualifier = self._rng.choice(_QUALIFIERS)
         return "%s, %s (L%d-%04d)" % (stem, qualifier, depth, self._rng.randrange(10000))
+
+
+#: Seed of the canonical paper-scale hierarchy preset.  Fixed so every
+#: consumer (the substrate bench, workload scenarios, two same-seed
+#: builds in the determinism gate) generates the identical tree.
+MESH_2008_SEED = 2008
+
+
+def mesh_2008_hierarchy(seed: int = MESH_2008_SEED) -> ConceptHierarchy:
+    """The deterministic paper-scale MeSH-shaped hierarchy (~48k concepts).
+
+    :meth:`HierarchyShape.mesh_2008` shape statistics (98 root
+    categories, geometric branching decay, 11 levels) generated from a
+    fixed seed: the same tree — node ids, uids, labels — on every call,
+    which is what lets the substrate build manifest fingerprint it.
+    """
+    return HierarchyGenerator(HierarchyShape.mesh_2008(), seed=seed).generate()
 
 
 def generate_hierarchy(

@@ -32,7 +32,7 @@ from repro.core.probabilities import ProbabilityModel
 from repro.core.session import NavigationSession
 from repro.core.strategy import CutDecision
 from repro.hierarchy.concept import ConceptHierarchy
-from repro.storage.database import BioNavDatabase
+from repro.storage.database import BioNavDatabase, hierarchy_digest
 
 __all__ = [
     "content_key",
@@ -75,16 +75,20 @@ class HierarchySnapshot:
     """Stage 1 — the deployment's concept hierarchy plus its database.
 
     One snapshot serves every query and session of a deployment; its
-    content key fingerprints the hierarchy's full (uid, label, parent)
-    record stream, so two deployments of the same MeSH revision share
-    keys and a re-grafted hierarchy gets a new one.  Corpus revisions
-    surface downstream instead: they change each query's result set,
-    whose key every navigation-tree key folds in.
+    content key is the database's deployment identity
+    (:meth:`~repro.storage.database.BioNavDatabase.content_digest`):
+    substrate-backed deployments derive it from the offline build
+    manifest digest — no per-deployment rehash of 48k hierarchy
+    records — and toy deployments fingerprint the hierarchy's full
+    (uid, label, parent) record stream, so two deployments of the same
+    MeSH revision share keys and a re-grafted hierarchy gets a new one.
+    Corpus revisions surface downstream instead: they change each
+    query's result set, whose key every navigation-tree key folds in.
 
     Attributes:
         database: the off-line BioNav database (associations, counts).
         hierarchy: the concept hierarchy the database was built over.
-        content_key: deterministic fingerprint of the hierarchy records.
+        content_key: deterministic fingerprint of the deployment.
     """
 
     database: BioNavDatabase
@@ -93,12 +97,13 @@ class HierarchySnapshot:
 
     @staticmethod
     def compute_key(hierarchy: ConceptHierarchy) -> str:
-        """Fingerprint the hierarchy's full record stream."""
-        hasher = hashlib.sha256()
-        hasher.update(("%d" % len(hierarchy)).encode("utf-8"))
-        for uid, label, parent in hierarchy.to_records():
-            hasher.update(("%s\x1f%s\x1f%d\x1e" % (uid, label, parent)).encode("utf-8"))
-        return hasher.hexdigest()[:40]
+        """Fingerprint the hierarchy's full record stream.
+
+        Kept for hierarchy-only callers; snapshot keys come from
+        ``database.content_digest()`` which folds in the substrate
+        manifest when one exists.
+        """
+        return hierarchy_digest(hierarchy)
 
 
 @dataclass(frozen=True)

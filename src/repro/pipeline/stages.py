@@ -71,12 +71,16 @@ class HierarchyStage:
 
     @staticmethod
     def build(database: BioNavDatabase) -> HierarchySnapshot:
-        """Fingerprint the hierarchy and wrap it with its database."""
-        hierarchy = database.hierarchy
+        """Wrap the database with its deployment content identity.
+
+        Substrate-backed deployments reuse the offline build manifest
+        digest; toy deployments fingerprint the hierarchy records (see
+        :meth:`BioNavDatabase.content_digest`).
+        """
         return HierarchySnapshot(
             database=database,
-            hierarchy=hierarchy,
-            content_key=HierarchySnapshot.compute_key(hierarchy),
+            hierarchy=database.hierarchy,
+            content_key=database.content_digest(),
         )
 
 

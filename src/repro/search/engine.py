@@ -1,21 +1,46 @@
 """Keyword query engine over the simulated MEDLINE corpus.
 
 This is the server-side piece PubMed provides in the paper's architecture:
-given a keyword query it returns the matching citation IDs, ranked.  The
-simulated eutils client (``repro.eutils.client``) wraps this engine with the
-ESearch wire-level conventions (retstart/retmax paging, counts).
+given a query it returns the matching citation IDs, ranked.  The simulated
+eutils client (``repro.eutils.client``) wraps this engine with the ESearch
+wire-level conventions (retstart/retmax paging, counts).
+
+Two query surfaces coexist, as in real PubMed:
+
+* **free-text terms** — conjunctive retrieval over the inverted keyword
+  index with TF-IDF ranking (toy-scale corpora only; the index is an
+  in-memory structure);
+* **field-tagged concept terms** — ``term[mh]`` restricts to citations
+  associated with the MeSH concept ``term`` (a node id, a concept uid
+  like ``D000123``, or a label when a hierarchy is attached).  These
+  resolve through the :class:`~repro.substrate.store.CorpusStore`
+  boolean-AND path, which the mmap backend answers with compressed
+  bitmap intersections — the query shape the substrate bench gates at
+  1M citations.
+
+A query may mix both; the result is the intersection, ranked by the
+text score when text terms are present and in ascending-PMID order for
+pure concept queries (identical across store backends).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.concept import ConceptHierarchy
 from repro.search.ranking import rank_results
-from repro.storage.index import InvertedIndex
+from repro.storage import InvertedIndex
+from repro.substrate.store import CorpusStore, InMemoryStore
 
 __all__ = ["QueryResult", "SearchEngine"]
+
+#: ``term[mh]`` — PubMed's MeSH field tag, case-insensitive.  The term
+#: is everything up to the tag, so labels with spaces work: ``"Kinase,
+#: Alpha (L1-0001)[mh]"``.
+_MH_RE = re.compile(r"\s*([^\[\]]+?)\s*\[mh\]", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -37,28 +62,115 @@ class QueryResult:
 
 
 class SearchEngine:
-    """Conjunctive keyword search with TF-IDF ranking."""
+    """Conjunctive retrieval: TF-IDF-ranked text plus ``[mh]`` concepts.
 
-    def __init__(self, medline: MedlineDatabase, index: InvertedIndex):
-        self._medline = medline
+    Args:
+        store: a :class:`CorpusStore`, or a bare :class:`MedlineDatabase`
+            (wrapped in an :class:`InMemoryStore` for compatibility).
+        index: inverted keyword index for free-text terms; when absent,
+            free-text terms raise :class:`ValueError` (the mmap backend
+            carries no text index — concept queries only).
+        hierarchy: resolves uid/label concept terms; node-id terms work
+            without it.
+    """
+
+    def __init__(
+        self,
+        store: "CorpusStore | MedlineDatabase",
+        index: Optional[InvertedIndex] = None,
+        hierarchy: Optional[ConceptHierarchy] = None,
+    ):
+        if isinstance(store, MedlineDatabase):
+            store = InMemoryStore(store)
+        if not isinstance(store, CorpusStore):
+            raise TypeError("store must be a CorpusStore or MedlineDatabase")
+        self._store = store
         self._index = index
-        self._years: Dict[int, int] = {
-            citation.pmid: citation.year for citation in medline.iter_citations()
-        }
+        self._hierarchy = hierarchy if hierarchy is not None else store.hierarchy()
+        self._years: Optional[Dict[int, int]] = None
 
     @classmethod
     def from_medline(cls, medline: MedlineDatabase) -> "SearchEngine":
-        """Build the index from scratch over a corpus."""
+        """Build the text index from scratch over a toy corpus."""
         index = InvertedIndex()
         for citation in medline.iter_citations():
             index.add_document(citation.pmid, citation.searchable_text())
         return cls(medline, index)
 
+    @classmethod
+    def from_store(
+        cls, store: CorpusStore, hierarchy: Optional[ConceptHierarchy] = None
+    ) -> "SearchEngine":
+        """Concept-query engine over a built store (no text index)."""
+        return cls(store, index=None, hierarchy=hierarchy)
+
+    @property
+    def store(self) -> CorpusStore:
+        """The corpus store queries resolve against."""
+        return self._store
+
+    # ------------------------------------------------------------------
     def search(self, query: str) -> QueryResult:
-        """All citations matching every query term, ranked."""
-        matches = self._index.search(query)
-        ranked = rank_results(self._index, sorted(matches), query, self._years)
+        """All citations matching every term, ranked.
+
+        Raises:
+            ValueError: free-text terms without a text index, or an
+                unresolvable ``[mh]`` term.
+        """
+        concepts, text = self._parse(query)
+        concept_hits: Optional[List[int]] = None
+        if concepts is not None:
+            concept_hits = [int(p) for p in self._store.boolean_and(concepts)]
+
+        if not text.strip():
+            pmids = concept_hits if concept_hits is not None else []
+            return QueryResult(query=query, pmids=tuple(pmids))
+
+        if self._index is None:
+            raise ValueError(
+                "free-text terms need a keyword index; this engine serves "
+                "[mh] concept queries only"
+            )
+        matches = self._index.search(text)
+        if concept_hits is not None:
+            matches = matches & set(concept_hits)
+        ranked = rank_results(self._index, sorted(matches), text, self._year_map())
         return QueryResult(query=query, pmids=tuple(ranked))
 
     def __len__(self) -> int:
-        return len(self._medline)
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    def _parse(self, query: str) -> Tuple[Optional[List[int]], str]:
+        """Split a query into resolved ``[mh]`` concept ids + text rest."""
+        concepts: List[int] = []
+        seen = False
+        for match in _MH_RE.finditer(query):
+            seen = True
+            concepts.append(self._resolve_concept(match.group(1)))
+        text = _MH_RE.sub(" ", query)
+        return (concepts if seen else None), text
+
+    def _resolve_concept(self, term: str) -> int:
+        """Node id for one ``[mh]`` term (id, uid, or label)."""
+        if term.isdigit():
+            concept = int(term)
+            if 0 <= concept < self._store.num_concepts:
+                return concept
+            raise ValueError("concept id %d outside the corpus universe" % concept)
+        if self._hierarchy is not None:
+            for lookup in (self._hierarchy.by_uid, self._hierarchy.by_label):
+                try:
+                    return lookup(term)
+                except KeyError:
+                    pass
+        raise ValueError("unresolvable [mh] term %r" % term)
+
+    def _year_map(self) -> Dict[int, int]:
+        """pmid → year for ranking tie-breaks, built on first text query."""
+        if self._years is None:
+            self._years = {
+                citation.pmid: citation.year
+                for citation in self._store.iter_citations()
+            }
+        return self._years

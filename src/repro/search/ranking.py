@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence, Tuple
 
-from repro.storage.index import InvertedIndex, tokenize
+from repro.storage import InvertedIndex, tokenize
 
 __all__ = ["tf_idf_score", "rank_results"]
 

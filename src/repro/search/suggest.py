@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.corpus.medline import MedlineDatabase
 from repro.hierarchy.concept import ConceptHierarchy
-from repro.storage.index import tokenize
+from repro.storage import tokenize
 
 __all__ = ["ConceptSuggestion", "TermSuggestion", "suggest_concepts", "suggest_terms"]
 

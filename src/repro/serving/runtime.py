@@ -348,6 +348,10 @@ class ServingRuntime:
             "solver": self.solver,
             "results_page_size": self.results_page_size,
             "uptime_seconds": time.monotonic() - self._started,
+            # Which corpus backend this process serves from.  Cluster
+            # tests assert every worker reports the same mmap directory
+            # (one page-cached corpus, not N private copies).
+            "store": self.bionav.database.store_info(),
         }
 
     def stats(self) -> Dict[str, object]:

@@ -8,12 +8,18 @@ keyword index the simulated ESearch runs over.
 The paper harvested associations by issuing one PubMed query per MeSH
 concept over ~20 days; :meth:`BioNavDatabase.build` performs the equivalent
 extraction directly from the simulated :class:`MedlineDatabase` in one pass.
-A JSON save/load round-trip is provided so pre-processing can be cached
-between runs, mirroring the persistent Oracle store.
+At substrate scale the associations instead live in a pre-built
+:class:`~repro.substrate.store.MmapStore` directory and
+:meth:`BioNavDatabase.from_store` wraps it without any extraction pass —
+either way the online layers see one :class:`~repro.substrate.store.CorpusStore`
+access path.  A JSON save/load round-trip is provided so the toy-scale
+pre-processing can be cached between runs, mirroring the persistent
+Oracle store.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
@@ -26,26 +32,48 @@ from repro.storage.tables import (
     ConceptStatsTable,
     DenormalizedCitationTable,
 )
+from repro.substrate.store import CorpusStore, InMemoryStore
 
-__all__ = ["BioNavDatabase"]
+__all__ = ["BioNavDatabase", "hierarchy_digest"]
+
+
+def hierarchy_digest(hierarchy: ConceptHierarchy) -> str:
+    """Fingerprint of the hierarchy's full (uid, label, parent) stream.
+
+    This is the toy-scale content identity of a deployment; 40 hex chars
+    to match the pipeline's ``content_key`` format.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(("%d" % len(hierarchy)).encode("utf-8"))
+    for uid, label, parent in hierarchy.to_records():
+        hasher.update(("%s\x1f%s\x1f%d\x1e" % (uid, label, parent)).encode("utf-8"))
+    return hasher.hexdigest()[:40]
 
 
 class BioNavDatabase:
-    """Off-line artifact store: hierarchy + associations + keyword index."""
+    """Off-line artifact store: hierarchy + corpus store + keyword index.
+
+    Every concept→citation membership question is answered by
+    :attr:`store`; the normalized/denormalized tables remain as the
+    toy-scale persistence surface (and for databases loaded from the
+    legacy JSON format, which carries no store).
+    """
 
     def __init__(
         self,
         hierarchy: ConceptHierarchy,
-        associations: AssociationTable,
-        denormalized: DenormalizedCitationTable,
-        stats: ConceptStatsTable,
-        index: InvertedIndex,
+        associations: Optional[AssociationTable] = None,
+        denormalized: Optional[DenormalizedCitationTable] = None,
+        stats: Optional[ConceptStatsTable] = None,
+        index: Optional[InvertedIndex] = None,
+        store: Optional[CorpusStore] = None,
     ):
         self.hierarchy = hierarchy
         self.associations = associations
         self.denormalized = denormalized
         self.stats = stats
         self.index = index
+        self.store = store
 
     # ------------------------------------------------------------------
     # Off-line pre-processing
@@ -72,15 +100,36 @@ class BioNavDatabase:
             denormalized=associations.denormalize(),
             stats=stats,
             index=index,
+            store=InMemoryStore(medline, hierarchy=hierarchy),
         )
 
+    @classmethod
+    def from_store(
+        cls, store: CorpusStore, hierarchy: Optional[ConceptHierarchy] = None
+    ) -> "BioNavDatabase":
+        """Stand up the database over an already-built corpus store.
+
+        No extraction pass runs: the store *is* the pre-processing
+        output.  The hierarchy defaults to the one captured in the
+        store's build manifest.
+        """
+        if hierarchy is None:
+            hierarchy = store.hierarchy()
+        if hierarchy is None:
+            raise ValueError(
+                "store carries no hierarchy; pass one explicitly"
+            )
+        return cls(hierarchy=hierarchy, store=store)
+
     # ------------------------------------------------------------------
-    # Online access paths
+    # Online access paths (all routed through the corpus store)
     # ------------------------------------------------------------------
     def concepts_of_citations(
         self, pmids: Sequence[int]
     ) -> Dict[int, Tuple[int, ...]]:
         """Concept lists for a query result (denormalized access path)."""
+        if self.store is not None:
+            return self.store.concepts_of_citations(pmids)
         return self.denormalized.get_many(pmids)
 
     def annotations_for_result(self, pmids: Sequence[int]) -> Dict[int, FrozenSet[int]]:
@@ -89,6 +138,8 @@ class BioNavDatabase:
         This is exactly the input the initial navigation tree needs: the
         restriction of the association table to the query result.
         """
+        if self.store is not None:
+            return self.store.annotations_for_result(pmids)
         by_concept: Dict[int, set] = {}
         for pmid, concepts in self.denormalized.get_many(pmids).items():
             for concept in concepts:
@@ -97,7 +148,40 @@ class BioNavDatabase:
 
     def medline_count(self, concept: int) -> int:
         """``LT(n)`` for the EXPLORE probability."""
+        if self.store is not None:
+            return self.store.medline_count(concept)
         return self.stats.count(concept)
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """Deployment identity for the pipeline's hierarchy snapshot.
+
+        Manifest-backed stores already carry a digest covering the
+        hierarchy, the citation table, and every association file, so
+        the snapshot key derives from it directly instead of rehashing
+        48k hierarchy records per deployment.  Stores without a manifest
+        (the toy in-memory path) keep the original hierarchy-record
+        fingerprint, so seed cache keys are unchanged.
+        """
+        manifest = self.store.manifest_digest if self.store is not None else None
+        if manifest:
+            return hashlib.sha256(
+                ("substrate|%s" % manifest).encode("utf-8")
+            ).hexdigest()[:40]
+        return hierarchy_digest(self.hierarchy)
+
+    def store_info(self) -> Dict[str, object]:
+        """Observability block describing the corpus backend."""
+        if self.store is not None:
+            return self.store.store_info()
+        return {
+            "backend": "tables",
+            "path": None,
+            "manifest": None,
+            "citations": len(self.denormalized) if self.denormalized else 0,
+        }
 
     # ------------------------------------------------------------------
     # Persistence
@@ -108,7 +192,14 @@ class BioNavDatabase:
         The index is cheap to rebuild from the corpus and dominates file
         size, so persistence stores only the pre-processing outputs the
         paper kept in Oracle: hierarchy, associations, and concept stats.
+        Substrate-backed databases persist as their store directory
+        instead (the manifest already owns that format).
         """
+        if self.associations is None or self.stats is None:
+            raise ValueError(
+                "store-backed database: persistence is the substrate "
+                "directory itself (see repro.substrate)"
+            )
         payload = {
             "hierarchy": [list(r) for r in self.hierarchy.to_records()],
             "associations": [list(row) for row in self.associations.iter_rows()],
@@ -144,6 +235,10 @@ class BioNavDatabase:
         if medline is not None:
             for citation in medline.iter_citations():
                 index.add_document(citation.pmid, citation.searchable_text())
+        # The legacy JSON format carries the association tables but not
+        # the corpus, so the loaded database answers membership from the
+        # tables path (store=None) regardless of the index corpus — the
+        # saved associations, not the passed medline, are authoritative.
         return cls(
             hierarchy=hierarchy,
             associations=associations,

@@ -1,0 +1,42 @@
+"""MEDLINE-scale corpus substrate: offline build + mmap columnar store.
+
+The paper runs BioNav over an Oracle-backed MEDLINE snapshot — ~48k MeSH
+concepts over millions of citations — populated once by a ~20-day offline
+pre-processing pass and then queried interactively (§VII).  This package
+is that split at reproduction scale:
+
+* **Offline** — :class:`~repro.substrate.builder.SubstrateBuilder`
+  streams citations in bounded memory into a directory of mmap-able
+  numpy files (PMID-sorted citation table, CSR concept→citation
+  association table, per-concept counts, compressed citation bitmaps)
+  plus a deterministic build manifest.
+* **Online** — one :class:`~repro.substrate.store.CorpusStore`
+  interface with two backends: :class:`~repro.substrate.store.InMemoryStore`
+  wrapping the toy :class:`~repro.corpus.medline.MedlineDatabase`, and
+  :class:`~repro.substrate.store.MmapStore` opening the built directory
+  read-only via ``np.load(mmap_mode="r")`` so every cluster worker
+  shares one OS page cache instead of N private corpus copies.
+
+The compressed bitmaps are roaring-style array/bitmap hybrid containers
+(:mod:`repro.substrate.roaring`) whose bitmap payloads use the same
+packed-``uint8``/MSB-first layout as the ``cost_arrays`` popcount and
+``bitwise_or`` kernels.
+"""
+
+from repro.substrate.builder import BuildManifest, SubstrateBuilder, citation_chunks
+from repro.substrate.roaring import RoaringBitmap
+from repro.substrate.store import CorpusStore, InMemoryStore, MmapStore
+from repro.substrate.synth import SynthSpec, synthetic_background, synthetic_chunks
+
+__all__ = [
+    "BuildManifest",
+    "SubstrateBuilder",
+    "citation_chunks",
+    "RoaringBitmap",
+    "CorpusStore",
+    "InMemoryStore",
+    "MmapStore",
+    "SynthSpec",
+    "synthetic_background",
+    "synthetic_chunks",
+]

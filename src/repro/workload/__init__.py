@@ -3,7 +3,12 @@
 from repro.workload.builder import BuiltQuery, PreparedQuery, Workload, build_workload
 from repro.workload.queries import TABLE_I_QUERIES, WorkloadQuery, query_by_keyword
 from repro.workload.report import QueryReport, generate_report, run_comparison
-from repro.workload.scenarios import SCENARIOS, build_scenario, scenario_names
+from repro.workload.scenarios import (
+    SCENARIOS,
+    build_scenario,
+    paper_scale_hierarchy,
+    scenario_names,
+)
 
 __all__ = [
     "BuiltQuery",
@@ -16,6 +21,7 @@ __all__ = [
     "build_scenario",
     "build_workload",
     "generate_report",
+    "paper_scale_hierarchy",
     "query_by_keyword",
     "run_comparison",
     "scenario_names",

@@ -21,11 +21,28 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.hierarchy.generator import HierarchyGenerator, HierarchyShape
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.hierarchy.generator import (
+    HierarchyGenerator,
+    HierarchyShape,
+    mesh_2008_hierarchy,
+)
 from repro.workload.builder import Workload, build_workload
 from repro.workload.queries import WorkloadQuery
 
-__all__ = ["SCENARIOS", "build_scenario", "scenario_names"]
+__all__ = ["SCENARIOS", "build_scenario", "paper_scale_hierarchy", "scenario_names"]
+
+
+def paper_scale_hierarchy() -> ConceptHierarchy:
+    """The deterministic ~48k-concept MeSH-2008-shaped hierarchy.
+
+    The paper-scale regime the substrate benchmarks build against
+    (``benchmarks/bench_substrate.py``); same seed → identical hierarchy,
+    so substrate manifests built over it are reproducible.  Too large for
+    the in-memory scenario workloads above — pair it with
+    :mod:`repro.substrate` instead of :func:`build_workload`.
+    """
+    return mesh_2008_hierarchy()
 
 
 def _deep_hierarchy() -> Workload:

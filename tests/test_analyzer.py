@@ -66,6 +66,7 @@ class TestRegistry:
             "bitmask-bounds",
             "lock-discipline",
             "solver-via-registry",
+            "substrate-boundary",
             "vectorize",
         } <= ids
 
@@ -532,6 +533,100 @@ class TestSolverViaRegistryRule:
             baseline_path=REPO_ROOT / "tools" / "analyzer" / "no-baseline.json",
         )
         assert "solver-via-registry" not in rule_ids(findings)
+
+
+class TestSubstrateBoundaryRule:
+    def test_flags_from_import_of_tables_module(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "search/engine.py",
+            "from repro.storage.tables import AssociationTable\n"
+            "print(AssociationTable)\n",
+        )
+        assert "substrate-boundary" in rule_ids(findings)
+
+    def test_flags_plain_import_of_index_module(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "serving/runtime.py",
+            "import repro.storage.index\nprint(repro.storage.index)\n",
+        )
+        assert "substrate-boundary" in rule_ids(findings)
+
+    def test_flags_module_via_storage_package(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "search/engine.py",
+            "from repro.storage import tables\nprint(tables)\n",
+        )
+        assert "substrate-boundary" in rule_ids(findings)
+
+    def test_flags_relative_storage_internal_import(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "src/repro/search/engine.py",
+            "from ..storage.index import tokenize\nprint(tokenize)\n",
+        )
+        assert "substrate-boundary" in rule_ids(findings)
+
+    def test_storage_package_reexports_are_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "search/engine.py",
+            "from repro.storage import InvertedIndex, tokenize\n"
+            "print(InvertedIndex, tokenize)\n",
+        )
+        assert "substrate-boundary" not in rule_ids(findings)
+
+    def test_storage_database_module_is_clean(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "pipeline/stages.py",
+            "from repro.storage.database import BioNavDatabase\n"
+            "print(BioNavDatabase)\n",
+        )
+        assert "substrate-boundary" not in rule_ids(findings)
+
+    def test_storage_substrate_and_corpus_are_exempt(self, tmp_path):
+        for owner in ("storage/harvest.py", "substrate/store.py", "corpus/loader.py"):
+            findings = run_rules(
+                tmp_path,
+                owner,
+                "from repro.storage.tables import AssociationTable\n"
+                "print(AssociationTable)\n",
+            )
+            assert "substrate-boundary" not in rule_ids(findings), owner
+
+    def test_benchmarks_are_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "benchmarks/bench_tables.py",
+            "from repro.storage.tables import AssociationTable\n"
+            "print(AssociationTable)\n",
+        )
+        assert "substrate-boundary" not in rule_ids(findings)
+
+    def test_tests_are_lint_only_and_exempt(self, tmp_path):
+        findings = run_rules(
+            tmp_path,
+            "tests/test_x.py",
+            "from repro.storage.index import InvertedIndex\n"
+            "print(InvertedIndex)\n",
+        )
+        assert "substrate-boundary" not in rule_ids(findings)
+
+    def test_routed_layers_are_clean_in_repo(self):
+        findings, _, _, _ = analyze(
+            paths=[
+                "src/repro/search/engine.py",
+                "src/repro/search/ranking.py",
+                "src/repro/search/suggest.py",
+                "src/repro/serving/runtime.py",
+                "src/repro/cluster/workers.py",
+            ],
+            baseline_path=REPO_ROOT / "tools" / "analyzer" / "no-baseline.json",
+        )
+        assert "substrate-boundary" not in rule_ids(findings)
 
 
 class TestGenericRules:

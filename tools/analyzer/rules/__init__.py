@@ -8,7 +8,7 @@ Lint-level rules (run everywhere, including ``tests/`` and
 Semantic rules (guard solver invariants in ``src/repro``):
 ``determinism``, ``no-recursion``, ``float-equality``, ``bitmask-bounds``,
 ``missing-hints``, ``lock-discipline``, ``solver-via-registry``,
-``vectorize``.
+``substrate-boundary``, ``vectorize``.
 
 Interprocedural rule packs (whole-program, built on the
 :class:`~tools.analyzer.project.ProjectContext` call graph):
@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from tools.analyzer.rules import (  # noqa: F401  - imported for registration
     bitmask,
+    boundary,
     determinism,
     floats,
     generic,
@@ -34,6 +35,7 @@ from tools.analyzer.rules import (  # noqa: F401  - imported for registration
 
 __all__ = [
     "bitmask",
+    "boundary",
     "determinism",
     "floats",
     "generic",

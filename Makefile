@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving cluster-bench cluster-bench-smoke substrate-build bench-substrate bench-substrate-smoke examples docs demo clean
+.PHONY: install test lint analyze analyze-sarif baseline bench bench-tables bench-smoke serve-bench bench-serving cluster-bench cluster-bench-smoke substrate-build bench-substrate bench-substrate-smoke bench-coldpath bench-coldpath-smoke examples docs demo clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,11 +40,13 @@ bench-tables:
 
 # Fast benchmark subset for CI: the Figure 10 heuristic-latency curve, the
 # opt-engine speedup gate (writes BENCH_opt_engine.json), the staged
-# pipeline's cache-hit gate (writes BENCH_pipeline.json), and the EXPAND
+# pipeline's cache-hit gate (writes BENCH_pipeline.json), the EXPAND
 # hot-path gate — batched cost model + warm serving p99 (writes
-# BENCH_expand_hotpath.json).
+# BENCH_expand_hotpath.json) — and the cold-path identity smoke
+# (array-native tree bit-identical to the dict oracle on both backends).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_fig10_heuristic_time.py benchmarks/bench_opt_engine.py benchmarks/bench_pipeline.py benchmarks/bench_expand_hotpath.py -q
+	COLDPATH_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_coldpath.py -q
 
 # Serving-runtime load smoke for CI: reduced client fleet, asserts the
 # no-shed / no-lost-session invariants (skips the throughput gate).
@@ -85,6 +87,17 @@ bench-substrate:
 # hierarchy (does not rewrite the JSON).
 bench-substrate-smoke:
 	SUBSTRATE_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_substrate.py -q
+
+# Full cold-path bench: one 1M-citation build, then legacy vs
+# array-native hierarchy open / boolean-AND / navigation-tree build on
+# the same directory; gates the >=4x combined and >=10x hierarchy-open
+# speedups and rewrites BENCH_coldpath.json.
+bench-coldpath:
+	$(PYTHON) -m pytest benchmarks/bench_coldpath.py -q
+
+# Cold-path smoke for CI: identity gates only, at 20k citations.
+bench-coldpath-smoke:
+	COLDPATH_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_coldpath.py -q
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,350 @@
+"""Cold-path bench — array-native first-query latency vs the legacy path.
+
+A *cold* query is the paper's worst case: a fresh process opens the
+substrate directory, loads the hierarchy, answers a conjunctive
+boolean-AND, and builds the navigation tree for the result (§II, §VII).
+PR 9 ran that path through per-node Python: ~190ms rebuilding the
+~48k-concept hierarchy from ``hierarchy.jsonl``, full roaring-bitmap
+deserialization per AND operand, and a dict-per-node tree build.  PR 10
+made every stage array-native; this bench measures both paths on the
+same directory and gates the speedups:
+
+* **hierarchy open** — mmapping the persisted ``hier_*.npy`` arrays
+  must beat the jsonl rebuild >= ``HIERARCHY_SPEEDUP_MIN``x (full scale);
+* **AND + tree build** — the serialized-blob roaring kernel plus the
+  vectorized maximum embedding must beat full deserialization plus the
+  dict-based reference build >= ``COMBINED_SPEEDUP_MIN``x (full scale);
+* **bit-identity** — the array-native tree matches the retained
+  :class:`ReferenceNavigationTree` oracle node for node (preorder,
+  parents, per-node results) and produces the identical CostArrays
+  content key (hence identical navigation costs) on **both** store
+  backends, at every scale.
+
+``COLDPATH_BENCH_SMOKE=1`` runs the same identity gates at 20k
+citations over a 2k-concept hierarchy for CI (speedup gates are only
+meaningful at scale); the full run (1M citations over the paper-scale
+MeSH-2008 preset) writes ``BENCH_coldpath.json`` at the repository
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cost_arrays import CostArrays
+from repro.core.navigation_tree import NavigationTree
+from repro.core.navigation_tree_reference import ReferenceNavigationTree
+from repro.corpus.citation import Citation
+from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.hierarchy.generator import generate_hierarchy
+from repro.substrate import InMemoryStore, MmapStore
+from repro.substrate.roaring import RoaringBitmap
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_coldpath.json"
+
+SMOKE = os.environ.get("COLDPATH_BENCH_SMOKE") == "1"
+
+CITATIONS = 20_000 if SMOKE else 1_000_000
+HIERARCHY_SIZE = 2_000 if SMOKE else 0  # 0 = the paper-scale MeSH preset
+SEED = 2008
+RESULT_CAP = 5_000
+
+#: Identity cross-check corpus for the InMemoryStore backend (the full
+#: 1M corpus as Python citation objects would defeat the point of the
+#: substrate; identity is scale-independent).
+IDENTITY_CITATIONS = 4_000
+IDENTITY_HIERARCHY = 600
+
+#: Full-scale speedup gates (ISSUE 10 acceptance: 286ms -> <=70ms
+#: combined, 190ms -> <=19ms hierarchy open).
+COMBINED_SPEEDUP_MIN = 4.0
+HIERARCHY_SPEEDUP_MIN = 10.0
+
+
+def run_build(out_dir: Path) -> dict:
+    """One CLI build in a subprocess; returns its JSON report."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.substrate.build",
+            "--out",
+            str(out_dir),
+            "--citations",
+            str(CITATIONS),
+            "--seed",
+            str(SEED),
+            "--hierarchy-size",
+            str(HIERARCHY_SIZE),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        cwd=str(REPO_ROOT),
+    )
+    return json.loads(result.stdout)
+
+
+# ---------------------------------------------------------------------------
+# Legacy-path reimplementations (what PR 9 executed)
+# ---------------------------------------------------------------------------
+def hierarchy_from_jsonl(out_dir: Path) -> ConceptHierarchy:
+    """The pre-arrays hierarchy open: rebuild every node from jsonl."""
+    records = []
+    with open(out_dir / "hierarchy.jsonl") as handle:
+        for line in handle:
+            if line.strip():
+                uid, label, parent = json.loads(line)
+                records.append((uid, label, parent))
+    return ConceptHierarchy.from_records(records)
+
+
+def boolean_and_reference(store: MmapStore, concepts) -> np.ndarray:
+    """The pre-kernel AND: fully deserialize every operand bitmap."""
+    bitmaps = [store.concept_bitmap(c) for c in concepts]
+    ordinals = RoaringBitmap.intersect_many(bitmaps).to_array()
+    return np.asarray(store._pmids[ordinals.astype(np.int64)], dtype=np.int64)
+
+
+def trees_identical(tree: NavigationTree, ref: ReferenceNavigationTree) -> bool:
+    """Node-for-node equality: preorder, parents, per-node results."""
+    if list(tree.iter_dfs()) != list(ref.iter_dfs()):
+        return False
+    for node in ref.nodes():
+        if tree.parent(node) != ref.parent(node):
+            return False
+        if tuple(tree.children(node)) != tuple(ref.children(node)):
+            return False
+        if tree.results(node) != ref.results(node):
+            return False
+    return True
+
+
+def cost_keys_identical(store, tree, ref) -> bool:
+    """Same CostArrays content key => identical navigation costs."""
+    new_key = CostArrays(tree, store.medline_count).content_key
+    ref_key = CostArrays(ref, store.medline_count).content_key
+    return new_key == ref_key
+
+
+# ---------------------------------------------------------------------------
+# Measurements
+# ---------------------------------------------------------------------------
+def pick_query_concepts(out_dir: Path) -> list:
+    """Two popular concepts — the selective-AND shape users issue."""
+    counts = np.load(out_dir / "concept_counts.npy", mmap_mode="r")
+    order = np.argsort(np.asarray(counts))
+    return [int(order[-1]), int(order[-3])]
+
+
+def measure_cold_paths(out_dir: Path) -> dict:
+    """Time legacy vs array-native stages on a fresh store."""
+    # Hierarchy open: jsonl rebuild (legacy) vs mmapped arrays (new).
+    started = time.perf_counter()
+    hierarchy_from_jsonl(out_dir)
+    hierarchy_jsonl_s = time.perf_counter() - started
+
+    store = MmapStore(str(out_dir))
+    started = time.perf_counter()
+    hierarchy = store.hierarchy()
+    hierarchy_arrays_s = time.perf_counter() - started
+
+    concepts = pick_query_concepts(out_dir)
+
+    # Boolean AND: full per-concept deserialization vs the blob kernel.
+    started = time.perf_counter()
+    pmids_ref = boolean_and_reference(store, concepts)
+    boolean_and_ref_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pmids_new = store.boolean_and(concepts)
+    boolean_and_new_s = time.perf_counter() - started
+    assert np.array_equal(pmids_ref, pmids_new)
+
+    # Navigation tree: dict-based oracle vs vectorized embedding.
+    result = [int(p) for p in pmids_new[:RESULT_CAP]]
+    started = time.perf_counter()
+    ref_tree = ReferenceNavigationTree.from_store(hierarchy, store, result)
+    nav_tree_ref_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    tree = NavigationTree.from_store(hierarchy, store, result)
+    nav_tree_new_s = time.perf_counter() - started
+
+    return {
+        "query_concepts": concepts,
+        "result_size": int(pmids_new.size),
+        "tree_size": tree.size(),
+        "hierarchy_jsonl_s": hierarchy_jsonl_s,
+        "hierarchy_arrays_s": hierarchy_arrays_s,
+        "boolean_and_ref_s": boolean_and_ref_s,
+        "boolean_and_new_s": boolean_and_new_s,
+        "nav_tree_ref_s": nav_tree_ref_s,
+        "nav_tree_new_s": nav_tree_new_s,
+        "mmap_identical": trees_identical(tree, ref_tree),
+        "mmap_costs_identical": cost_keys_identical(store, tree, ref_tree),
+    }
+
+
+def check_inmemory_identity() -> dict:
+    """Bit-identity on the InMemoryStore backend (scale-independent)."""
+    hierarchy = generate_hierarchy(target_size=IDENTITY_HIERARCHY, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    medline = MedlineDatabase(
+        background_counts={c: 120 + 2 * c for c in range(len(hierarchy))}
+    )
+    for i in range(IDENTITY_CITATIONS):
+        concepts = tuple(
+            sorted(
+                set(rng.integers(1, len(hierarchy), size=rng.integers(1, 10)).tolist())
+            )
+        )
+        medline.add(
+            Citation(
+                pmid=50_000_000 + i,
+                title="Cold-path identity citation %d" % i,
+                year=int(1990 + (i % 20)),
+                index_concepts=concepts,
+            )
+        )
+    store = InMemoryStore(medline, hierarchy=hierarchy)
+    pmids = store.boolean_and(pick_busiest(store))[:RESULT_CAP]
+    result = [int(p) for p in pmids]
+    tree = NavigationTree.from_store(hierarchy, store, result)
+    ref = ReferenceNavigationTree.from_store(hierarchy, store, result)
+    return {
+        "citations": IDENTITY_CITATIONS,
+        "result_size": len(result),
+        "tree_size": tree.size(),
+        "identical": trees_identical(tree, ref),
+        "costs_identical": cost_keys_identical(store, tree, ref),
+    }
+
+
+def pick_busiest(store, k: int = 2) -> list:
+    counts = [(store.result_count(c), c) for c in range(store.num_concepts)]
+    return [c for _, c in sorted(counts, reverse=True)[:k]]
+
+
+# ---------------------------------------------------------------------------
+# The bench
+# ---------------------------------------------------------------------------
+def test_coldpath_speedup_and_identity(tmp_path_factory, report, benchmark):
+    base = tmp_path_factory.mktemp("coldpath-bench")
+
+    def measure():
+        build = run_build(base / "substrate")
+        cold = measure_cold_paths(base / "substrate")
+        inmemory = check_inmemory_identity()
+        return build, cold, inmemory
+
+    build, cold, inmemory = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    combined_ref = cold["boolean_and_ref_s"] + cold["nav_tree_ref_s"]
+    combined_new = cold["boolean_and_new_s"] + cold["nav_tree_new_s"]
+    combined_speedup = combined_ref / combined_new
+    hierarchy_speedup = cold["hierarchy_jsonl_s"] / cold["hierarchy_arrays_s"]
+
+    rows = {
+        "benchmark": "coldpath",
+        "smoke": SMOKE,
+        "citations": build["citations"],
+        "concepts": build["concepts"],
+        "digest": build["digest"],
+        "cold": cold,
+        "inmemory_identity": inmemory,
+        "combined_ref_s": combined_ref,
+        "combined_new_s": combined_new,
+        "combined_speedup": combined_speedup,
+        "hierarchy_speedup": hierarchy_speedup,
+        "gates": {
+            "combined_speedup_min": COMBINED_SPEEDUP_MIN,
+            "hierarchy_speedup_min": HIERARCHY_SPEEDUP_MIN,
+        },
+    }
+
+    report(
+        "\n"
+        + "=" * 78
+        + "\nCOLD PATH — legacy vs array-native (%s citations x %s concepts)"
+        % (format(build["citations"], ","), format(build["concepts"], ","))
+        + "\n"
+        + "=" * 78
+        + "\n%-38s %9.1f ms -> %7.1f ms  (%.1fx)"
+        % (
+            "hierarchy open (jsonl -> arrays)",
+            cold["hierarchy_jsonl_s"] * 1e3,
+            cold["hierarchy_arrays_s"] * 1e3,
+            hierarchy_speedup,
+        )
+        + "\n%-38s %9.1f ms -> %7.1f ms  (%.1fx)"
+        % (
+            "boolean AND (inflate -> kernel)",
+            cold["boolean_and_ref_s"] * 1e3,
+            cold["boolean_and_new_s"] * 1e3,
+            cold["boolean_and_ref_s"] / cold["boolean_and_new_s"],
+        )
+        + "\n%-38s %9.1f ms -> %7.1f ms  (%.1fx)"
+        % (
+            "navigation tree (dicts -> arrays)",
+            cold["nav_tree_ref_s"] * 1e3,
+            cold["nav_tree_new_s"] * 1e3,
+            cold["nav_tree_ref_s"] / cold["nav_tree_new_s"],
+        )
+        + "\n%-38s %9.1f ms -> %7.1f ms  (%.1fx, gate >= %.1fx at full scale)"
+        % (
+            "AND + tree combined",
+            combined_ref * 1e3,
+            combined_new * 1e3,
+            combined_speedup,
+            COMBINED_SPEEDUP_MIN,
+        )
+        + "\n%-38s %12s / %s"
+        % (
+            "bit-identity (mmap / in-memory)",
+            cold["mmap_identical"] and cold["mmap_costs_identical"],
+            inmemory["identical"] and inmemory["costs_identical"],
+        )
+        + "\n"
+        + "=" * 78
+    )
+
+    # Identity gates hold at every scale, on both backends.
+    assert cold["mmap_identical"] and cold["mmap_costs_identical"]
+    assert inmemory["identical"] and inmemory["costs_identical"]
+    assert cold["result_size"] > 0 and cold["tree_size"] > 1
+
+    # Speedup gates are only meaningful at full scale: at smoke size the
+    # legacy path is already a few milliseconds and the ratio is noise.
+    if not SMOKE:
+        assert combined_speedup >= COMBINED_SPEEDUP_MIN, (
+            "cold AND+tree %.1f ms is only %.1fx faster than the legacy "
+            "%.1f ms (gate %.1fx)"
+            % (
+                combined_new * 1e3,
+                combined_speedup,
+                combined_ref * 1e3,
+                COMBINED_SPEEDUP_MIN,
+            )
+        )
+        assert hierarchy_speedup >= HIERARCHY_SPEEDUP_MIN, (
+            "cold hierarchy open %.1f ms is only %.1fx faster than the "
+            "jsonl rebuild %.1f ms (gate %.1fx)"
+            % (
+                cold["hierarchy_arrays_s"] * 1e3,
+                hierarchy_speedup,
+                cold["hierarchy_jsonl_s"] * 1e3,
+                HIERARCHY_SPEEDUP_MIN,
+            )
+        )
+        OUTPUT.write_text(json.dumps(rows, indent=2) + "\n")

@@ -51,9 +51,13 @@ SEED = 2008
 RSS_FACTOR = 4.0
 RSS_BASELINE_BYTES = 256 * 1024 * 1024
 
-#: Cold-path budgets (fresh MmapStore, untouched page cache).
-BOOLEAN_AND_BUDGET_S = 2.0
-NAV_TREE_BUDGET_S = 15.0
+#: Cold-path budgets (fresh MmapStore, untouched page cache).  Set to
+#: measured-plus-headroom over the array-native cold path (PR 10) —
+#: ~5x the observed full-scale numbers — so a regression back toward
+#: per-node Python construction actually fails, instead of hiding
+#: under the old placeholder 2s/15s ceilings.
+BOOLEAN_AND_BUDGET_S = 0.2
+NAV_TREE_BUDGET_S = 1.0
 RESULT_CAP = 5_000
 
 

@@ -1,5 +1,6 @@
 """Concept-hierarchy substrate: tree structures, MeSH helpers, generators."""
 
+from repro.hierarchy.arrays import ArrayBackedHierarchy, HierarchyArrays
 from repro.hierarchy.concept import Concept, ConceptHierarchy
 from repro.hierarchy.generator import HierarchyGenerator, HierarchyShape, generate_hierarchy
 from repro.hierarchy.mesh import paper_fragment
@@ -13,9 +14,11 @@ from repro.hierarchy.mesh_loader import (
 )
 
 __all__ = [
+    "ArrayBackedHierarchy",
     "Concept",
     "DescriptorRecord",
     "ConceptHierarchy",
+    "HierarchyArrays",
     "HierarchyGenerator",
     "HierarchyShape",
     "ShapeStats",

@@ -1,0 +1,470 @@
+"""Positional array form of a concept hierarchy (the cold-path substrate).
+
+A :class:`ConceptHierarchy` is a Python object graph — per-node lists and
+dicts — which is the right shape for incremental construction but the
+wrong shape for a cold query: regenerating the paper-scale 48k-concept
+tree costs ~190ms before the first navigation tree can even be built.
+
+:class:`HierarchyArrays` is the same tree flattened into a handful of
+numpy arrays in *hierarchy preorder* encoding:
+
+* ``parents``       int32[C]    parent node id, -1 for the root
+* ``child_offsets`` int64[C+1]  CSR offsets into ``children``
+* ``children``      int32[C-1]  child ids grouped by parent, ascending
+* ``depths``        int32[C]    edge distance from the root
+* ``preorder``      int32[C]    node ids in depth-first preorder
+* ``positions``     int32[C]    preorder position of each node id
+* ``subtree_sizes`` int64[C]    node count of each subtree
+* ``label_blob`` / ``label_offsets`` and ``uid_blob`` / ``uid_offsets``
+  — UTF-8 string pools for labels and uids
+
+The preorder encoding gives every subtree a contiguous interval
+``[positions[n], positions[n] + subtree_sizes[n])``, which is what lets
+the navigation-tree embedding run as whole-array passes instead of a
+per-node traversal (DESIGN.md §15).
+
+Arrays persist as ``hier_*.npy`` files inside the substrate directory
+and are memory-mapped on open, so cold hierarchy access is a file open.
+:class:`ArrayBackedHierarchy` serves the full :class:`ConceptHierarchy`
+API directly from the arrays, materializing the legacy list/dict form
+lazily only if a caller mutates the tree or touches a slow-path helper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hierarchy.concept import ConceptHierarchy
+
+__all__ = ["HierarchyArrays", "ArrayBackedHierarchy", "HIERARCHY_ARRAY_FILES"]
+
+#: Files a persisted hierarchy-array set occupies inside a substrate
+#: directory, in the order they are hashed into the manifest.
+HIERARCHY_ARRAY_FILES: Tuple[str, ...] = (
+    "hier_parents.npy",
+    "hier_child_offsets.npy",
+    "hier_children.npy",
+    "hier_depths.npy",
+    "hier_preorder.npy",
+    "hier_positions.npy",
+    "hier_subtree_sizes.npy",
+    "hier_label_blob.npy",
+    "hier_label_offsets.npy",
+    "hier_uid_blob.npy",
+    "hier_uid_offsets.npy",
+)
+
+# Attribute order mirrors HIERARCHY_ARRAY_FILES (strip "hier_"/".npy").
+_FIELDS: Tuple[str, ...] = tuple(
+    name[len("hier_") : -len(".npy")] for name in HIERARCHY_ARRAY_FILES
+)
+
+
+def _encode_strings(values: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack strings into a UTF-8 byte pool + int64 offsets array."""
+    encoded = [value.encode("utf-8") for value in values]
+    lengths = np.fromiter(
+        (len(chunk) for chunk in encoded), dtype=np.int64, count=len(encoded)
+    )
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+    return blob, offsets
+
+
+def _decode_strings(blob: np.ndarray, offsets: np.ndarray) -> List[str]:
+    """Inverse of :func:`_encode_strings` (slow path, full materialization)."""
+    raw = blob.tobytes()
+    bounds = offsets.tolist()
+    return [
+        raw[bounds[i] : bounds[i + 1]].decode("utf-8")
+        for i in range(len(bounds) - 1)
+    ]
+
+
+class HierarchyArrays:
+    """Immutable positional-array encoding of one concept hierarchy.
+
+    Instances come from :meth:`from_hierarchy` (offline build) or
+    :meth:`load` (mmap open of a substrate directory).  All arrays are
+    frozen; the structural arrays are int32/int64 in the layouts listed
+    in the module docstring.
+    """
+
+    __slots__ = tuple(_FIELDS) + ("_content_key",)
+
+    def __init__(self, **arrays: np.ndarray):
+        for name in _FIELDS:
+            value = arrays[name]
+            if hasattr(value, "setflags"):
+                try:
+                    value.setflags(write=False)
+                except ValueError:
+                    pass  # mmap views opened read-only already are
+            setattr(self, name, value)
+        self._content_key: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hierarchy(cls, hierarchy: ConceptHierarchy) -> "HierarchyArrays":
+        """Flatten ``hierarchy`` into its positional-array form.
+
+        Preorder positions and subtree sizes are computed with
+        level-synchronous array passes (one pass per tree level, ~11 for
+        MeSH) rather than a per-node traversal.
+        """
+        size = len(hierarchy)
+        parents = np.fromiter(
+            (hierarchy.parent(node) for node in range(size)),
+            dtype=np.int32,
+            count=size,
+        )
+        depths = np.fromiter(
+            (hierarchy.depth(node) for node in range(size)),
+            dtype=np.int32,
+            count=size,
+        )
+        labels = [hierarchy.label(node) for node in range(size)]
+        uids = [hierarchy.uid(node) for node in range(size)]
+        return cls._from_parent_arrays(parents, depths, labels, uids)
+
+    @classmethod
+    def _from_parent_arrays(
+        cls,
+        parents: np.ndarray,
+        depths: np.ndarray,
+        labels: Sequence[str],
+        uids: Sequence[str],
+    ) -> "HierarchyArrays":
+        size = len(parents)
+        # Children CSR: node ids are assigned in insertion order, so a
+        # stable sort of 1..C-1 by parent groups each sibling list in
+        # ascending id order — exactly ConceptHierarchy._children.
+        nonroot = np.arange(1, size, dtype=np.int32)
+        counts = np.bincount(parents[1:].astype(np.int64), minlength=size)
+        child_offsets = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(counts, out=child_offsets[1:])
+        order = np.argsort(parents[1:], kind="stable")
+        children = nonroot[order]
+
+        # Group nodes by depth once; every later pass is one slice per level.
+        depth_order = np.argsort(depths, kind="stable")
+        sorted_depths = depths[depth_order]
+        max_depth = int(sorted_depths[-1]) if size else 0
+        level_bounds = np.searchsorted(
+            sorted_depths, np.arange(max_depth + 2), side="left"
+        )
+
+        # Subtree sizes bottom-up: each level adds its sizes into parents.
+        subtree_sizes = np.ones(size, dtype=np.int64)
+        for depth in range(max_depth, 0, -1):
+            level = depth_order[level_bounds[depth] : level_bounds[depth + 1]]
+            gathered = np.bincount(
+                parents[level].astype(np.int64),
+                weights=subtree_sizes[level],
+                minlength=size,
+            )
+            subtree_sizes += gathered.astype(np.int64)
+
+        # Preorder positions top-down.  A node's position is its parent's
+        # plus one plus the subtree sizes of its earlier siblings; the
+        # sibling prefix sums come from one segmented cumsum over the CSR.
+        child_sizes = subtree_sizes[children]
+        inclusive = np.cumsum(child_sizes)
+        # Exclusive prefix with a trailing total as sentinel, so offsets of
+        # empty sibling segments at the end of the CSR stay in bounds.
+        exclusive = np.concatenate(([0], inclusive))
+        segment_base = np.repeat(
+            exclusive[child_offsets[:-1]], np.diff(child_offsets)
+        )
+        sibling_prefix = exclusive[: len(children)] - segment_base
+
+        positions = np.zeros(size, dtype=np.int64)
+        offset = np.zeros(size, dtype=np.int64)
+        offset[children] = 1 + sibling_prefix
+        positions[:] = offset
+        for depth in range(1, max_depth + 1):
+            level = depth_order[level_bounds[depth] : level_bounds[depth + 1]]
+            positions[level] += positions[parents[level]]
+        preorder = np.empty(size, dtype=np.int32)
+        preorder[positions] = np.arange(size, dtype=np.int32)
+
+        label_blob, label_offsets = _encode_strings(labels)
+        uid_blob, uid_offsets = _encode_strings(uids)
+        return cls(
+            parents=parents.astype(np.int32, copy=False),
+            child_offsets=child_offsets,
+            children=children.astype(np.int32, copy=False),
+            depths=depths.astype(np.int32, copy=False),
+            preorder=preorder,
+            positions=positions.astype(np.int32, copy=False),
+            subtree_sizes=subtree_sizes,
+            label_blob=label_blob,
+            label_offsets=label_offsets,
+            uid_blob=uid_blob,
+            uid_offsets=uid_offsets,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity and persistence
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.parents)
+
+    @property
+    def content_key(self) -> str:
+        """40-hex sha-256 over every array; identical trees hash equal."""
+        if self._content_key is None:
+            digest = hashlib.sha256()
+            for name in _FIELDS:
+                array = getattr(self, name)
+                digest.update(name.encode("ascii"))
+                digest.update(str(array.dtype).encode("ascii"))
+                digest.update(np.ascontiguousarray(array).tobytes())
+            self._content_key = digest.hexdigest()[:40]
+        return self._content_key
+
+    def save(self, directory: str) -> List[str]:
+        """Write the ``hier_*.npy`` files into ``directory``.
+
+        Returns the file names written, in :data:`HIERARCHY_ARRAY_FILES`
+        order, for manifest registration.
+        """
+        for file_name, field in zip(HIERARCHY_ARRAY_FILES, _FIELDS):
+            np.save(
+                os.path.join(directory, file_name),
+                np.ascontiguousarray(getattr(self, field)),
+                allow_pickle=False,
+            )
+        return list(HIERARCHY_ARRAY_FILES)
+
+    @classmethod
+    def load(cls, directory: str, mmap: bool = True) -> "HierarchyArrays":
+        """Open persisted arrays; ``mmap=True`` maps them copy-free."""
+        mode = "r" if mmap else None
+        arrays = {
+            field: np.load(
+                os.path.join(directory, file_name),
+                mmap_mode=mode,
+                allow_pickle=False,
+            )
+            for file_name, field in zip(HIERARCHY_ARRAY_FILES, _FIELDS)
+        }
+        return cls(**arrays)
+
+    @classmethod
+    def present(cls, directory: str) -> bool:
+        """True when ``directory`` holds a complete hier_*.npy set."""
+        return all(
+            os.path.exists(os.path.join(directory, name))
+            for name in HIERARCHY_ARRAY_FILES
+        )
+
+
+# Base-class storage attributes materialized on demand by
+# ArrayBackedHierarchy.__getattr__ when a slow-path helper needs them.
+_LEGACY_ATTRS = frozenset(
+    {
+        "_labels",
+        "_uids",
+        "_parents",
+        "_children",
+        "_depths",
+        "_uid_index",
+        "_label_index",
+    }
+)
+
+
+class ArrayBackedHierarchy(ConceptHierarchy):
+    """A :class:`ConceptHierarchy` served from :class:`HierarchyArrays`.
+
+    Hot accessors (``parent``, ``children``, ``depth``, ``label``,
+    ``uid``, ``iter_dfs``, ``subtree_size``, ``is_ancestor``) read the
+    arrays directly.  The legacy list/dict representation is built
+    lazily the first time a slow-path helper (``tree_number``,
+    ``by_label``, …) or a mutation needs it; after :meth:`add_child` or
+    :meth:`relabel` every accessor falls back to the base class so the
+    mutated tree stays authoritative and the stale arrays are dropped.
+    """
+
+    def __init__(self, arrays: HierarchyArrays, path: Optional[str] = None):
+        # NOTE: deliberately does not call super().__init__ — the legacy
+        # list attributes are absent until __getattr__ materializes them.
+        self._arr = arrays
+        self._path = path
+        self._mutated = False
+        self._arrays_cache = arrays
+
+    @classmethod
+    def open(cls, directory: str, mmap: bool = True) -> "ArrayBackedHierarchy":  # repro: ignore[shadowed-builtin]
+        """Open a persisted hierarchy from its substrate directory."""
+        return cls(HierarchyArrays.load(directory, mmap=mmap), path=directory)
+
+    # ------------------------------------------------------------------
+    # Lazy materialization of the legacy representation
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        if name in _LEGACY_ATTRS:
+            self._materialize()
+            return self.__dict__[name]
+        raise AttributeError(name)
+
+    def _materialize(self) -> None:
+        if "_labels" in self.__dict__:
+            return
+        arr = self._arr
+        size = len(arr)
+        labels = _decode_strings(arr.label_blob, arr.label_offsets)
+        uids = _decode_strings(arr.uid_blob, arr.uid_offsets)
+        offsets = arr.child_offsets.tolist()
+        child_list = arr.children.tolist()
+        self._labels = labels
+        self._uids = uids
+        self._parents = arr.parents.tolist()
+        self._children = [
+            child_list[offsets[node] : offsets[node + 1]] for node in range(size)
+        ]
+        self._depths = arr.depths.tolist()
+        self._uid_index = {uid: node for node, uid in enumerate(uids)}
+        label_index = {}
+        for node, label in enumerate(labels):
+            label_index.setdefault(label, node)
+        self._label_index = label_index
+
+    # ------------------------------------------------------------------
+    # Mutation drops the array fast path
+    # ------------------------------------------------------------------
+    def add_child(self, parent: int, label: str, uid: Optional[str] = None) -> int:
+        self._materialize()
+        self._mutated = True
+        self._arrays_cache = None
+        return super().add_child(parent, label, uid=uid)
+
+    def relabel(self, node: int, label: str) -> None:
+        self._materialize()
+        self._mutated = True
+        self._arrays_cache = None
+        super().relabel(node, label)
+
+    # ------------------------------------------------------------------
+    # Array fast paths for the hot accessors
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self):
+            raise IndexError("node id %r out of range" % (node,))
+
+    def __len__(self) -> int:
+        if self._mutated:
+            return len(self._labels)
+        return len(self._arr)
+
+    def label(self, node: int) -> str:
+        if self._mutated:
+            return super().label(node)
+        self._check_node(node)
+        offsets = self._arr.label_offsets
+        chunk = self._arr.label_blob[offsets[node] : offsets[node + 1]]
+        return bytes(chunk).decode("utf-8")
+
+    def uid(self, node: int) -> str:
+        if self._mutated:
+            return super().uid(node)
+        self._check_node(node)
+        offsets = self._arr.uid_offsets
+        chunk = self._arr.uid_blob[offsets[node] : offsets[node + 1]]
+        return bytes(chunk).decode("utf-8")
+
+    def parent(self, node: int) -> int:
+        if self._mutated:
+            return super().parent(node)
+        self._check_node(node)
+        return int(self._arr.parents[node])
+
+    def children(self, node: int) -> Sequence[int]:
+        if self._mutated:
+            return super().children(node)
+        self._check_node(node)
+        offsets = self._arr.child_offsets
+        return tuple(self._arr.children[offsets[node] : offsets[node + 1]].tolist())
+
+    def depth(self, node: int) -> int:
+        if self._mutated:
+            return super().depth(node)
+        self._check_node(node)
+        return int(self._arr.depths[node])
+
+    def is_leaf(self, node: int) -> bool:
+        if self._mutated:
+            return super().is_leaf(node)
+        self._check_node(node)
+        offsets = self._arr.child_offsets
+        return int(offsets[node]) == int(offsets[node + 1])
+
+    def iter_dfs(self, start: int = 0) -> Iterator[int]:
+        if self._mutated:
+            return super().iter_dfs(start)
+        self._check_node(start)
+        arr = self._arr
+        begin = int(arr.positions[start])
+        end = begin + int(arr.subtree_sizes[start])
+        return iter(arr.preorder[begin:end].tolist())
+
+    def subtree_size(self, node: int) -> int:
+        if self._mutated:
+            return super().subtree_size(node)
+        self._check_node(node)
+        return int(self._arr.subtree_sizes[node])
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        if self._mutated:
+            return super().is_ancestor(ancestor, node)
+        self._check_node(ancestor)
+        self._check_node(node)
+        begin = int(self._arr.positions[ancestor])
+        end = begin + int(self._arr.subtree_sizes[ancestor])
+        return begin <= int(self._arr.positions[node]) < end
+
+    def path_to_root(self, node: int) -> List[int]:
+        if self._mutated:
+            return super().path_to_root(node)
+        self._check_node(node)
+        parents = self._arr.parents
+        path = [node]
+        while path[-1] != 0:
+            path.append(int(parents[path[-1]]))
+        return path
+
+    def height(self, start: int = 0) -> int:
+        if self._mutated:
+            return super().height(start)
+        self._check_node(start)
+        arr = self._arr
+        begin = int(arr.positions[start])
+        end = begin + int(arr.subtree_sizes[start])
+        interval = arr.preorder[begin:end]
+        return int(arr.depths[interval].max()) - int(arr.depths[start])
+
+    # ------------------------------------------------------------------
+    def arrays(self) -> HierarchyArrays:
+        if self._mutated:
+            return super().arrays()
+        return self._arr
+
+    def __reduce__(self):
+        # Directory-backed instances reopen by path on the receiving end
+        # (cheap — the arrays mmap back in); mutated or in-memory ones
+        # fall back to the record stream, which rebuilds an equivalent
+        # plain ConceptHierarchy.
+        if self._path is not None and not self._mutated:
+            return (ArrayBackedHierarchy.open, (self._path,))
+        return (ConceptHierarchy.from_records, (self.to_records(),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "ArrayBackedHierarchy(%d nodes)" % len(self)

@@ -118,8 +118,16 @@ class NavTreeStage:
         snapshot: HierarchySnapshot, results: ResultSet, key: str
     ) -> NavTreeArtifact:
         """Embed the result set in the hierarchy and estimate probabilities."""
-        annotations = snapshot.database.annotations_for_result(results.pmids)
-        tree = NavigationTree.build(snapshot.hierarchy, annotations)
+        store = snapshot.database.store
+        if store is not None:
+            # Array path: the store hands CSR annotation buffers straight
+            # to the vectorized embedding — no per-concept frozensets.
+            tree = NavigationTree.from_store(
+                snapshot.hierarchy, store, results.pmids
+            )
+        else:
+            annotations = snapshot.database.annotations_for_result(results.pmids)
+            tree = NavigationTree.build(snapshot.hierarchy, annotations)
         probs = ProbabilityModel(tree, snapshot.database.medline_count)
         # The artifact carries the vectorized cost-model substrate the
         # probability model built, so the per-stage cache shares the

@@ -41,13 +41,27 @@ def hierarchy_digest(hierarchy: ConceptHierarchy) -> str:
     """Fingerprint of the hierarchy's full (uid, label, parent) stream.
 
     This is the toy-scale content identity of a deployment; 40 hex chars
-    to match the pipeline's ``content_key`` format.
+    to match the pipeline's ``content_key`` format.  The record walk is
+    O(n) Python, so the result is memoized on the hierarchy instance,
+    keyed by its positional-array ``content_key`` — mutation drops the
+    arrays cache and with it the memo, keeping the digest honest.
     """
+    arrays = getattr(hierarchy, "_arrays_cache", None)
+    cached = getattr(hierarchy, "_digest_cache", None)
+    if (
+        arrays is not None
+        and cached is not None
+        and cached[0] == arrays.content_key
+    ):
+        return cached[1]
     hasher = hashlib.sha256()
     hasher.update(("%d" % len(hierarchy)).encode("utf-8"))
     for uid, label, parent in hierarchy.to_records():
         hasher.update(("%s\x1f%s\x1f%d\x1e" % (uid, label, parent)).encode("utf-8"))
-    return hasher.hexdigest()[:40]
+    digest = hasher.hexdigest()[:40]
+    if arrays is not None:
+        hierarchy._digest_cache = (arrays.content_key, digest)
+    return digest
 
 
 class BioNavDatabase:

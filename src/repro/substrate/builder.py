@@ -26,6 +26,8 @@ On-disk layout (all arrays little-endian, loadable with
 ``bitmap_offsets.npy`` int64[C+1] byte offsets into the bitmap blob
 ``bitmap_blob.npy``    uint8[B]   serialized roaring bitmaps
 ``hierarchy.jsonl``               one (uid, label, parent) JSON per line
+``hier_*.npy``                    positional hierarchy arrays (11 files,
+                                  see ``repro.hierarchy.arrays``)
 ``manifest.json``                 file hashes, counts, params, digest
 ================================  =====================================
 
@@ -49,6 +51,7 @@ from typing import Dict, Iterable, Iterator, Optional, Union
 import numpy as np
 
 from repro.corpus.citation import Citation
+from repro.hierarchy.arrays import HIERARCHY_ARRAY_FILES
 from repro.hierarchy.concept import ConceptHierarchy
 from repro.substrate.roaring import ARRAY_CONTAINER_MAX, RoaringBitmap
 
@@ -221,10 +224,20 @@ class SubstrateBuilder:
 
         self._scatter_concept_citations(cit_offsets, concept_offsets, pairs)
         self._encode_bitmaps(concept_offsets)
+        arrays_key = None
         if hierarchy is not None:
             self._write_hierarchy(hierarchy)
+            # Positional hierarchy arrays next to the jsonl records: the
+            # jsonl stays the portable/back-compat form, the arrays are
+            # what ``MmapStore.hierarchy()`` actually opens (mmap, no
+            # per-node reconstruction on the cold path).
+            arrays = hierarchy.arrays()
+            arrays.save(self.out_dir)
+            arrays_key = arrays.content_key
 
-        digest = self._write_manifest(citations, pairs, hierarchy is not None, meta)
+        digest = self._write_manifest(
+            citations, pairs, hierarchy is not None, meta, arrays_key
+        )
         return BuildManifest(
             path=self.out_dir,
             digest=digest,
@@ -381,6 +394,7 @@ class SubstrateBuilder:
         pairs: int,
         with_hierarchy: bool,
         meta: Optional[Dict[str, object]],
+        hierarchy_arrays_key: Optional[str] = None,
     ) -> str:
         names = [
             "pmids.npy",
@@ -396,6 +410,7 @@ class SubstrateBuilder:
         ]
         if with_hierarchy:
             names.append("hierarchy.jsonl")
+            names.extend(HIERARCHY_ARRAY_FILES)
         files = {}
         for name in names:
             path = os.path.join(self.out_dir, name)
@@ -415,6 +430,8 @@ class SubstrateBuilder:
             "meta": meta or {},
             "files": files,
         }
+        if hierarchy_arrays_key is not None:
+            payload["hierarchy_arrays"] = hierarchy_arrays_key
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode("utf-8")
         ).hexdigest()

@@ -33,7 +33,12 @@ import numpy as np
 
 from repro.core.cost_arrays import POPCOUNT_TABLE
 
-__all__ = ["RoaringBitmap", "ARRAY_CONTAINER_MAX", "BITMAP_CONTAINER_BYTES"]
+__all__ = [
+    "RoaringBitmap",
+    "ARRAY_CONTAINER_MAX",
+    "BITMAP_CONTAINER_BYTES",
+    "intersect_serialized",
+]
 
 #: Classic roaring threshold: chunks with at most this many values stay
 #: sorted-array containers (2 bytes/value); denser chunks flip to packed
@@ -381,3 +386,148 @@ class RoaringBitmap:
             total += _CONTAINER.size
             total += 2 * payload.size if self._is_array(payload) else payload.size
         return total
+
+
+# ----------------------------------------------------------------------
+# Kernel-level intersection over the serialized blob
+# ----------------------------------------------------------------------
+#
+# ``MmapStore.boolean_and`` used to deserialize every concept's whole
+# bitmap (copying every container payload out of the mmap) only to throw
+# most of it away during the intersection.  The functions below work on
+# the serialized form directly: a cheap directory scan finds each
+# bitmap's container keys (at most ``universe / 2^16`` of them — 16 for
+# a 1M-citation corpus), key galloping keeps only the keys present in
+# *every* operand, and just those containers are touched — bitmap×bitmap
+# as ``np.bitwise_and`` over zero-copy payload views with a single
+# unpack of the final result, array×anything by galloping the smallest
+# array through byte/bit membership tests.
+
+
+def _scan_directory(
+    view: memoryview, offset: int, length: int
+) -> List[Tuple[int, int, int, int]]:
+    """Container directory of one serialized bitmap.
+
+    Returns ``(key, kind, cardinality, payload_offset)`` per container,
+    in ascending key order (the canonical serialization order), without
+    copying any payload bytes.
+    """
+    end = offset + length
+    (n_containers,) = _HEADER.unpack_from(view, offset)
+    offset += _HEADER.size
+    directory: List[Tuple[int, int, int, int]] = []
+    for _ in range(n_containers):
+        key, kind, count = _CONTAINER.unpack_from(view, offset)
+        offset += _CONTAINER.size
+        directory.append((key, kind, count, offset))
+        if kind == _ARRAY_KIND:
+            offset += 2 * count
+        elif kind == _BITMAP_KIND:
+            offset += BITMAP_CONTAINER_BYTES
+        else:
+            raise ValueError("unknown container kind %d" % kind)
+    if offset > end:
+        raise ValueError(
+            "serialized bitmap overruns its span: read to %d, span ends %d"
+            % (offset, end)
+        )
+    return directory
+
+
+def _array_view(view: memoryview, entry: Tuple[int, int, int, int]) -> np.ndarray:
+    """Zero-copy uint16 view of an array container's payload."""
+    _, _, count, payload_offset = entry
+    return np.frombuffer(view, dtype="<u2", count=count, offset=payload_offset)
+
+
+def _bitmap_view(view: memoryview, entry: Tuple[int, int, int, int]) -> np.ndarray:
+    """Zero-copy uint8 view of a bitmap container's payload."""
+    _, _, _, payload_offset = entry
+    return np.frombuffer(
+        view, dtype=np.uint8, count=BITMAP_CONTAINER_BYTES, offset=payload_offset
+    )
+
+
+def _intersect_key_group(
+    view: memoryview, entries: List[Tuple[int, int, int, int]]
+) -> np.ndarray:
+    """Sorted low-16-bit values common to every same-key container."""
+    arrays = [e for e in entries if e[1] == _ARRAY_KIND]
+    bitmaps = [e for e in entries if e[1] == _BITMAP_KIND]
+    if not arrays:
+        # All-dense chunk: AND the packed payloads byte-wise and unpack
+        # only the final result.
+        first = _bitmap_view(view, bitmaps[0])
+        if len(bitmaps) == 1:
+            return _unpack_payload(first)
+        acc = np.bitwise_and(first, _bitmap_view(view, bitmaps[1]))
+        for entry in bitmaps[2:]:
+            np.bitwise_and(acc, _bitmap_view(view, entry), out=acc)
+        return _unpack_payload(acc)
+    # Gallop the smallest array through the other containers: sparse
+    # candidates shrink monotonically, and bitmap membership is a
+    # byte-index + bit-mask gather.
+    arrays.sort(key=lambda entry: entry[2])
+    values = _array_view(view, arrays[0])
+    for entry in arrays[1:]:
+        if values.size == 0:
+            break
+        values = np.intersect1d(
+            values, _array_view(view, entry), assume_unique=True
+        )
+    for entry in bitmaps:
+        if values.size == 0:
+            break
+        bits = _bitmap_view(view, entry)
+        hits = (bits[values >> 3] & _BIT_MASKS[values & 7]) != 0
+        values = values[hits]
+    return np.ascontiguousarray(values, dtype=np.uint16)
+
+
+def intersect_serialized(
+    buffer: "bytes | np.ndarray",
+    spans: Sequence[Tuple[int, int]],
+    array_max: int = ARRAY_CONTAINER_MAX,  # noqa: ARG001 - layout symmetry
+) -> np.ndarray:
+    """AND of several serialized bitmaps, straight off the blob.
+
+    Args:
+        buffer: bytes-like object holding the serialized bitmaps (the
+            substrate's memmapped ``bitmap_blob.npy`` works unchanged).
+        spans: ``(offset, length)`` byte span of each operand bitmap.
+        array_max: accepted for signature symmetry with
+            :meth:`RoaringBitmap.deserialize`; the intersection itself
+            never re-canonicalizes, so the threshold does not matter.
+
+    Returns:
+        Sorted ``uint32`` ordinals present in *every* operand.  Never
+        inflates a non-matching container: only payloads whose 16-bit
+        key survives the gallop across all directories are read at all.
+    """
+    if not spans:
+        raise ValueError("intersect_serialized needs at least one span")
+    view = memoryview(buffer)
+    directories = [
+        _scan_directory(view, offset, length) for offset, length in spans
+    ]
+    # Key gallop: keys common to all directories, smallest-first so the
+    # candidate set only shrinks.
+    directories.sort(key=len)
+    key_maps = [
+        {entry[0]: entry for entry in directory} for directory in directories
+    ]
+    common_keys = [
+        key
+        for key in key_maps[0]
+        if all(key in other for other in key_maps[1:])
+    ]
+    common_keys.sort()
+    pieces: List[np.ndarray] = []
+    for key in common_keys:
+        lows = _intersect_key_group(view, [m[key] for m in key_maps])
+        if lows.size:
+            pieces.append(lows.astype(np.uint32) | np.uint32(key << _CHUNK_BITS))
+    if not pieces:
+        return np.empty(0, dtype=np.uint32)
+    return np.concatenate(pieces)

@@ -32,8 +32,9 @@ import numpy as np
 
 from repro.corpus.citation import Citation
 from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.arrays import ArrayBackedHierarchy, HierarchyArrays
 from repro.hierarchy.concept import ConceptHierarchy
-from repro.substrate.roaring import RoaringBitmap
+from repro.substrate.roaring import RoaringBitmap, intersect_serialized
 
 __all__ = ["CorpusStore", "InMemoryStore", "MmapStore"]
 
@@ -163,6 +164,33 @@ class CorpusStore:
             for concept in concepts:
                 by_concept.setdefault(concept, set()).add(pmid)
         return {concept: frozenset(ids) for concept, ids in by_concept.items()}
+
+    def annotation_arrays(
+        self, pmids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR form of :meth:`annotations_for_result`.
+
+        Returns ``(concepts, offsets, values)``: annotated concept ids
+        sorted ascending (int64), int64 CSR offsets, and per-concept
+        sorted result PMIDs (int64) — the buffers the array-native
+        navigation-tree build consumes directly.  The generic
+        implementation flattens the dict answer; ``MmapStore`` overrides
+        it with a pure-array gather.
+        """
+        annotations = self.annotations_for_result(pmids)
+        concepts = np.asarray(sorted(annotations), dtype=np.int64)
+        rows = [sorted(annotations[c]) for c in concepts.tolist()]
+        lengths = np.fromiter(
+            (len(row) for row in rows), dtype=np.int64, count=len(rows)
+        )
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = np.fromiter(
+            (pmid for row in rows for pmid in row),
+            dtype=np.int64,
+            count=int(offsets[-1]),
+        )
+        return concepts, offsets, values
 
 
 class InMemoryStore(CorpusStore):
@@ -330,7 +358,18 @@ class MmapStore(CorpusStore):
         return str(self.manifest["digest"])
 
     def hierarchy(self) -> Optional[ConceptHierarchy]:
+        """The build-time hierarchy, mmapped from its positional arrays.
+
+        Directories written since the arrays landed carry ``hier_*.npy``
+        files; opening them is a handful of header reads, so a cold
+        hierarchy access costs file opens instead of rebuilding ~48k
+        Python nodes from ``hierarchy.jsonl``.  Older directories fall
+        back to the jsonl record stream.
+        """
         if self._hierarchy_cache is None:
+            if HierarchyArrays.present(self.path):
+                self._hierarchy_cache = ArrayBackedHierarchy.open(self.path)
+                return self._hierarchy_cache
             records_path = os.path.join(self.path, "hierarchy.jsonl")
             if not os.path.exists(records_path):
                 return None
@@ -440,23 +479,97 @@ class MmapStore(CorpusStore):
 
     # -- derived answers (bitmap-accelerated) ---------------------------
     def boolean_and(self, concepts: Sequence[int]) -> np.ndarray:
+        """AND over the serialized roaring blob, no bitmap inflation.
+
+        :func:`~repro.substrate.roaring.intersect_serialized` galloping
+        over the per-concept byte spans touches only the containers
+        whose 16-bit key appears in *every* operand; everything else in
+        the memmapped blob stays cold on disk.
+        """
         if not concepts:
             return np.empty(0, dtype=np.int64)
-        bitmaps = [self.concept_bitmap(c) for c in concepts]
-        ordinals = RoaringBitmap.intersect_many(bitmaps).to_array()
+        spans = []
+        for concept in concepts:
+            self._check_concept(concept)
+            start = int(self._bitmap_offsets[concept])
+            stop = int(self._bitmap_offsets[concept + 1])
+            spans.append((start, stop - start))
+        ordinals = intersect_serialized(
+            self._bitmap_blob, spans, array_max=self._array_max
+        )
         return np.asarray(self._pmids[ordinals.astype(np.int64)], dtype=np.int64)
+
+    def _result_ordinals(self, pmids: Sequence[int]) -> np.ndarray:
+        """Citation ordinals of the PMIDs present in the store (batched).
+
+        One ``np.searchsorted`` over the PMID column answers the whole
+        request; missing PMIDs are dropped.  Order follows the input.
+        """
+        requested = np.asarray(pmids, dtype=np.int64)
+        if requested.size == 0 or self._pmids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        found = np.minimum(
+            np.searchsorted(self._pmids, requested), self._pmids.size - 1
+        )
+        present = self._pmids[found] == requested
+        return found[present]
+
+    def _concept_rows(
+        self, ordinals: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flattened concept rows of ``ordinals`` plus per-row lengths."""
+        begins = self._cit_offsets[ordinals].astype(np.int64)
+        lengths = self._cit_offsets[ordinals + 1].astype(np.int64) - begins
+        total = int(lengths.sum())
+        base = np.repeat(begins, lengths)
+        reset = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        flat = self._cit_concepts[base + np.arange(total) - reset]
+        return flat, lengths
 
     def concepts_of_citations(
         self, pmids: Sequence[int]
     ) -> Dict[int, Tuple[int, ...]]:
-        out: Dict[int, Tuple[int, ...]] = {}
-        for pmid in pmids:
-            try:
-                ordinal = self._ordinal(pmid)
-            except KeyError:
-                continue
-            row = self._cit_concepts[
-                int(self._cit_offsets[ordinal]) : int(self._cit_offsets[ordinal + 1])
-            ]
-            out[pmid] = tuple(int(c) for c in row)
-        return out
+        """Concept rows for a result, via one batched table lookup.
+
+        The per-PMID ``_ordinal`` + tuple loop this replaces sat on the
+        tree-annotation path of every cold query; here the ordinal
+        resolution is a single ``searchsorted`` and the rows come back
+        as CSR slice views converted once.
+        """
+        ordinals = self._result_ordinals(pmids)
+        if ordinals.size == 0:
+            return {}
+        flat, lengths = self._concept_rows(ordinals)
+        flat_list = flat.tolist()
+        bounds = np.zeros(len(ordinals) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=bounds[1:])
+        bound_list = bounds.tolist()
+        found_pmids = self._pmids[ordinals].tolist()
+        return {
+            pmid: tuple(flat_list[bound_list[i] : bound_list[i + 1]])
+            for i, pmid in enumerate(found_pmids)
+        }
+
+    def annotation_arrays(
+        self, pmids: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR annotations straight from the citation table (no dicts).
+
+        Gathers the result's concept rows, inverts them with one stable
+        sort by concept (ordinals ascend within the input, so each
+        concept's PMID run comes out sorted), and groups with
+        ``np.unique`` — the exact buffers ``NavigationTree._embed``
+        ingests.
+        """
+        ordinals = np.unique(self._result_ordinals(pmids))
+        if ordinals.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.zeros(1, dtype=np.int64), empty
+        flat, lengths = self._concept_rows(ordinals)
+        flat_pmids = np.repeat(self._pmids[ordinals].astype(np.int64), lengths)
+        order = np.argsort(flat, kind="stable")
+        concepts_sorted = np.asarray(flat, dtype=np.int64)[order]
+        values = flat_pmids[order]
+        concepts, starts = np.unique(concepts_sorted, return_index=True)
+        offsets = np.append(starts, len(values)).astype(np.int64)
+        return concepts.astype(np.int64), offsets, values

@@ -41,6 +41,10 @@ def paper_scale_hierarchy() -> ConceptHierarchy:
     so substrate manifests built over it are reproducible.  Too large for
     the in-memory scenario workloads above — pair it with
     :mod:`repro.substrate` instead of :func:`build_workload`.
+
+    Delegates to :func:`~repro.hierarchy.generator.mesh_2008_hierarchy`
+    and inherits its cache-identity contract: repeated calls return the
+    same (treat-as-immutable) object, not a fresh copy.
     """
     return mesh_2008_hierarchy()
 

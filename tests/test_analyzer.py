@@ -444,6 +444,42 @@ class TestVectorizeRule:
         )
         assert "vectorize" not in rule_ids(findings)
 
+    def test_store_module_cold_path_loop_flagged(self, tmp_path):
+        """substrate/store.py is in scope: mmap-column loops are cold-path."""
+        findings = run_rules(
+            tmp_path,
+            "substrate/store.py",
+            "class S:\n"
+            "    def f(self):\n"
+            "        return [int(p) for p in self._pmids]\n",
+        )
+        assert "vectorize" in rule_ids(findings)
+
+    def test_navigation_tree_cold_path_loop_flagged(self, tmp_path):
+        """core/navigation_tree.py embedded-tree buffers are in scope."""
+        findings = run_rules(
+            tmp_path,
+            "core/navigation_tree.py",
+            "class T:\n"
+            "    def f(self):\n"
+            "        out = []\n"
+            "        for node in self._order.tolist():\n"
+            "            out.append(node)\n"
+            "        return out\n",
+        )
+        assert "vectorize" in rule_ids(findings)
+
+    def test_other_substrate_module_not_in_scope(self, tmp_path):
+        """Only store.py joins the scope — e.g. builder.py stays exempt."""
+        findings = run_rules(
+            tmp_path,
+            "substrate/builder.py",
+            "class B:\n"
+            "    def f(self):\n"
+            "        return [int(p) for p in self._pmids]\n",
+        )
+        assert "vectorize" not in rule_ids(findings)
+
 
 class TestSolverViaRegistryRule:
     def test_flags_from_import_of_solver_module(self, tmp_path):

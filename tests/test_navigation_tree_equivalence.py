@@ -1,0 +1,349 @@
+"""Array-native NavigationTree vs the retained dict-based oracle.
+
+The vectorized builder (`repro.core.navigation_tree.NavigationTree`)
+must be *observationally identical* to the legacy per-node
+implementation retained as `ReferenceNavigationTree`: same nodes in the
+same preorder, same parent/children maps, same per-node result sets,
+same subtree sizes — and, downstream, bit-identical CostArrays content
+keys, probability masses, and Opt-EdgeCut cuts/costs.  A hypothesis
+sweep over random hierarchies × sparse annotation maps enforces this,
+plus directed edge cases (empty root, all-empty subtrees, single
+citation, truthy-but-empty annotation iterables) and both corpus-store
+backends for the ``from_store`` path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import CostParams
+from repro.core.navigation_tree import NavigationTree
+from repro.core.navigation_tree_reference import ReferenceNavigationTree
+from repro.core.opt_edgecut import MAX_OPT_NODES, CutTree, OptEdgeCut
+from repro.core.probabilities import ProbabilityModel
+from repro.corpus.citation import Citation
+from repro.corpus.medline import MedlineDatabase
+from repro.hierarchy.concept import ConceptHierarchy
+from repro.hierarchy.generator import generate_hierarchy
+from repro.substrate import (
+    InMemoryStore,
+    MmapStore,
+    SubstrateBuilder,
+    citation_chunks,
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def hierarchies(draw, min_nodes: int = 1, max_nodes: int = 30):
+    """Random hierarchy encoded as a parent vector (ids are insertion order)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    h = ConceptHierarchy(root_label="root")
+    for node in range(1, n):
+        parent = draw(st.integers(0, node - 1))
+        h.add_child(parent, "n%d" % node)
+    return h
+
+
+@st.composite
+def annotation_maps(draw, hierarchy, max_citations: int = 40):
+    """Sparse node → citation-set annotations (root included sometimes)."""
+    annotations: Dict[int, Set[int]] = {}
+    for node in range(len(hierarchy)):
+        if draw(st.booleans()):
+            annotations[node] = draw(
+                st.sets(st.integers(1, max_citations), min_size=1, max_size=6)
+            )
+    return annotations
+
+
+# ---------------------------------------------------------------------------
+# Equivalence helpers
+# ---------------------------------------------------------------------------
+def assert_trees_identical(tree: NavigationTree, ref: ReferenceNavigationTree):
+    """Every observable of the embedded tree matches the oracle's."""
+    assert len(tree) == len(ref)
+    assert tree.root == ref.root
+    assert list(tree.iter_dfs()) == list(ref.iter_dfs())  # same preorder
+    assert set(tree.nodes()) == set(ref.nodes())
+    assert sorted(tree.edges()) == sorted(ref.edges())
+    for node in ref.nodes():
+        assert node in tree
+        assert tree.parent(node) == ref.parent(node)
+        assert tuple(tree.children(node)) == tuple(ref.children(node))
+        assert tree.is_leaf(node) == ref.is_leaf(node)
+        assert tree.results(node) == ref.results(node)
+        assert tree.subtree_size(node) == ref.subtree_size(node)
+        assert tree.subtree_nodes(node) == ref.subtree_nodes(node)
+        assert tree.subtree_results(node) == ref.subtree_results(node)
+        assert tree.tree_depth(node) == ref.tree_depth(node)
+        assert list(tree.iter_dfs(node)) == list(ref.iter_dfs(node))
+    assert tree.size() == ref.size()
+    assert tree.max_width() == ref.max_width()
+    assert tree.height() == ref.height()
+    assert tree.citations_with_duplicates() == ref.citations_with_duplicates()
+    assert tree.all_results() == ref.all_results()
+    # Missing-node contract: same exception, same message.
+    missing = max(ref.nodes()) + 1000
+    with pytest.raises(KeyError) as new_err:
+        tree.parent(missing)
+    with pytest.raises(KeyError) as ref_err:
+        ref.parent(missing)
+    assert str(new_err.value) == str(ref_err.value)
+
+
+def assert_costs_identical(tree: NavigationTree, ref: ReferenceNavigationTree):
+    """Downstream cost model + Opt-EdgeCut are bit-identical."""
+    probs_new = ProbabilityModel(tree, lambda n: 500)
+    probs_ref = ProbabilityModel(ref, lambda n: 500)
+    # CostArrays ingests the array tree through the buffer seam and the
+    # oracle through the per-node legacy path; equal content keys mean
+    # the two ingestion paths hashed identical byte streams.
+    assert probs_new.arrays.content_key == probs_ref.arrays.content_key
+    assert np.array_equal(
+        probs_new.arrays.preorder_ids, probs_ref.arrays.preorder_ids
+    )
+    assert np.array_equal(
+        probs_new.arrays.explore_mass, probs_ref.arrays.explore_mass
+    )
+    assert probs_new.arrays.normalizer == probs_ref.arrays.normalizer
+    for node in ref.nodes():
+        assert probs_new.explore_mass(node) == probs_ref.explore_mass(node)
+    if len(ref) > MAX_OPT_NODES:
+        return
+    component = frozenset(ref.nodes())
+    cut_new = CutTree.from_component(tree, probs_new, component, tree.root)
+    cut_ref = CutTree.from_component(ref, probs_ref, component, ref.root)
+    best_new = OptEdgeCut(cut_new, probs_new, CostParams()).solve()
+    best_ref = OptEdgeCut(cut_ref, probs_ref, CostParams()).solve()
+    assert best_new.cut == best_ref.cut
+    assert best_new.expected_cost == best_ref.expected_cost
+    assert best_new.expansion_term == best_ref.expansion_term
+
+
+def build_both(hierarchy, annotations):
+    tree = NavigationTree.build(hierarchy, annotations)
+    ref = ReferenceNavigationTree.build(hierarchy, annotations)
+    return tree, ref
+
+
+# ---------------------------------------------------------------------------
+# Randomized sweep
+# ---------------------------------------------------------------------------
+class TestRandomizedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_hierarchy_and_annotations(self, data):
+        hierarchy = data.draw(hierarchies())
+        annotations = data.draw(annotation_maps(hierarchy))
+        tree, ref = build_both(hierarchy, annotations)
+        assert_trees_identical(tree, ref)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_downstream_costs_bit_identical(self, data):
+        hierarchy = data.draw(hierarchies(max_nodes=18))
+        annotations = data.draw(annotation_maps(hierarchy))
+        tree, ref = build_both(hierarchy, annotations)
+        assert_costs_identical(tree, ref)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_subtree_roots(self, data):
+        """Building from a non-root hierarchy node embeds the same subtree."""
+        hierarchy = data.draw(hierarchies(min_nodes=3))
+        annotations = data.draw(annotation_maps(hierarchy))
+        root = data.draw(st.integers(0, len(hierarchy) - 1))
+        tree = NavigationTree.build(hierarchy, annotations, root=root)
+        ref = ReferenceNavigationTree.build(hierarchy, annotations, root=root)
+        assert_trees_identical(tree, ref)
+
+
+# ---------------------------------------------------------------------------
+# Directed edge cases
+# ---------------------------------------------------------------------------
+class TestEdgeCases:
+    def _chain(self, n=5):
+        h = ConceptHierarchy(root_label="root")
+        for i in range(1, n):
+            h.add_child(i - 1, "n%d" % i)
+        return h
+
+    def test_empty_root_no_annotations(self):
+        """No annotations at all: the tree is exactly the (empty) root."""
+        tree, ref = build_both(self._chain(), {})
+        assert_trees_identical(tree, ref)
+        assert len(tree) == 1
+        assert tree.results(tree.root) == frozenset()
+        assert_costs_identical(tree, ref)
+
+    def test_all_empty_subtree_spliced_out(self):
+        """A fully empty branch vanishes; its sibling branch survives."""
+        h = ConceptHierarchy(root_label="root")
+        left = h.add_child(0, "left")
+        l_kid = h.add_child(left, "left-kid")
+        right = h.add_child(0, "right")
+        h.add_child(right, "right-kid")
+        tree, ref = build_both(h, {l_kid: {7, 8}})
+        assert_trees_identical(tree, ref)
+        assert set(tree.nodes()) == {0, l_kid}
+        assert_costs_identical(tree, ref)
+
+    def test_single_citation(self):
+        h = self._chain(4)
+        tree, ref = build_both(h, {3: {42}})
+        assert_trees_identical(tree, ref)
+        assert tree.all_results() == frozenset({42})
+        assert tree.citations_with_duplicates() == 1
+        assert_costs_identical(tree, ref)
+
+    def test_deep_kept_chain(self):
+        """Every node kept on a deep chain (recursion-free embedding)."""
+        n = 300
+        h = self._chain(n)
+        annotations = {i: {i} for i in range(1, n)}
+        tree, ref = build_both(h, annotations)
+        assert_trees_identical(tree, ref)
+        assert tree.height() == n - 1
+
+    def test_empty_iterable_annotation_dropped(self):
+        """Falsy annotation values (empty list/set) splice the node out."""
+        h = self._chain(4)
+        annotations = {1: [], 2: set(), 3: [9]}
+        tree, ref = build_both(h, dict(annotations))
+        assert_trees_identical(tree, ref)
+        assert set(tree.nodes()) == {0, 3}
+
+    def test_truthy_empty_generator_keeps_node(self):
+        """A truthy-but-empty iterable keeps the node with no results.
+
+        The legacy builder tested emptiness by truthiness (``if ids``),
+        so a generator that yields nothing still kept its node; the
+        array builder preserves that wart bit for bit.
+        """
+
+        def empty_gen():
+            return iter(())
+
+        tree = NavigationTree.build(self._chain(3), {1: empty_gen(), 2: [5]})
+        ref = ReferenceNavigationTree.build(
+            self._chain(3), {1: empty_gen(), 2: [5]}
+        )
+        assert_trees_identical(tree, ref)
+        assert 1 in tree
+        assert tree.results(1) == frozenset()
+
+    def test_out_of_range_concepts_ignored(self):
+        """Annotation keys outside the hierarchy are silently dropped."""
+        h = self._chain(3)
+        annotations = {1: {4}, 99: {5}, -7: {6}, "x": {7}}
+        tree, ref = build_both(h, dict(annotations))
+        assert_trees_identical(tree, ref)
+        assert set(tree.nodes()) == {0, 1}
+
+    def test_duplicate_citations_within_node(self):
+        """Duplicate ids inside one annotation collapse to a set once."""
+        h = self._chain(3)
+        tree, ref = build_both(h, {1: [5, 5, 9, 5], 2: (9,)})
+        assert_trees_identical(tree, ref)
+        assert tree.results(1) == frozenset({5, 9})
+        assert tree.citations_with_duplicates() == 3
+
+
+# ---------------------------------------------------------------------------
+# from_store parity on both backends
+# ---------------------------------------------------------------------------
+N_CITATIONS = 160
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    hierarchy = generate_hierarchy(target_size=120, seed=23)
+    rng = np.random.default_rng(29)
+    citations = []
+    for i in range(N_CITATIONS):
+        concepts = tuple(
+            sorted(
+                set(rng.integers(1, len(hierarchy), size=rng.integers(1, 9)).tolist())
+            )
+        )
+        citations.append(
+            Citation(
+                pmid=40_000_000 + i,
+                title="Nav-tree equivalence citation %d" % i,
+                year=int(1995 + (i % 13)),
+                index_concepts=concepts,
+            )
+        )
+    background = {c: 100 + 2 * c for c in range(len(hierarchy))}
+    return hierarchy, citations, background
+
+
+@pytest.fixture(scope="module")
+def memory_store(corpus):
+    hierarchy, citations, background = corpus
+    medline = MedlineDatabase(background_counts=background)
+    medline.add_all(citations)
+    return InMemoryStore(medline, hierarchy=hierarchy)
+
+
+@pytest.fixture(scope="module")
+def mmap_store(corpus, tmp_path_factory):
+    hierarchy, citations, background = corpus
+    out = tmp_path_factory.mktemp("navtree-equivalence-substrate")
+    builder = SubstrateBuilder(str(out), num_concepts=len(hierarchy))
+    builder.build(
+        citation_chunks(iter(citations), chunk_size=64),
+        hierarchy=hierarchy,
+        background=background,
+    )
+    return MmapStore(str(out))
+
+
+class TestFromStoreParity:
+    def _result_sets(self, corpus):
+        hierarchy, citations, _ = corpus
+        rng = np.random.default_rng(31)
+        all_pmids = [c.pmid for c in citations]
+        yield all_pmids
+        yield all_pmids[:1]
+        yield []
+        for size in (5, 25, 90):
+            yield sorted(rng.choice(all_pmids, size=size, replace=False).tolist())
+
+    @pytest.mark.parametrize("backend", ["memory", "mmap"])
+    def test_from_store_matches_reference(
+        self, corpus, memory_store, mmap_store, backend
+    ):
+        hierarchy = corpus[0]
+        store = memory_store if backend == "memory" else mmap_store
+        for pmids in self._result_sets(corpus):
+            tree = NavigationTree.from_store(hierarchy, store, pmids)
+            ref = ReferenceNavigationTree.from_store(hierarchy, store, pmids)
+            assert_trees_identical(tree, ref)
+
+    def test_backends_agree_with_each_other(self, corpus, memory_store, mmap_store):
+        hierarchy = corpus[0]
+        for pmids in self._result_sets(corpus):
+            mem_tree = NavigationTree.from_store(hierarchy, memory_store, pmids)
+            mm_tree = NavigationTree.from_store(hierarchy, mmap_store, pmids)
+            assert list(mem_tree.iter_dfs()) == list(mm_tree.iter_dfs())
+            for node in mem_tree.nodes():
+                assert mem_tree.results(node) == mm_tree.results(node)
+
+    def test_from_store_costs_match_reference(self, corpus, mmap_store):
+        hierarchy = corpus[0]
+        pmids = [c.pmid for c in corpus[1]][:8]
+        tree = NavigationTree.from_store(hierarchy, mmap_store, pmids)
+        ref = ReferenceNavigationTree.from_store(hierarchy, mmap_store, pmids)
+        probs_new = ProbabilityModel(tree, mmap_store.medline_count)
+        probs_ref = ProbabilityModel(ref, mmap_store.medline_count)
+        assert probs_new.arrays.content_key == probs_ref.arrays.content_key
+        assert probs_new.arrays.normalizer == probs_ref.arrays.normalizer

@@ -7,10 +7,12 @@ element over one of the substrate's array fields silently reintroduces
 the scalar bottleneck the arrays were built to remove — usually without
 failing any test, since the values stay correct.
 
-Scope: modules under ``core`` directories (the solver layer).  The rule
-flags iteration whose source is an attribute access on one of the known
-array-field names — directly, through ``.tolist()``, or wrapped in
-``enumerate``/``zip``/``reversed``/``iter``.  Deliberate sequential
+Scope: modules under ``core`` directories (the solver layer) plus the
+cold-query path — ``substrate/store.py`` and ``core/navigation_tree.py``
+— whose mmap columns and embedded-tree buffers are equally hot.  The
+rule flags iteration whose source is an attribute access on one of the
+known array-field names — directly, through ``.tolist()``, or wrapped
+in ``enumerate``/``zip``/``reversed``/``iter``.  Deliberate sequential
 loops (the scalar oracle's bit-parity summation order) carry a
 ``# repro: ignore[vectorize]`` suppression at the site.
 """
@@ -36,8 +38,40 @@ ARRAY_FIELDS = {
     "subtree_size",
 }
 
+#: Cold-path array columns: the mmap store's citation/concept/bitmap
+#: tables and the navigation tree's embedded-preorder buffers.  A Python
+#: loop over any of these puts per-element work back on the cold query
+#: path the arrays exist to keep in numpy.
+COLD_PATH_FIELDS = {
+    # MmapStore mmap columns
+    "_pmids",
+    "_years",
+    "_cit_offsets",
+    "_cit_concepts",
+    "_concept_offsets",
+    "_concept_citations",
+    "_concept_counts",
+    "_concept_lt",
+    "_bitmap_offsets",
+    "_bitmap_blob",
+    # NavigationTree embedded-tree arrays
+    "_order",
+    "_eparent",
+    "_edepth",
+    "_esize",
+    "_child_off",
+    "_child_val",
+    "_res_off",
+    "_res_val",
+}
+
+#: Extra files (beyond ``core`` solver modules) the rule applies to.
+_COLD_PATH_SUFFIXES = (("substrate", "store.py"), ("core", "navigation_tree.py"))
+
 # Iteration wrappers that preserve element-by-element consumption.
 _PASSTHROUGH_CALLS = {"enumerate", "zip", "reversed", "iter"}
+
+_ALL_FIELDS = ARRAY_FIELDS | COLD_PATH_FIELDS
 
 
 def _array_field_of(node: ast.expr) -> Optional[str]:
@@ -46,7 +80,7 @@ def _array_field_of(node: ast.expr) -> Optional[str]:
     Recognizes ``x.result_counts``, ``x.result_counts.tolist()``, and
     passthrough wrappers like ``enumerate(x.explore_mass)``.
     """
-    if isinstance(node, ast.Attribute) and node.attr in ARRAY_FIELDS:
+    if isinstance(node, ast.Attribute) and node.attr in _ALL_FIELDS:
         return node.attr
     if isinstance(node, ast.Call):
         func = node.func
@@ -55,7 +89,7 @@ def _array_field_of(node: ast.expr) -> Optional[str]:
             isinstance(func, ast.Attribute)
             and func.attr == "tolist"
             and isinstance(func.value, ast.Attribute)
-            and func.value.attr in ARRAY_FIELDS
+            and func.value.attr in _ALL_FIELDS
         ):
             return func.value.attr
         if isinstance(func, ast.Name) and func.id in _PASSTHROUGH_CALLS:
@@ -120,7 +154,13 @@ class VectorizeRule(Rule):
     description = "Python loop over a CostArrays field defeats vectorization"
 
     def applies_to(self, module: ModuleInfo) -> bool:
-        return "core" in module.parts
+        if "core" in module.parts:
+            return True
+        parts = module.parts
+        return any(
+            len(parts) >= len(suffix) and tuple(parts[-len(suffix):]) == suffix
+            for suffix in _COLD_PATH_SUFFIXES
+        )
 
     def check(self, module: ModuleInfo, index: ProjectIndex) -> List[Finding]:
         if module.tree is None:
